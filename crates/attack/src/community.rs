@@ -1,0 +1,270 @@
+//! Community-scoped stealth hijacks (the paper's reference \[35\],
+//! Zmijewski/Renesys, "The end of undetected BGP route hijacking" —
+//! ironically demonstrating how hijacks *evade* detection).
+//!
+//! "Using communities, an attacker can limit the propagation of a
+//! hijacked prefix to a few ASes, in a predictable way, making the
+//! attack very hard to detect." (§3.2)
+//!
+//! The attacker's dial: every upstream it instructs (via communities)
+//! not to export the hijacked route to some neighbor *reduces
+//! visibility* at route collectors but also *reduces capture*. This
+//! module explores that frontier:
+//!
+//! * [`StealthPlan`] — a hijack announcement with a set of blocked
+//!   directed edges (community instructions honored by the direct and
+//!   transit neighbors).
+//! * [`evaluate_stealth`] — given collector vantage ASes, compute both
+//!   the capture set and which vantages can see the bogus route at all.
+//! * [`stealth_frontier`] — sweep increasingly aggressive scoping and
+//!   report (capture fraction, vantage visibility) pairs — the
+//!   stealth-vs-reach trade-off curve.
+
+use crate::hijack::{origin_hijack_scoped, HijackOutcome};
+use crate::multi::OriginSpec;
+use quicksand_net::Asn;
+use quicksand_topology::AsGraph;
+use std::collections::BTreeSet;
+
+/// A community-scoped hijack plan.
+#[derive(Clone, Debug)]
+pub struct StealthPlan {
+    /// The attacking AS.
+    pub attacker: Asn,
+    /// Directed edges over which the hijacked route must not propagate
+    /// (community instructions).
+    pub blocked_edges: Vec<(Asn, Asn)>,
+}
+
+/// The outcome of a stealth evaluation.
+#[derive(Clone, Debug)]
+pub struct StealthOutcome {
+    /// The underlying hijack outcome.
+    pub outcome: HijackOutcome,
+    /// Vantage ASes that selected the attacker's route (these collector
+    /// feeds would *record* the hijack).
+    pub vantages_capturing: BTreeSet<Asn>,
+    /// Fraction of vantages whose best route leads to the attacker.
+    pub vantage_visibility: f64,
+    /// Fraction of all ASes captured.
+    pub capture_fraction: f64,
+}
+
+/// Evaluate a stealth plan against `victim` with the given collector
+/// `vantages`.
+///
+/// A vantage "sees" the hijack when its own best route selects the
+/// attacker's origin — the condition under which a partial-feed RIS
+/// session would record the bogus path. (Full-feed visibility is the
+/// same in this model, since the vantage exports its selected route.)
+pub fn evaluate_stealth(
+    graph: &AsGraph,
+    victim: Asn,
+    plan: &StealthPlan,
+    vantages: &[Asn],
+) -> StealthOutcome {
+    let outcome = origin_hijack_scoped(
+        graph,
+        victim,
+        OriginSpec {
+            asn: plan.attacker,
+            export_to: None,
+            no_reexport: false,
+            blocked_edges: plan.blocked_edges.clone(),
+        },
+    );
+    let vantages_capturing: BTreeSet<Asn> = vantages
+        .iter()
+        .copied()
+        .filter(|v| outcome.captured.contains(v))
+        .collect();
+    let vantage_visibility =
+        vantages_capturing.len() as f64 / vantages.len().max(1) as f64;
+    let capture_fraction = outcome.captured.len() as f64 / graph.len() as f64;
+    StealthOutcome {
+        outcome,
+        vantages_capturing,
+        vantage_visibility,
+        capture_fraction,
+    }
+}
+
+/// One point on the stealth frontier.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontierPoint {
+    /// Number of blocked directed edges in the plan.
+    pub blocked: usize,
+    /// Fraction of all ASes captured.
+    pub capture: f64,
+    /// Fraction of vantages that record the hijack.
+    pub visibility: f64,
+}
+
+/// Sweep the stealth dial: starting from an unscoped hijack, repeatedly
+/// block the edge that most reduces vantage visibility (greedy), and
+/// record the (capture, visibility) trade-off after each block.
+///
+/// The candidate edges are the exports along paths from vantages toward
+/// the attacker — exactly the edges a real attacker would target with
+/// provider communities.
+pub fn stealth_frontier(
+    graph: &AsGraph,
+    victim: Asn,
+    attacker: Asn,
+    vantages: &[Asn],
+    max_blocks: usize,
+) -> Vec<FrontierPoint> {
+    let mut blocked: Vec<(Asn, Asn)> = Vec::new();
+    let mut points = Vec::new();
+    let base = evaluate_stealth(
+        graph,
+        victim,
+        &StealthPlan {
+            attacker,
+            blocked_edges: blocked.clone(),
+        },
+        vantages,
+    );
+    points.push(FrontierPoint {
+        blocked: 0,
+        capture: base.capture_fraction,
+        visibility: base.vantage_visibility,
+    });
+    let mut current = base;
+
+    for _ in 0..max_blocks {
+        if current.vantages_capturing.is_empty() {
+            break; // fully stealthy already
+        }
+        // Candidate edges: the last hop into each capturing vantage's
+        // path toward the attacker (blocking there snips that vantage
+        // off with minimal collateral).
+        let mut candidates: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+        for &v in &current.vantages_capturing {
+            if let Some(path) = current.outcome.routing.path_from(graph, v) {
+                if path.len() >= 2 {
+                    // path[0] = vantage, path[1] = the AS exporting to it.
+                    candidates.insert((path[1], path[0]));
+                }
+            }
+        }
+        // Greedy: pick the candidate that minimizes visibility, then
+        // maximizes capture; deterministic order by edge key.
+        let mut best: Option<(FrontierPoint, (Asn, Asn), StealthOutcome)> = None;
+        for &(from, to) in &candidates {
+            let mut trial = blocked.clone();
+            trial.push((from, to));
+            let out = evaluate_stealth(
+                graph,
+                victim,
+                &StealthPlan {
+                    attacker,
+                    blocked_edges: trial,
+                },
+                vantages,
+            );
+            let point = FrontierPoint {
+                blocked: blocked.len() + 1,
+                capture: out.capture_fraction,
+                visibility: out.vantage_visibility,
+            };
+            let better = match &best {
+                None => true,
+                Some((bp, _, _)) => {
+                    (point.visibility, std::cmp::Reverse(ordered(point.capture)))
+                        < (bp.visibility, std::cmp::Reverse(ordered(bp.capture)))
+                }
+            };
+            if better {
+                best = Some((point, (from, to), out));
+            }
+        }
+        let Some((point, edge, out)) = best else { break };
+        blocked.push(edge);
+        points.push(point);
+        current = out;
+    }
+    points
+}
+
+/// Total order helper for f64 (no NaNs in this module's arithmetic).
+fn ordered(x: f64) -> std::cmp::Reverse<u64> {
+    std::cmp::Reverse(x.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::testutil::diamond;
+
+    #[test]
+    fn unscoped_plan_equals_plain_hijack() {
+        let g = diamond();
+        let plan = StealthPlan {
+            attacker: Asn(9),
+            blocked_edges: Vec::new(),
+        };
+        let out = evaluate_stealth(&g, Asn(8), &plan, &[Asn(1), Asn(2)]);
+        let plain = crate::hijack::origin_hijack(&g, Asn(8), Asn(9));
+        assert_eq!(out.outcome.captured, plain.captured);
+    }
+
+    #[test]
+    fn blocking_edges_reduces_visibility() {
+        let g = diamond();
+        // Unscoped hijack by 9: 6 and 2 (via customer chain) capture;
+        // with vantage 2, blocking 6→2 hides the hijack from 2.
+        let vantages = [Asn(2)];
+        let open = evaluate_stealth(
+            &g,
+            Asn(8),
+            &StealthPlan {
+                attacker: Asn(9),
+                blocked_edges: vec![],
+            },
+            &vantages,
+        );
+        let scoped = evaluate_stealth(
+            &g,
+            Asn(8),
+            &StealthPlan {
+                attacker: Asn(9),
+                blocked_edges: vec![(Asn(6), Asn(2))],
+            },
+            &vantages,
+        );
+        assert!(scoped.vantage_visibility <= open.vantage_visibility);
+        assert!(scoped.capture_fraction <= open.capture_fraction);
+        // The attacker still captures its own provider.
+        assert!(scoped.outcome.captured.contains(&Asn(6)));
+    }
+
+    #[test]
+    fn frontier_is_monotone_in_visibility() {
+        let g = diamond();
+        let vantages = [Asn(1), Asn(2), Asn(3)];
+        let frontier = stealth_frontier(&g, Asn(8), Asn(9), &vantages, 4);
+        assert!(!frontier.is_empty());
+        for w in frontier.windows(2) {
+            assert!(
+                w[1].visibility <= w[0].visibility + 1e-12,
+                "visibility increased along the frontier"
+            );
+        }
+        // Blocking never increases capture.
+        for w in frontier.windows(2) {
+            assert!(w[1].capture <= w[0].capture + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fully_stealthy_terminates_early() {
+        let g = diamond();
+        // Vantage far from the attacker: one block suffices, and the
+        // sweep stops once visibility hits zero.
+        let frontier = stealth_frontier(&g, Asn(8), Asn(9), &[Asn(7)], 10);
+        let last = frontier.last().unwrap();
+        assert_eq!(last.visibility, 0.0);
+        assert!(frontier.len() <= 11);
+    }
+}

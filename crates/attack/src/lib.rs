@@ -1,0 +1,29 @@
+//! Active BGP manipulation (§3.2 of the paper) and its detection (§5).
+//!
+//! * [`MultiOriginRouting`] — static Gao–Rexford routing when *several*
+//!   ASes originate the same prefix (the anycast view of a hijack), with
+//!   per-origin export scoping (selective announcement, NO_EXPORT,
+//!   blocked edges for community-scoped stealth attacks \[35\]).
+//! * [`hijack`] — origin hijacks and more-specific hijacks: who is
+//!   captured (blackholed), who retains the legitimate route.
+//! * [`intercept`] — prefix interception (Ballani et al. \[11\]): hijack
+//!   while preserving a working egress back to the victim so the
+//!   connection stays alive and timing analysis runs to completion.
+//! * [`anonymity`] — the reduced client anonymity set a hijacker of a
+//!   guard prefix observes from IP headers.
+//! * [`detect`] — control-plane monitoring (origin changes,
+//!   more-specifics, new-edge path anomalies) with the
+//!   false-positive-tolerant posture §5 argues for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymity;
+pub mod community;
+pub mod detect;
+pub mod hijack;
+pub mod monitord;
+pub mod intercept;
+mod multi;
+
+pub use multi::{MultiOriginRouting, OriginSpec};

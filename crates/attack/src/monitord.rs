@@ -1,0 +1,308 @@
+//! A real-time monitoring framework for secure path selection — the
+//! paper's future work, §7(b): "study the design of a real time
+//! monitoring framework for secure path selection in Tor", building on
+//! §5: "If the monitoring system has a suspicion that a relay might be
+//! under attack, this information can be broadcasted through the Tor
+//! network, so clients can avoid selecting this relay."
+//!
+//! [`StreamingMonitor`] is the online counterpart of
+//! [`crate::detect::PrefixMonitor`]: it consumes update records one at
+//! a time, maintains per-prefix state, raises alarms with *detection
+//! latency*, and maintains an advisory board ([`AdvisoryBoard`]) of
+//! prefixes currently considered under attack — with an expiry, since
+//! §5 explicitly trades false positives for safety and advisories must
+//! decay or availability dies.
+
+use crate::detect::{Alarm, AlarmKind};
+use quicksand_bgp::{UpdateMessage, UpdateRecord};
+use quicksand_net::{Asn, Ipv4Prefix, SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration for [`StreamingMonitor`].
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// How long an advisory stays active after its last supporting
+    /// alarm.
+    pub advisory_ttl: SimDuration,
+    /// How long the monitor learns upstreams before it starts alarming
+    /// on new ones (the online training window).
+    pub warmup: SimDuration,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            advisory_ttl: SimDuration::from_hours(6),
+            warmup: SimDuration::from_days(2),
+        }
+    }
+}
+
+/// The advisory state broadcast to Tor clients: prefixes to avoid.
+#[derive(Clone, Debug, Default)]
+pub struct AdvisoryBoard {
+    /// Active advisories: prefix → (raised at, last refreshed).
+    active: BTreeMap<Ipv4Prefix, (SimTime, SimTime)>,
+}
+
+impl AdvisoryBoard {
+    /// Is `prefix` currently advised against at time `now`?
+    pub fn is_flagged(&self, prefix: &Ipv4Prefix, now: SimTime, ttl: SimDuration) -> bool {
+        self.active
+            .get(prefix)
+            .is_some_and(|&(_, last)| now.since(last) <= ttl)
+    }
+
+    /// Prefixes currently flagged at `now`.
+    pub fn flagged(&self, now: SimTime, ttl: SimDuration) -> BTreeSet<Ipv4Prefix> {
+        self.active
+            .iter()
+            .filter(|(_, &(_, last))| now.since(last) <= ttl)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Number of advisories ever raised.
+    pub fn total_raised(&self) -> usize {
+        self.active.len()
+    }
+}
+
+/// An online prefix monitor with advisory feedback.
+#[derive(Clone, Debug)]
+pub struct StreamingMonitor {
+    config: MonitorConfig,
+    /// Registered prefix → legitimate origin.
+    registered: BTreeMap<Ipv4Prefix, Asn>,
+    /// Learned origin-adjacent ASes per prefix (grows online during
+    /// warmup; frozen afterwards so the attacker cannot teach the
+    /// monitor its own splice).
+    upstreams: BTreeMap<Ipv4Prefix, BTreeSet<Asn>>,
+    /// Advisory board.
+    board: AdvisoryBoard,
+    /// All alarms raised, in arrival order.
+    alarms: Vec<Alarm>,
+    started_at: Option<SimTime>,
+}
+
+impl StreamingMonitor {
+    /// Create a monitor protecting `registered` (prefix → origin).
+    pub fn new(
+        registered: impl IntoIterator<Item = (Ipv4Prefix, Asn)>,
+        config: MonitorConfig,
+    ) -> Self {
+        StreamingMonitor {
+            config,
+            registered: registered.into_iter().collect(),
+            upstreams: BTreeMap::new(),
+            board: AdvisoryBoard::default(),
+            alarms: Vec::new(),
+            started_at: None,
+        }
+    }
+
+    /// The advisory board (for clients' relay selection).
+    pub fn board(&self) -> &AdvisoryBoard {
+        &self.board
+    }
+
+    /// All alarms raised so far.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// Is `prefix` currently advised against?
+    pub fn is_flagged(&self, prefix: &Ipv4Prefix, now: SimTime) -> bool {
+        self.board.is_flagged(prefix, now, self.config.advisory_ttl)
+    }
+
+    /// Feed one update record; returns the alarm raised, if any.
+    pub fn ingest(&mut self, record: &UpdateRecord) -> Option<Alarm> {
+        let started = *self.started_at.get_or_insert(record.at);
+        let in_warmup = record.at.since(started) < self.config.warmup;
+        let UpdateMessage::Announce(route) = &record.msg else {
+            return None;
+        };
+        let prefix = route.prefix;
+
+        // More-specific check against registered covering prefixes.
+        if !self.registered.contains_key(&prefix) {
+            for (&covering, _) in &self.registered {
+                if prefix.is_more_specific_than(&covering) {
+                    return Some(self.raise(
+                        record.at,
+                        prefix,
+                        AlarmKind::MoreSpecific { covering },
+                    ));
+                }
+            }
+            return None;
+        }
+
+        let origin = self.registered[&prefix];
+        match route.as_path.origin() {
+            Some(seen) if seen != origin => {
+                return Some(self.raise(
+                    record.at,
+                    prefix,
+                    AlarmKind::OriginChange { seen_origin: seen },
+                ));
+            }
+            _ => {}
+        }
+
+        // Upstream learning / checking.
+        let asns = route.as_path.asns();
+        if asns.len() >= 2 {
+            let upstream = asns[asns.len() - 2];
+            if in_warmup {
+                self.upstreams.entry(prefix).or_default().insert(upstream);
+            } else if !self
+                .upstreams
+                .get(&prefix)
+                .is_some_and(|known| known.contains(&upstream))
+            {
+                return Some(self.raise(
+                    record.at,
+                    prefix,
+                    AlarmKind::NewUpstream { upstream },
+                ));
+            }
+        }
+        None
+    }
+
+    fn raise(&mut self, at: SimTime, prefix: Ipv4Prefix, kind: AlarmKind) -> Alarm {
+        let alarm = Alarm { at, prefix, kind };
+        self.alarms.push(alarm);
+        let entry = self
+            .board
+            .active
+            .entry(prefix)
+            .or_insert((at, at));
+        entry.1 = at;
+        alarm
+    }
+
+    /// Detection latency for `prefix`: time from `attack_at` to the
+    /// first alarm at or after it, if any.
+    pub fn detection_latency(
+        &self,
+        prefix: &Ipv4Prefix,
+        attack_at: SimTime,
+    ) -> Option<SimDuration> {
+        self.alarms
+            .iter()
+            .find(|a| a.prefix == *prefix && a.at >= attack_at)
+            .map(|a| a.at.since(attack_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksand_bgp::{Route, SessionId};
+    use quicksand_net::AsPath;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ann(at: SimTime, prefix: &str, asns: &[u32]) -> UpdateRecord {
+        UpdateRecord {
+            at,
+            session: SessionId(0),
+            msg: UpdateMessage::Announce(Route {
+                prefix: p(prefix),
+                as_path: asns.iter().map(|&a| Asn(a)).collect::<AsPath>(),
+                communities: Default::default(),
+            }),
+        }
+    }
+
+    fn monitor() -> StreamingMonitor {
+        StreamingMonitor::new(
+            [(p("78.46.0.0/15"), Asn(24940))],
+            MonitorConfig {
+                warmup: SimDuration::from_days(1),
+                advisory_ttl: SimDuration::from_hours(6),
+            },
+        )
+    }
+
+    #[test]
+    fn warmup_learns_then_freezes() {
+        let mut m = monitor();
+        // During warmup: upstream 20 learned, no alarm.
+        assert!(m
+            .ingest(&ann(SimTime::from_secs(0), "78.46.0.0/15", &[1, 20, 24940]))
+            .is_none());
+        // After warmup: known upstream fine, unknown upstream alarms.
+        let later = SimTime::ZERO + SimDuration::from_days(2);
+        assert!(m.ingest(&ann(later, "78.46.0.0/15", &[2, 20, 24940])).is_none());
+        let alarm = m
+            .ingest(&ann(later, "78.46.0.0/15", &[2, 666, 24940]))
+            .expect("splice alarm");
+        assert_eq!(
+            alarm.kind,
+            AlarmKind::NewUpstream {
+                upstream: Asn(666)
+            }
+        );
+        // The attacker cannot teach the monitor post-warmup: the same
+        // splice alarms again.
+        assert!(m.ingest(&ann(later, "78.46.0.0/15", &[2, 666, 24940])).is_some());
+    }
+
+    #[test]
+    fn origin_change_alarms_even_during_warmup() {
+        let mut m = monitor();
+        let alarm = m
+            .ingest(&ann(SimTime::from_secs(10), "78.46.0.0/15", &[1, 666]))
+            .expect("MOAS alarm");
+        assert!(matches!(alarm.kind, AlarmKind::OriginChange { .. }));
+    }
+
+    #[test]
+    fn advisories_expire() {
+        let mut m = monitor();
+        let t0 = SimTime::from_secs(10);
+        m.ingest(&ann(t0, "78.46.0.0/15", &[1, 666])).unwrap();
+        let prefix = p("78.46.0.0/15");
+        assert!(m.is_flagged(&prefix, t0 + SimDuration::from_hours(1)));
+        assert!(!m.is_flagged(&prefix, t0 + SimDuration::from_hours(7)));
+        // A fresh alarm refreshes the advisory.
+        let t1 = t0 + SimDuration::from_hours(8);
+        m.ingest(&ann(t1, "78.46.0.0/15", &[1, 666])).unwrap();
+        assert!(m.is_flagged(&prefix, t1 + SimDuration::from_hours(5)));
+        assert_eq!(m.board().total_raised(), 1);
+    }
+
+    #[test]
+    fn detection_latency_measures_first_alarm_after_attack() {
+        let mut m = monitor();
+        // Clean traffic first.
+        m.ingest(&ann(SimTime::from_secs(0), "78.46.0.0/15", &[1, 20, 24940]));
+        let attack_at = SimTime::ZERO + SimDuration::from_days(3);
+        // The bogus update reaches the collector 90 s later.
+        let seen_at = attack_at + SimDuration::from_secs(90);
+        m.ingest(&ann(seen_at, "78.46.0.0/15", &[1, 666, 24940]))
+            .unwrap();
+        assert_eq!(
+            m.detection_latency(&p("78.46.0.0/15"), attack_at),
+            Some(SimDuration::from_secs(90))
+        );
+        assert_eq!(m.detection_latency(&p("10.0.0.0/8"), attack_at), None);
+    }
+
+    #[test]
+    fn more_specific_flagged_online() {
+        let mut m = monitor();
+        let alarm = m
+            .ingest(&ann(SimTime::from_secs(5), "78.46.128.0/17", &[1, 666]))
+            .expect("more-specific alarm");
+        assert!(matches!(alarm.kind, AlarmKind::MoreSpecific { .. }));
+        // The advisory is attached to the announced (bogus) prefix.
+        assert!(m.is_flagged(&p("78.46.128.0/17"), SimTime::from_secs(6)));
+    }
+}

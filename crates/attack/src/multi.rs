@@ -1,0 +1,465 @@
+//! Static Gao–Rexford routing with multiple origins for one prefix.
+//!
+//! During a hijack the same prefix is originated by two (or more) ASes;
+//! every other AS picks whichever origin's announcement wins its decision
+//! process — the Internet "splits" between the origins. This module
+//! computes that split with the same three-phase structure as
+//! `quicksand_topology::RoutingTree`, extended with:
+//!
+//! * multiple origins (multi-source BFS), and
+//! * per-origin export controls: selective announcement (announce only
+//!   to some neighbors — the interception trick of withholding the
+//!   route from the intended egress), NO_EXPORT (receiving neighbors
+//!   install but do not propagate), and blocked directed edges (the
+//!   community-scoped stealth attacks of [35], where upstreams are told
+//!   not to export to specific ASes, e.g. those feeding route
+//!   collectors).
+//!
+//! The message-level simulator agrees with this computation;
+//! integration tests cross-validate the two on hijack scenarios.
+
+use quicksand_net::{AsPath, Asn};
+use quicksand_topology::{AsGraph, Relationship, RouteClass};
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// One origin's announcement policy.
+#[derive(Clone, Debug)]
+pub struct OriginSpec {
+    /// The originating AS.
+    pub asn: Asn,
+    /// If `Some`, announce only to these neighbors (selective
+    /// announcement).
+    pub export_to: Option<Vec<Asn>>,
+    /// NO_EXPORT: receiving neighbors install the route but do not
+    /// propagate it further.
+    pub no_reexport: bool,
+    /// Directed edges `(from, to)` over which *this origin's* route must
+    /// not be exported (community-instructed scoping honored by `from`).
+    pub blocked_edges: Vec<(Asn, Asn)>,
+}
+
+impl OriginSpec {
+    /// An ordinary, unrestricted origination.
+    pub fn plain(asn: Asn) -> Self {
+        OriginSpec {
+            asn,
+            export_to: None,
+            no_reexport: false,
+            blocked_edges: Vec::new(),
+        }
+    }
+
+    /// Selective announcement to the listed neighbors only.
+    pub fn only_to(asn: Asn, neighbors: &[Asn]) -> Self {
+        OriginSpec {
+            asn,
+            export_to: Some(neighbors.to_vec()),
+            no_reexport: false,
+            blocked_edges: Vec::new(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry {
+    class: RouteClass,
+    dist: u32,
+    next: usize,
+    /// Which origin (index into the spec list) the route leads to.
+    origin: usize,
+}
+
+/// The outcome of multi-origin routing for one prefix.
+#[derive(Clone, Debug)]
+pub struct MultiOriginRouting {
+    origins: Vec<Asn>,
+    entries: Vec<Option<Entry>>,
+}
+
+impl MultiOriginRouting {
+    /// Compute the routing split over `graph` for the given origins.
+    ///
+    /// # Panics
+    /// Panics if an origin or a referenced neighbor is not in the graph,
+    /// or if the same AS appears as two origins.
+    pub fn compute(graph: &AsGraph, specs: &[OriginSpec]) -> MultiOriginRouting {
+        let n = graph.len();
+        let mut entries: Vec<Option<Entry>> = vec![None; n];
+        let mut origin_idx: Vec<usize> = Vec::new();
+        let mut seen = BTreeSet::new();
+        for s in specs {
+            assert!(seen.insert(s.asn), "duplicate origin {}", s.asn);
+            let i = graph.index_of(s.asn).expect("origin not in graph");
+            origin_idx.push(i);
+            entries[i] = Some(Entry {
+                class: RouteClass::Origin,
+                dist: 0,
+                next: i,
+                origin: origin_idx.len() - 1,
+            });
+        }
+
+        // Is the export of origin `o`'s route from x to neighbor nb
+        // allowed by o's scoping?
+        let export_ok = |o: usize, x: usize, nb: usize, x_is_origin: bool| -> bool {
+            let spec = &specs[o];
+            let xa = graph.asn_of(x);
+            let na = graph.asn_of(nb);
+            if x_is_origin {
+                if let Some(only) = &spec.export_to {
+                    if !only.contains(&na) {
+                        return false;
+                    }
+                }
+            } else if spec.no_reexport {
+                // Only the origin itself may export.
+                return false;
+            }
+            !spec.blocked_edges.contains(&(xa, na))
+        };
+
+        // Phase 1: customer routes, multi-source BFS up provider links.
+        let mut frontier: Vec<usize> = origin_idx.clone();
+        let mut dist = 0u32;
+        while !frontier.is_empty() {
+            dist += 1;
+            let mut offers: Vec<(usize, Asn, usize)> = Vec::new(); // (provider, via asn, via)
+            for &x in &frontier {
+                let e = entries[x].expect("frontier is routed");
+                for &(p, rel) in graph.neighbors_idx(x) {
+                    if rel == Relationship::Provider
+                        && entries[p].is_none()
+                        && export_ok(e.origin, x, p, e.class == RouteClass::Origin)
+                    {
+                        offers.push((p, graph.asn_of(x), x));
+                    }
+                }
+            }
+            offers.sort_by_key(|&(p, via_asn, _)| (p, via_asn));
+            let mut next_frontier = Vec::new();
+            for (p, _, via) in offers {
+                if entries[p].is_none() {
+                    entries[p] = Some(Entry {
+                        class: RouteClass::Customer,
+                        dist,
+                        next: via,
+                        origin: entries[via].unwrap().origin,
+                    });
+                    next_frontier.push(p);
+                }
+            }
+            frontier = next_frontier;
+        }
+
+        // Phase 2: peer routes, one hop across peering links.
+        let mut peer_offers: Vec<(usize, u32, Asn, usize)> = Vec::new();
+        for x in 0..n {
+            let Some(e) = entries[x] else { continue };
+            if e.class > RouteClass::Customer {
+                continue;
+            }
+            for &(q, rel) in graph.neighbors_idx(x) {
+                if rel == Relationship::Peer
+                    && export_ok(e.origin, x, q, e.class == RouteClass::Origin)
+                {
+                    let better = match entries[q] {
+                        None => true,
+                        Some(eq) => eq.class > RouteClass::Peer,
+                    };
+                    if better {
+                        peer_offers.push((q, e.dist + 1, graph.asn_of(x), x));
+                    }
+                }
+            }
+        }
+        peer_offers.sort_by_key(|&(q, dist, via_asn, _)| (q, dist, via_asn));
+        for (q, dist, _, via) in peer_offers {
+            let take = match entries[q] {
+                None => true,
+                Some(eq) => {
+                    eq.class > RouteClass::Peer
+                        || (eq.class == RouteClass::Peer && dist < eq.dist)
+                }
+            };
+            if take {
+                entries[q] = Some(Entry {
+                    class: RouteClass::Peer,
+                    dist,
+                    next: via,
+                    origin: entries[via].unwrap().origin,
+                });
+            }
+        }
+
+        // Phase 3: provider routes, Dijkstra down customer links.
+        use std::cmp::Reverse;
+        let mut heap: BinaryHeap<Reverse<(u32, Asn, usize, usize)>> = BinaryHeap::new();
+        for x in 0..n {
+            let Some(e) = entries[x] else { continue };
+            for &(c, rel) in graph.neighbors_idx(x) {
+                if rel == Relationship::Customer
+                    && entries[c].is_none()
+                    && export_ok(e.origin, x, c, e.class == RouteClass::Origin)
+                {
+                    heap.push(Reverse((e.dist + 1, graph.asn_of(x), c, x)));
+                }
+            }
+        }
+        while let Some(Reverse((dist, _, c, via))) = heap.pop() {
+            if entries[c].is_some() {
+                continue;
+            }
+            let origin = entries[via].unwrap().origin;
+            entries[c] = Some(Entry {
+                class: RouteClass::Provider,
+                dist,
+                next: via,
+                origin,
+            });
+            for &(cc, rel) in graph.neighbors_idx(c) {
+                if rel == Relationship::Customer
+                    && entries[cc].is_none()
+                    && export_ok(origin, c, cc, false)
+                {
+                    heap.push(Reverse((dist + 1, graph.asn_of(c), cc, c)));
+                }
+            }
+        }
+
+        MultiOriginRouting {
+            origins: specs.iter().map(|s| s.asn).collect(),
+            entries,
+        }
+    }
+
+    /// The origins, in spec order.
+    pub fn origins(&self) -> &[Asn] {
+        &self.origins
+    }
+
+    /// The origin AS that `src`'s best route leads to, if routed.
+    pub fn selected_origin(&self, graph: &AsGraph, src: Asn) -> Option<Asn> {
+        let i = graph.index_of(src)?;
+        self.entries[i].map(|e| self.origins[e.origin])
+    }
+
+    /// The full AS-level path from `src` to its selected origin,
+    /// inclusive of both endpoints.
+    pub fn path_from(&self, graph: &AsGraph, src: Asn) -> Option<Vec<Asn>> {
+        let mut i = graph.index_of(src)?;
+        self.entries[i]?;
+        let mut path = vec![graph.asn_of(i)];
+        loop {
+            let e = self.entries[i].expect("hops are routed");
+            if e.next == i {
+                break;
+            }
+            i = e.next;
+            path.push(graph.asn_of(i));
+            if path.len() > self.entries.len() {
+                unreachable!("routing contains a loop");
+            }
+        }
+        Some(path)
+    }
+
+    /// The BGP-style AS path at `src` (hops after `src`, origin last).
+    pub fn as_path_at(&self, graph: &AsGraph, src: Asn) -> Option<AsPath> {
+        self.path_from(graph, src)
+            .map(|p| AsPath::from_asns(p.into_iter().skip(1)))
+    }
+
+    /// The route class at `src`, if routed.
+    pub fn class_of(&self, graph: &AsGraph, src: Asn) -> Option<RouteClass> {
+        let i = graph.index_of(src)?;
+        self.entries[i].map(|e| e.class)
+    }
+
+    /// All ASes whose best route leads to `origin` (including the origin
+    /// itself), ascending.
+    pub fn capture_set(&self, graph: &AsGraph, origin: Asn) -> BTreeSet<Asn> {
+        let Some(oi) = self.origins.iter().position(|&o| o == origin) else {
+            return BTreeSet::new();
+        };
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                e.and_then(|e| (e.origin == oi).then(|| graph.asn_of(i)))
+            })
+            .collect()
+    }
+
+    /// ASes with no route at all for the prefix, ascending.
+    pub fn unrouted(&self, graph: &AsGraph) -> BTreeSet<Asn> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.is_none().then(|| graph.asn_of(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use quicksand_net::Asn;
+    use quicksand_topology::{AsGraph, Tier};
+
+    /// The shared diamond reference topology (see quicksand-topology).
+    pub fn diamond() -> AsGraph {
+        let mut g = AsGraph::new();
+        for (a, t) in [
+            (1, Tier::Tier1),
+            (2, Tier::Tier1),
+            (3, Tier::Tier2),
+            (4, Tier::Tier2),
+            (5, Tier::Tier2),
+            (6, Tier::Tier2),
+            (7, Tier::Stub),
+            (8, Tier::Stub),
+            (9, Tier::Stub),
+        ] {
+            g.add_as(Asn(a), t).unwrap();
+        }
+        g.add_peering(Asn(1), Asn(2)).unwrap();
+        g.add_customer_provider(Asn(3), Asn(1)).unwrap();
+        g.add_customer_provider(Asn(4), Asn(1)).unwrap();
+        g.add_customer_provider(Asn(5), Asn(2)).unwrap();
+        g.add_customer_provider(Asn(6), Asn(2)).unwrap();
+        g.add_peering(Asn(4), Asn(5)).unwrap();
+        g.add_customer_provider(Asn(7), Asn(3)).unwrap();
+        g.add_customer_provider(Asn(8), Asn(4)).unwrap();
+        g.add_customer_provider(Asn(8), Asn(5)).unwrap();
+        g.add_customer_provider(Asn(9), Asn(6)).unwrap();
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::diamond;
+    use super::*;
+
+    #[test]
+    fn single_origin_matches_routing_tree() {
+        let g = diamond();
+        let m = MultiOriginRouting::compute(&g, &[OriginSpec::plain(Asn(8))]);
+        let t = quicksand_topology::RoutingTree::compute(&g, Asn(8)).unwrap();
+        for a in g.asns() {
+            assert_eq!(
+                m.path_from(&g, a),
+                t.path_from(&g, a),
+                "divergence at {a}"
+            );
+            assert_eq!(m.class_of(&g, a), t.class_of(&g, a));
+        }
+        assert_eq!(m.capture_set(&g, Asn(8)).len(), 9);
+    }
+
+    #[test]
+    fn two_origins_split_the_internet() {
+        let g = diamond();
+        let m = MultiOriginRouting::compute(
+            &g,
+            &[OriginSpec::plain(Asn(8)), OriginSpec::plain(Asn(9))],
+        );
+        let cap8 = m.capture_set(&g, Asn(8));
+        let cap9 = m.capture_set(&g, Asn(9));
+        // Everyone is routed to exactly one origin.
+        assert_eq!(cap8.len() + cap9.len(), 9);
+        assert!(cap8.is_disjoint(&cap9));
+        // 9's provider 6 follows its customer route to 9; tier-1 2 hears
+        // both customer routes (via 5 → 8 and via 6 → 9) at equal length
+        // and tie-breaks to the lower neighbor ASN, keeping origin 8.
+        assert!(cap9.contains(&Asn(6)));
+        assert_eq!(cap9.len(), 2);
+        assert!(cap8.contains(&Asn(2)));
+        // 8's providers keep 8.
+        assert!(cap8.contains(&Asn(4)));
+        assert!(cap8.contains(&Asn(5)));
+    }
+
+    #[test]
+    fn selective_announcement_respected() {
+        let g = diamond();
+        // 8 announces only to 5; 4 still learns via peer 5 (customer
+        // routes are exported everywhere by 5).
+        let m = MultiOriginRouting::compute(
+            &g,
+            &[OriginSpec::only_to(Asn(8), &[Asn(5)])],
+        );
+        assert_eq!(
+            m.path_from(&g, Asn(4)),
+            Some(vec![Asn(4), Asn(5), Asn(8)])
+        );
+        assert_eq!(
+            m.path_from(&g, Asn(1)),
+            Some(vec![Asn(1), Asn(2), Asn(5), Asn(8)])
+        );
+    }
+
+    #[test]
+    fn no_reexport_stops_after_one_hop() {
+        let g = diamond();
+        let m = MultiOriginRouting::compute(
+            &g,
+            &[OriginSpec {
+                asn: Asn(8),
+                export_to: None,
+                no_reexport: true,
+                blocked_edges: Vec::new(),
+            }],
+        );
+        // Direct neighbors 4 and 5 learn the route; nobody else.
+        let cap = m.capture_set(&g, Asn(8));
+        assert_eq!(
+            cap,
+            [Asn(4), Asn(5), Asn(8)].into_iter().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn blocked_edges_scope_propagation() {
+        let g = diamond();
+        // 8's route may not cross 4→1 (community telling provider 4 not
+        // to export to 1): 1 then learns via peer 2 instead.
+        let m = MultiOriginRouting::compute(
+            &g,
+            &[OriginSpec {
+                asn: Asn(8),
+                export_to: None,
+                no_reexport: false,
+                blocked_edges: vec![(Asn(4), Asn(1))],
+            }],
+        );
+        assert_eq!(
+            m.path_from(&g, Asn(1)),
+            Some(vec![Asn(1), Asn(2), Asn(5), Asn(8)])
+        );
+        // 4 itself still has the customer route.
+        assert_eq!(m.path_from(&g, Asn(4)), Some(vec![Asn(4), Asn(8)]));
+    }
+
+    #[test]
+    fn all_paths_valley_free() {
+        let g = diamond();
+        let m = MultiOriginRouting::compute(
+            &g,
+            &[OriginSpec::plain(Asn(8)), OriginSpec::plain(Asn(9))],
+        );
+        for a in g.asns() {
+            let p = m.path_from(&g, a).unwrap();
+            assert_eq!(g.is_valley_free(&p), Some(true), "path {p:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate origin")]
+    fn duplicate_origin_panics() {
+        let g = diamond();
+        let _ = MultiOriginRouting::compute(
+            &g,
+            &[OriginSpec::plain(Asn(8)), OriginSpec::plain(Asn(8))],
+        );
+    }
+}

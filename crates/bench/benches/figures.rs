@@ -1,0 +1,151 @@
+//! One Criterion group per paper artifact (DESIGN.md §4). Each bench
+//! runs the same pipeline the full-scale `repro` binary runs, at test
+//! scale, so regressions in any experiment's cost are caught and the
+//! figure code stays continuously exercised.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quicksand_core::countermeasures::{
+    evaluate_circuit_filter, evaluate_guard_strategies, evaluate_monitoring,
+};
+use quicksand_core::experiments::{
+    convergence_experiment, fig2_left, fig2_right, fig3_left, fig3_right,
+    hijack_experiment, intercept_experiment, model_sweep, table1,
+};
+use quicksand_core::consensus_data::evaluate_published_dynamics;
+use quicksand_core::countermeasures::evaluate_realtime_monitoring;
+use quicksand_core::experiments::stealth_experiment;
+use quicksand_core::longterm::{long_term_study, LongTermConfig};
+use quicksand_core::scenario::{MonthResult, Scenario, ScenarioConfig};
+use quicksand_traffic::{CircuitFlowConfig, TcpConfig};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn world() -> &'static (Scenario, MonthResult) {
+    static WORLD: OnceLock<(Scenario, MonthResult)> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let s = Scenario::build(ScenarioConfig::small(0xBE7C));
+        let m = s.run_month();
+        (s, m)
+    })
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let (s, m) = world();
+    c.bench_function("table1", |b| b.iter(|| black_box(table1(s, m))));
+}
+
+fn bench_fig2_left(c: &mut Criterion) {
+    let (s, _) = world();
+    c.bench_function("fig2_left", |b| b.iter(|| black_box(fig2_left(s))));
+}
+
+fn bench_fig2_right(c: &mut Criterion) {
+    let cfg = CircuitFlowConfig {
+        first_hop: TcpConfig {
+            transfer_bytes: 1 << 20,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("fig2_right");
+    g.sample_size(10);
+    g.bench_function("1MiB_circuit_download", |b| {
+        b.iter(|| black_box(fig2_right(&cfg, 30)))
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let (s, m) = world();
+    c.bench_function("fig3_left", |b| b.iter(|| black_box(fig3_left(s, m))));
+    c.bench_function("fig3_right", |b| b.iter(|| black_box(fig3_right(s, m))));
+}
+
+fn bench_model(c: &mut Criterion) {
+    c.bench_function("model_sweep", |b| {
+        b.iter(|| black_box(model_sweep(&[0.05, 0.1], &[4, 16], &[1, 3], 5_000)))
+    });
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (s, _) = world();
+    let mut g = c.benchmark_group("attacks");
+    g.sample_size(10);
+    g.bench_function("hijack_experiment", |b| {
+        b.iter(|| black_box(hijack_experiment(s, 5, 7)))
+    });
+    g.bench_function("intercept_experiment", |b| {
+        b.iter(|| black_box(intercept_experiment(s, 10, 11)))
+    });
+    g.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let (s, _) = world();
+    let mut g = c.benchmark_group("convergence");
+    g.sample_size(10);
+    g.bench_function("transient_exposure", |b| {
+        b.iter(|| black_box(convergence_experiment(s, 2, 13)))
+    });
+    g.finish();
+}
+
+fn bench_countermeasures(c: &mut Criterion) {
+    let (s, m) = world();
+    let mut g = c.benchmark_group("countermeasures");
+    g.sample_size(10);
+    g.bench_function("guard_strategies", |b| {
+        b.iter(|| black_box(evaluate_guard_strategies(s, 3, 3, &[0.05], 1)))
+    });
+    g.bench_function("circuit_filter", |b| {
+        b.iter(|| black_box(evaluate_circuit_filter(s, 40, 2)))
+    });
+    g.bench_function("monitoring", |b| {
+        b.iter(|| black_box(evaluate_monitoring(s, m, 10, 3)))
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let (s, m) = world();
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("stealth_frontier", |b| {
+        b.iter(|| black_box(stealth_experiment(s, 3, 4, 17)))
+    });
+    g.bench_function("longterm_study", |b| {
+        b.iter(|| {
+            black_box(long_term_study(
+                s,
+                &LongTermConfig {
+                    months: 2,
+                    rotation_periods: vec![1, 2],
+                    n_clients: 2,
+                    trials: 40,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.bench_function("realtime_monitoring", |b| {
+        b.iter(|| black_box(evaluate_realtime_monitoring(s, m, 5, 5)))
+    });
+    g.bench_function("published_dynamics", |b| {
+        b.iter(|| black_box(evaluate_published_dynamics(s, 3, 3, 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig2_left,
+    bench_fig2_right,
+    bench_fig3,
+    bench_model,
+    bench_attacks,
+    bench_convergence,
+    bench_countermeasures,
+    bench_extensions
+);
+criterion_main!(figures);

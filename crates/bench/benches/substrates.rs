@@ -1,0 +1,120 @@
+//! Substrate micro-benchmarks: the hot paths every experiment runs on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quicksand_bgp::{EventSim, FastConverge, LinkChange, Route, SimConfig};
+use quicksand_net::{Asn, Ipv4Prefix, PrefixTrie};
+use quicksand_topology::{RoutingTree, TopologyConfig, TopologyGenerator};
+use quicksand_traffic::correlate::{correlate, CorrelationConfig};
+use quicksand_traffic::{Capture, TcpConfig, TcpSim};
+use std::hint::black_box;
+
+fn bench_trie(c: &mut Criterion) {
+    // A trie of 10k prefixes, LPM lookups.
+    let trie: PrefixTrie<u32> = (0..10_000u32)
+        .map(|i| (Ipv4Prefix::from_u32(i << 16, 16 + (i % 9) as u8), i))
+        .collect();
+    let addrs: Vec<std::net::Ipv4Addr> = (0..1000u32)
+        .map(|i| std::net::Ipv4Addr::from((i * 7919) << 12))
+        .collect();
+    c.bench_function("trie_lpm_1k_lookups", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &a in &addrs {
+                if trie.longest_match_addr(a).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_routing_tree(c: &mut Criterion) {
+    let t = TopologyGenerator::new(TopologyConfig {
+        n_ases: 2000,
+        ..Default::default()
+    })
+    .generate();
+    let dest = t.stubs[t.stubs.len() / 2];
+    c.bench_function("routing_tree_2000_ases", |b| {
+        b.iter(|| black_box(RoutingTree::compute(&t.graph, dest).unwrap()))
+    });
+}
+
+fn bench_event_sim(c: &mut Criterion) {
+    let t = TopologyGenerator::new(TopologyConfig::small(3)).generate();
+    let prefix: Ipv4Prefix = "203.0.113.0/24".parse().unwrap();
+    let origin = t.stubs[0];
+    let mut g = c.benchmark_group("event_sim");
+    g.sample_size(10);
+    g.bench_function("converge_200_ases", |b| {
+        b.iter(|| {
+            let mut sim = EventSim::new(&t.graph, SimConfig::default());
+            sim.originate(origin, Route::originate(prefix, origin), None);
+            black_box(sim.run_to_quiescence())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fast_converge(c: &mut Criterion) {
+    let t = TopologyGenerator::new(TopologyConfig::small(4)).generate();
+    let origins: Vec<Asn> = t.stubs.iter().copied().take(50).collect();
+    // A link on many trees: a tier-1's first customer link.
+    let t1 = t.tier1[0];
+    let customer = t.graph.customers(t1)[0];
+    c.bench_function("fast_converge_flap_50_origins", |b| {
+        b.iter(|| {
+            let mut fc = FastConverge::new(t.graph.clone(), origins.iter().copied());
+            fc.apply(LinkChange::down(t1, customer));
+            fc.apply(LinkChange::up(t1, customer));
+            black_box(fc.recomputes)
+        })
+    });
+}
+
+fn bench_tcp_and_correlation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic");
+    g.sample_size(10);
+    g.bench_function("tcp_4MiB_transfer", |b| {
+        b.iter(|| {
+            let t = TcpSim::new(TcpConfig {
+                transfer_bytes: 4 << 20,
+                ..Default::default()
+            })
+            .run();
+            black_box(t.completed_at)
+        })
+    });
+    // Correlation throughput over realistic captures.
+    let trace = TcpSim::new(TcpConfig {
+        transfer_bytes: 4 << 20,
+        ..Default::default()
+    })
+    .run();
+    let data = Capture::from_data("data", &trace.data_sent);
+    let acks = Capture::from_acks("acks", &trace.acks_received);
+    let end = trace.completed_at;
+    g.bench_function("correlate_data_vs_acks", |b| {
+        b.iter(|| {
+            black_box(correlate(
+                &data,
+                &acks,
+                quicksand_net::SimTime::ZERO,
+                end,
+                &CorrelationConfig::default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_trie,
+    bench_routing_tree,
+    bench_event_sim,
+    bench_fast_converge,
+    bench_tcp_and_correlation
+);
+criterion_main!(substrates);

@@ -1,0 +1,234 @@
+//! `repro` — regenerate every table and figure of *Anonymity on
+//! QuickSand* at full scale.
+//!
+//! ```text
+//! repro [all|table1|fig2-left|fig2-right|fig3-left|fig3-right|model|
+//!        hijack|intercept|convergence|ixp|population|static-vs-dynamic|
+//!        stealth|longterm|countermeasures] [--small]
+//! ```
+//!
+//! `--small` runs the test-scale configuration (seconds instead of
+//! minutes); the default full scale is what EXPERIMENTS.md records.
+
+use quicksand_core::countermeasures::{
+    evaluate_circuit_filter, evaluate_guard_strategies, evaluate_monitoring,
+    evaluate_realtime_monitoring,
+};
+use quicksand_core::experiments::{
+    convergence_experiment, fig2_left, fig2_right, fig3_left, fig3_right,
+    hijack_experiment, intercept_experiment, model_sweep, static_vs_dynamic, stealth_experiment, table1,
+};
+use quicksand_core::consensus_data::{evaluate_published_dynamics, render_published_dynamics};
+use quicksand_core::longterm::{long_term_study, render_long_term, LongTermConfig};
+use quicksand_core::adversary::ObservationMode;
+use quicksand_core::ixp::{ixp_experiment, render_ixp, IxpMap};
+use quicksand_core::population::{render_population, run_population_attack, PopulationConfig};
+use quicksand_core::report;
+use quicksand_core::scenario::{MonthResult, Scenario, ScenarioConfig};
+use quicksand_traffic::{CircuitFlowConfig, TcpConfig};
+
+/// The full-scale configuration used for EXPERIMENTS.md.
+fn full_config() -> ScenarioConfig {
+    ScenarioConfig::default()
+}
+
+fn small_config() -> ScenarioConfig {
+    ScenarioConfig::small(0xA11)
+}
+
+struct Ctx {
+    scenario: Scenario,
+    month: Option<MonthResult>,
+    small: bool,
+}
+
+impl Ctx {
+    fn new(small: bool) -> Ctx {
+        let cfg = if small { small_config() } else { full_config() };
+        eprintln!(
+            "[repro] building scenario ({} ASes, {} relays)…",
+            cfg.topology.n_ases, cfg.consensus.n_relays
+        );
+        Ctx {
+            scenario: Scenario::build(cfg),
+            month: None,
+            small,
+        }
+    }
+
+    fn ensure_month(&mut self) {
+        if self.month.is_none() {
+            eprintln!("[repro] running churn horizon through the BGP simulator…");
+            let m = self.scenario.run_month();
+            eprintln!(
+                "[repro] update log: {} raw / {} cleaned records, {} duplicates removed, {} reset bursts",
+                m.raw.len(),
+                m.cleaned.len(),
+                m.removed_duplicates,
+                m.reset_bursts
+            );
+            self.month = Some(m);
+        }
+    }
+
+    fn month(&self) -> &MonthResult {
+        self.month.as_ref().expect("ensure_month called first")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+    let all = which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    let mut ctx = Ctx::new(small);
+
+    if want("table1") {
+        ctx.ensure_month();
+        let month = ctx.month();
+        let t = table1(&ctx.scenario, month);
+        print!("{}", report::render_table1(&t));
+        println!();
+    }
+    if want("fig2-left") {
+        let f = fig2_left(&ctx.scenario);
+        print!("{}", report::render_fig2_left(&f));
+        println!();
+    }
+    if want("fig2-right") {
+        // The paper's wget experiment: ~40 MB over ~30 s.
+        let bytes = if ctx.small { 4u64 << 20 } else { 40u64 << 20 };
+        let cfg = CircuitFlowConfig {
+            first_hop: TcpConfig {
+                transfer_bytes: bytes,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let f = fig2_right(&cfg, 30);
+        print!("{}", report::render_fig2_right(&f));
+        println!();
+    }
+    if want("fig3-left") {
+        ctx.ensure_month();
+        let month = ctx.month();
+        let f = fig3_left(&ctx.scenario, month);
+        print!("{}", report::render_fig3_left(&f));
+        println!();
+    }
+    if want("fig3-right") {
+        ctx.ensure_month();
+        let month = ctx.month();
+        let f = fig3_right(&ctx.scenario, month);
+        print!("{}", report::render_fig3_right(&f));
+        println!();
+    }
+    if want("model") {
+        let m = model_sweep(
+            &[0.01, 0.02, 0.05, 0.1, 0.2],
+            &[1, 2, 4, 8, 16, 30],
+            &[1, 3],
+            if ctx.small { 20_000 } else { 100_000 },
+        );
+        print!("{}", report::render_model(&m));
+        println!();
+    }
+    if want("hijack") {
+        let samples = if ctx.small { 10 } else { 40 };
+        let h = hijack_experiment(&ctx.scenario, samples, 0xA77);
+        print!("{}", report::render_hijack(&h));
+        println!();
+    }
+    if want("intercept") {
+        let samples = if ctx.small { 30 } else { 120 };
+        let i = intercept_experiment(&ctx.scenario, samples, 0xA78);
+        print!("{}", report::render_intercept(&i));
+        println!();
+    }
+    if want("convergence") {
+        let trials = if ctx.small { 5 } else { 15 };
+        let e = convergence_experiment(&ctx.scenario, trials, 0xA79);
+        print!("{}", report::render_convergence(&e));
+        println!();
+    }
+    if want("ixp") {
+        let n = if ctx.small { 30 } else { 120 };
+        let map = IxpMap::assign(&ctx.scenario.topo.graph, 8, 0xA82);
+        let e = ixp_experiment(
+            &ctx.scenario,
+            &map,
+            n,
+            ObservationMode::AnyDirection,
+            0xA83,
+        );
+        print!("{}", render_ixp(&e));
+        println!();
+    }
+    if want("population") {
+        for f in [0.02, 0.05, 0.10] {
+            let cfg = PopulationConfig {
+                n_circuits: if ctx.small { 8 } else { 20 },
+                f,
+                ..Default::default()
+            };
+            let o = run_population_attack(&ctx.scenario, &cfg);
+            print!("{}", render_population(&o, &cfg));
+        }
+        println!();
+    }
+    if want("static-vs-dynamic") {
+        ctx.ensure_month();
+        let (nc, ng) = if ctx.small { (5, 8) } else { (12, 16) };
+        let month = ctx.month();
+        let r = static_vs_dynamic(&ctx.scenario, month, nc, ng, 0.05, 0xA81);
+        print!("{}", report::render_static_vs_dynamic(&r));
+        println!();
+    }
+    if want("stealth") {
+        let (samples, blocks) = if ctx.small { (6, 5) } else { (20, 12) };
+        let e = stealth_experiment(&ctx.scenario, samples, blocks, 0xA80);
+        print!("{}", report::render_stealth(&e));
+        println!();
+    }
+    if want("longterm") {
+        let cfg = if ctx.small {
+            LongTermConfig {
+                months: 4,
+                rotation_periods: vec![1, 4],
+                n_clients: 4,
+                trials: 120,
+                ..Default::default()
+            }
+        } else {
+            LongTermConfig::default()
+        };
+        let r = long_term_study(&ctx.scenario, &cfg);
+        print!("{}", render_long_term(&r));
+        println!();
+    }
+    if want("countermeasures") {
+        let (clients, circuits, attacks) =
+            if ctx.small { (6, 120, 20) } else { (16, 400, 60) };
+        let g =
+            evaluate_guard_strategies(&ctx.scenario, clients, 3, &[0.02, 0.05, 0.10], 1);
+        print!("{}", report::render_guard_strategies(&g));
+        let c = evaluate_circuit_filter(&ctx.scenario, circuits, 2);
+        print!("{}", report::render_circuit_filter(&c));
+        ctx.ensure_month();
+        let month = ctx.month();
+        let m = evaluate_monitoring(&ctx.scenario, month, attacks, 3);
+        print!("{}", report::render_monitoring(&m));
+        let rt = evaluate_realtime_monitoring(&ctx.scenario, month, attacks.min(30), 4);
+        print!("{}", report::render_realtime_monitoring(&rt));
+        let pd = evaluate_published_dynamics(&ctx.scenario, clients, 3, 5);
+        print!("{}", render_published_dynamics(&pd));
+        println!();
+    }
+}

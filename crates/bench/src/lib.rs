@@ -1,0 +1,7 @@
+//! Benchmark and reproduction harness for the quicksand workspace.
+//!
+//! See `benches/` for the Criterion groups (one per paper artifact) and
+//! `src/bin/repro.rs` for the full-scale experiment runner whose output
+//! is recorded in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]

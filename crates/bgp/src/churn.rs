@@ -1,0 +1,281 @@
+//! Month-scale BGP churn generation.
+//!
+//! The paper measures a month (May 2014) of RIPE updates and finds
+//! (a) per-prefix path-change counts are heavy-tailed — one guard prefix
+//! saw >2000× the median churn — and (b) prefixes hosting Tor relays tend
+//! to churn more than the median prefix. Absent the proprietary feed, we
+//! encode the *measured phenomenon* as generator calibration (DESIGN.md
+//! §2): every link draws an instability rate from a heavy-tailed
+//! (Pareto) distribution, and links adjacent to designated "hosting"
+//! ASes draw from a heavier tail. Failures arrive as a Poisson process
+//! per link (exponential inter-arrivals); outage durations are
+//! log-normal-ish (exponential here, minutes-scale).
+//!
+//! The output is a deterministic, time-sorted schedule of
+//! [`LinkChange`]s that either simulator mode can consume.
+
+use quicksand_net::{Asn, SimDuration, SimTime};
+use quicksand_topology::AsGraph;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Exp, Pareto};
+use std::collections::BTreeSet;
+
+/// A single link state transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkChange {
+    /// One endpoint.
+    pub a: Asn,
+    /// Other endpoint.
+    pub b: Asn,
+    /// `true` = link (re)established, `false` = link failed.
+    pub up: bool,
+}
+
+impl LinkChange {
+    /// A link failure.
+    pub fn down(a: Asn, b: Asn) -> Self {
+        LinkChange { a, b, up: false }
+    }
+    /// A link recovery.
+    pub fn up(a: Asn, b: Asn) -> Self {
+        LinkChange { a, b, up: true }
+    }
+}
+
+/// A timestamped churn event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When the change happens.
+    pub at: SimTime,
+    /// The change.
+    pub change: LinkChange,
+}
+
+/// Configuration for [`ChurnGenerator`].
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Length of the generated schedule (default: 30 days).
+    pub horizon: SimDuration,
+    /// Mean failures *per link per horizon* for the median link. The
+    /// per-link rate is `base_rate × pareto_sample`, so the median link
+    /// fails about this often and the tail fails much more.
+    pub base_failures_per_horizon: f64,
+    /// Pareto tail index for per-link instability (smaller = heavier
+    /// tail). 1.2 gives the multi-orders-of-magnitude spread the paper
+    /// observed.
+    pub pareto_alpha: f64,
+    /// Extra instability multiplier applied to links adjacent to hosting
+    /// ASes (the calibrated "Tor prefixes churn more" phenomenon).
+    pub hosting_multiplier: f64,
+    /// Mean outage duration.
+    pub mean_outage: SimDuration,
+    /// Links touching these ASes are never failed (e.g. collector
+    /// attachment points, to keep vantage sessions alive).
+    pub protected: BTreeSet<Asn>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            horizon: SimDuration::from_days(30),
+            base_failures_per_horizon: 0.3,
+            pareto_alpha: 1.2,
+            hosting_multiplier: 4.0,
+            mean_outage: SimDuration::from_mins(12),
+            protected: BTreeSet::new(),
+            seed: 0xC4A3,
+        }
+    }
+}
+
+/// Generates a deterministic schedule of link failures/recoveries.
+pub struct ChurnGenerator {
+    config: ChurnConfig,
+}
+
+impl ChurnGenerator {
+    /// Create a generator with the given configuration.
+    pub fn new(config: ChurnConfig) -> Self {
+        ChurnGenerator { config }
+    }
+
+    /// Generate the schedule over `graph`. `hosting` marks the ASes whose
+    /// adjacent links draw the heavier instability tail. Events are
+    /// returned sorted by time; down/up pairs for one link never overlap
+    /// (a link fails, recovers, may fail again).
+    pub fn generate(&self, graph: &AsGraph, hosting: &[Asn]) -> Vec<ChurnEvent> {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let hosting: BTreeSet<Asn> = hosting.iter().copied().collect();
+        let pareto = Pareto::new(1.0, c.pareto_alpha).expect("valid pareto");
+        // Pareto(1, α) has median 2^(1/α); dividing by it makes the
+        // *median* link's rate equal base_failures_per_horizon.
+        let pareto_median = 2f64.powf(1.0 / c.pareto_alpha);
+        let horizon_s = c.horizon.as_secs_f64();
+        let mut events = Vec::new();
+
+        // Enumerate undirected links deterministically (lo ASN first).
+        for i in 0..graph.len() {
+            let a = graph.asn_of(i);
+            for &(j, _) in graph.neighbors_idx(i) {
+                let b = graph.asn_of(j);
+                if a >= b {
+                    continue;
+                }
+                if c.protected.contains(&a) || c.protected.contains(&b) {
+                    continue;
+                }
+                let mut rate = c.base_failures_per_horizon * pareto.sample(&mut rng)
+                    / pareto_median;
+                if hosting.contains(&a) || hosting.contains(&b) {
+                    rate *= c.hosting_multiplier;
+                }
+                // Poisson arrivals with exponential inter-arrival times.
+                let mean_gap_s = horizon_s / rate.max(1e-12);
+                let exp_gap = Exp::new(1.0 / mean_gap_s).expect("valid exp");
+                let exp_outage =
+                    Exp::new(1.0 / c.mean_outage.as_secs_f64()).expect("valid exp");
+                let mut t_s = exp_gap.sample(&mut rng);
+                while t_s < horizon_s {
+                    let down_at = SimTime::ZERO + SimDuration::from_secs_f64(t_s);
+                    let outage_s = exp_outage.sample(&mut rng).max(1.0);
+                    let up_s = t_s + outage_s;
+                    events.push(ChurnEvent {
+                        at: down_at,
+                        change: LinkChange::down(a, b),
+                    });
+                    if up_s < horizon_s {
+                        events.push(ChurnEvent {
+                            at: SimTime::ZERO + SimDuration::from_secs_f64(up_s),
+                            change: LinkChange::up(a, b),
+                        });
+                    }
+                    // Next failure strictly after recovery.
+                    t_s = up_s + exp_gap.sample(&mut rng);
+                }
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.change.a, e.change.b, e.change.up));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksand_topology::{TopologyConfig, TopologyGenerator};
+
+    fn topo() -> (AsGraph, Vec<Asn>) {
+        let t = TopologyGenerator::new(TopologyConfig::small(5)).generate();
+        (t.graph, t.hosting)
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_deterministic() {
+        let (g, hosting) = topo();
+        let gen = ChurnGenerator::new(ChurnConfig::default());
+        let e1 = gen.generate(&g, &hosting);
+        let e2 = gen.generate(&g, &hosting);
+        assert_eq!(e1, e2);
+        assert!(e1.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(!e1.is_empty());
+    }
+
+    #[test]
+    fn per_link_down_up_alternates() {
+        let (g, hosting) = topo();
+        let gen = ChurnGenerator::new(ChurnConfig::default());
+        let events = gen.generate(&g, &hosting);
+        use std::collections::BTreeMap;
+        let mut state: BTreeMap<(Asn, Asn), bool> = BTreeMap::new(); // true = down
+        for e in &events {
+            let k = (e.change.a, e.change.b);
+            let down_now = state.entry(k).or_insert(false);
+            if e.change.up {
+                assert!(*down_now, "up without preceding down for {k:?}");
+                *down_now = false;
+            } else {
+                assert!(!*down_now, "double down for {k:?}");
+                *down_now = true;
+            }
+        }
+    }
+
+    #[test]
+    fn protected_links_never_fail() {
+        let (g, hosting) = topo();
+        let protect = g.asns().next().unwrap();
+        let cfg = ChurnConfig {
+            protected: [protect].into_iter().collect(),
+            ..Default::default()
+        };
+        let events = ChurnGenerator::new(cfg).generate(&g, &hosting);
+        assert!(events
+            .iter()
+            .all(|e| e.change.a != protect && e.change.b != protect));
+    }
+
+    #[test]
+    fn hosting_links_churn_more() {
+        let (g, hosting) = topo();
+        assert!(!hosting.is_empty());
+        let events =
+            ChurnGenerator::new(ChurnConfig::default()).generate(&g, &hosting);
+        let hosting_set: BTreeSet<Asn> = hosting.iter().copied().collect();
+        // Per-link down counts, split by whether the link touches a
+        // hosting AS. The Pareto tail makes *means* noisy at this scale,
+        // so compare medians, which isolate the 4x multiplier.
+        let mut downs: std::collections::BTreeMap<(Asn, Asn), usize> = Default::default();
+        for i in 0..g.len() {
+            let a = g.asn_of(i);
+            for &(j, _) in g.neighbors_idx(i) {
+                let b = g.asn_of(j);
+                if a < b {
+                    downs.insert((a, b), 0);
+                }
+            }
+        }
+        for e in events.iter().filter(|e| !e.change.up) {
+            *downs.get_mut(&(e.change.a, e.change.b)).unwrap() += 1;
+        }
+        let median = |mut v: Vec<usize>| -> f64 {
+            v.sort_unstable();
+            if v.is_empty() {
+                0.0
+            } else {
+                v[v.len() / 2] as f64
+            }
+        };
+        let hosting_counts: Vec<usize> = downs
+            .iter()
+            .filter(|((a, b), _)| hosting_set.contains(a) || hosting_set.contains(b))
+            .map(|(_, &c)| c)
+            .collect();
+        let other_counts: Vec<usize> = downs
+            .iter()
+            .filter(|((a, b), _)| !hosting_set.contains(a) && !hosting_set.contains(b))
+            .map(|(_, &c)| c)
+            .collect();
+        assert!(!hosting_counts.is_empty() && !other_counts.is_empty());
+        let (hm, om) = (median(hosting_counts), median(other_counts));
+        assert!(
+            hm > om,
+            "hosting links should churn more: median {hm} vs {om}"
+        );
+    }
+
+    #[test]
+    fn horizon_bounds_events() {
+        let (g, hosting) = topo();
+        let cfg = ChurnConfig {
+            horizon: SimDuration::from_days(2),
+            ..Default::default()
+        };
+        let events = ChurnGenerator::new(cfg.clone()).generate(&g, &hosting);
+        let end = SimTime::ZERO + cfg.horizon;
+        assert!(events.iter().all(|e| e.at <= end));
+    }
+}

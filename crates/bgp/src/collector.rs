@@ -1,0 +1,574 @@
+//! Route collectors: RIPE-RIS-style vantage points.
+//!
+//! The paper's dataset is "all BGP updates received by 4 RIPE collectors
+//! (rrc00, rrc01, rrc03, rrc04) over more than 70 eBGP sessions during
+//! May 2014", cleaned of session-reset artifacts per Zhang et al. \[31\].
+//!
+//! A [`Collector`] here peers with a set of ASes. Each session is either
+//! a **full feed** (the peer exports its entire table, as it would to a
+//! customer) or a **partial feed** (the peer exports only its own and
+//! customer-learned routes, as it would to a lateral peer). Partial
+//! feeds are why, in the paper, each Tor prefix was seen on only ~40% of
+//! sessions: most RIS sessions are partial.
+//!
+//! Collectors record [`UpdateRecord`]s into an [`UpdateLog`]. Session
+//! resets (scheduled per session) re-dump the peer's table, producing
+//! exactly the duplicate-announcement bursts the paper had to remove;
+//! [`clean_session_resets`] is that cleaning pass.
+
+use crate::msg::{Route, UpdateMessage};
+use quicksand_net::{AsPath, Asn, Ipv4Prefix, SimDuration, SimTime};
+use quicksand_topology::RouteClass;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifies one eBGP session at one collector.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct SessionId(pub u32);
+
+/// What the session's peer exports to the collector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FeedKind {
+    /// Customer-like export: the peer's full table.
+    Full,
+    /// Peer-like export: only origin/customer-learned routes.
+    Partial,
+}
+
+/// One recorded BGP UPDATE at a collector session.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateRecord {
+    /// When the update arrived.
+    pub at: SimTime,
+    /// The session it arrived on.
+    pub session: SessionId,
+    /// The update. Announce paths include the peer AS as first hop
+    /// (the peer prepends itself when exporting), origin last.
+    pub msg: UpdateMessage,
+}
+
+/// A time-ordered log of updates across all sessions of all collectors.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UpdateLog {
+    /// The records, sorted by `(at, session)` append order.
+    pub records: Vec<UpdateRecord>,
+}
+
+impl UpdateLog {
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Group records by `(session, prefix)`, preserving time order
+    /// within each group.
+    pub fn by_session_prefix(
+        &self,
+    ) -> BTreeMap<(SessionId, Ipv4Prefix), Vec<&UpdateRecord>> {
+        let mut out: BTreeMap<(SessionId, Ipv4Prefix), Vec<&UpdateRecord>> =
+            BTreeMap::new();
+        for r in &self.records {
+            out.entry((r.session, r.msg.prefix())).or_default().push(r);
+        }
+        out
+    }
+
+    /// The set of sessions that appear in the log.
+    pub fn sessions(&self) -> Vec<SessionId> {
+        let mut v: Vec<SessionId> = self.records.iter().map(|r| r.session).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The set of prefixes ever seen on `session`.
+    pub fn prefixes_on(&self, session: SessionId) -> Vec<Ipv4Prefix> {
+        let mut v: Vec<Ipv4Prefix> = self
+            .records
+            .iter()
+            .filter(|r| r.session == session)
+            .map(|r| r.msg.prefix())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+/// Configuration for collector construction.
+#[derive(Clone, Debug)]
+pub struct CollectorConfig {
+    /// Fraction of sessions that are full feeds (RIS has a minority of
+    /// full feeds; default 0.25).
+    pub frac_full: f64,
+    /// Mean number of session resets per session over the horizon.
+    pub resets_per_session: f64,
+    /// Schedule horizon for resets.
+    pub horizon: SimDuration,
+    /// RNG seed (feed kinds and reset schedule).
+    pub seed: u64,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            frac_full: 0.25,
+            resets_per_session: 1.0,
+            horizon: SimDuration::from_days(30),
+            seed: 0x4415,
+        }
+    }
+}
+
+/// One session's static description.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionInfo {
+    /// Session id.
+    pub id: SessionId,
+    /// The peer AS whose view the session exports.
+    pub peer: Asn,
+    /// Feed kind.
+    pub kind: FeedKind,
+}
+
+/// A set of collector sessions that observes route changes and appends
+/// them to an [`UpdateLog`].
+///
+/// Drive it by calling [`Collector::observe`] after every routing event
+/// (and once at t=0 for the initial table dump): the collector diffs
+/// each session's exported table against what it last recorded and
+/// appends announcements/withdrawals. Scheduled session resets re-dump
+/// tables, creating the duplicate-update artifacts the cleaning pass
+/// removes.
+pub struct Collector {
+    sessions: Vec<SessionInfo>,
+    /// Last announced path per (session index, prefix).
+    state: BTreeMap<(usize, Ipv4Prefix), AsPath>,
+    /// Reset schedule: sorted (time, session index).
+    resets: Vec<(SimTime, usize)>,
+    next_reset: usize,
+}
+
+impl Collector {
+    /// Build a collector peering with `peers`. Feed kinds and the reset
+    /// schedule are drawn deterministically from `config.seed`.
+    pub fn new(peers: &[Asn], config: &CollectorConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let sessions: Vec<SessionInfo> = peers
+            .iter()
+            .enumerate()
+            .map(|(i, &peer)| SessionInfo {
+                id: SessionId(i as u32),
+                peer,
+                kind: if rng.gen_bool(config.frac_full) {
+                    FeedKind::Full
+                } else {
+                    FeedKind::Partial
+                },
+            })
+            .collect();
+        // Poisson resets per session.
+        let mut resets = Vec::new();
+        let horizon_s = config.horizon.as_secs_f64();
+        if config.resets_per_session > 0.0 {
+            let mean_gap = horizon_s / config.resets_per_session;
+            let exp = rand_distr::Exp::new(1.0 / mean_gap).expect("valid exp");
+            for (i, _) in sessions.iter().enumerate() {
+                let mut t = rand_distr::Distribution::sample(&exp, &mut rng);
+                while t < horizon_s {
+                    resets.push((SimTime::ZERO + SimDuration::from_secs_f64(t), i));
+                    t += rand_distr::Distribution::sample(&exp, &mut rng);
+                }
+            }
+        }
+        resets.sort();
+        Collector {
+            sessions,
+            state: BTreeMap::new(),
+            resets,
+            next_reset: 0,
+        }
+    }
+
+    /// The sessions of this collector.
+    pub fn sessions(&self) -> &[SessionInfo] {
+        &self.sessions
+    }
+
+    /// Observe the current routing state at time `at` and append any
+    /// changes (plus any due session resets) to `log`.
+    ///
+    /// `exported` must return, for a peer AS and a prefix, the peer's
+    /// current best route as `(path-after-peer, class)` — i.e. what
+    /// `RoutingTree::as_path_at` yields — or `None` when unrouted. The
+    /// collector applies the per-session feed filter and prepends the
+    /// peer to recorded paths.
+    pub fn observe<F>(
+        &mut self,
+        at: SimTime,
+        prefixes: &[Ipv4Prefix],
+        exported: F,
+        log: &mut UpdateLog,
+    ) where
+        F: Fn(Asn, Ipv4Prefix) -> Option<(AsPath, RouteClass)>,
+    {
+        // Emit any resets due before `at`: re-dump the session table.
+        while self.next_reset < self.resets.len() && self.resets[self.next_reset].0 <= at
+        {
+            let (rt, si) = self.resets[self.next_reset];
+            self.next_reset += 1;
+            let id = self.sessions[si].id;
+            let dump: Vec<(Ipv4Prefix, AsPath)> = self
+                .state
+                .range((si, Ipv4Prefix::from_u32(0, 0))..)
+                .take_while(|((s, _), _)| *s == si)
+                .map(|((_, p), path)| (*p, path.clone()))
+                .collect();
+            for (prefix, path) in dump {
+                log.records.push(UpdateRecord {
+                    at: rt,
+                    session: id,
+                    msg: UpdateMessage::Announce(Route {
+                        prefix,
+                        as_path: path,
+                        communities: Default::default(),
+                    }),
+                });
+            }
+        }
+
+        for (si, info) in self.sessions.iter().enumerate() {
+            for &prefix in prefixes {
+                let now = exported(info.peer, prefix).and_then(|(path, class)| {
+                    let visible = match info.kind {
+                        FeedKind::Full => true,
+                        FeedKind::Partial => {
+                            matches!(class, RouteClass::Origin | RouteClass::Customer)
+                        }
+                    };
+                    visible.then(|| path.prepended(info.peer))
+                });
+                let key = (si, prefix);
+                let prev = self.state.get(&key);
+                match (prev, now) {
+                    (None, None) => {}
+                    (Some(_), None) => {
+                        self.state.remove(&key);
+                        log.records.push(UpdateRecord {
+                            at,
+                            session: info.id,
+                            msg: UpdateMessage::Withdraw(prefix),
+                        });
+                    }
+                    (prev, Some(path)) => {
+                        if prev != Some(&path) {
+                            self.state.insert(key, path.clone());
+                            log.records.push(UpdateRecord {
+                                at,
+                                session: info.id,
+                                msg: UpdateMessage::Announce(Route {
+                                    prefix,
+                                    as_path: path,
+                                    communities: Default::default(),
+                                }),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Configuration for [`clean_session_resets`].
+#[derive(Clone, Debug)]
+pub struct CleaningConfig {
+    /// Window within which a burst of duplicate announcements on one
+    /// session is attributed to a session reset (reported, not used for
+    /// removal — duplicates are removed wherever they occur, as they
+    /// carry no routing change).
+    pub burst_window: SimDuration,
+    /// Fraction of a session's table that must re-announce within the
+    /// window to report a reset.
+    pub table_fraction: f64,
+}
+
+impl Default for CleaningConfig {
+    fn default() -> Self {
+        CleaningConfig {
+            burst_window: SimDuration::from_secs(120),
+            table_fraction: 0.5,
+        }
+    }
+}
+
+/// Remove session-reset artifacts from an update log (the paper's
+/// Zhang-et-al. \[31\] cleaning step).
+///
+/// A reset re-dumps the peer's table: every record in the dump announces
+/// the same AS path the session had already recorded, so it is a
+/// *duplicate announcement* carrying no routing change. Cleaning removes
+/// every duplicate announcement (per session and prefix, an announce
+/// whose AS path equals the previous announce with no intervening
+/// withdraw). Returns the cleaned log, the number of removed records,
+/// and the number of detected reset bursts (for reporting).
+pub fn clean_session_resets(
+    log: &UpdateLog,
+    config: &CleaningConfig,
+) -> (UpdateLog, usize, usize) {
+    let mut last_path: BTreeMap<(SessionId, Ipv4Prefix), Option<AsPath>> = BTreeMap::new();
+    let mut cleaned = UpdateLog::default();
+    let mut removed = 0usize;
+    // For burst reporting: per session, timestamps of removed duplicates.
+    let mut dup_times: BTreeMap<SessionId, Vec<SimTime>> = BTreeMap::new();
+    // Table size estimate per session: distinct prefixes seen so far.
+    let mut table: BTreeMap<SessionId, std::collections::BTreeSet<Ipv4Prefix>> =
+        BTreeMap::new();
+
+    for r in &log.records {
+        let key = (r.session, r.msg.prefix());
+        table.entry(r.session).or_default().insert(r.msg.prefix());
+        match &r.msg {
+            UpdateMessage::Announce(route) => {
+                let prev = last_path.get(&key);
+                if prev == Some(&Some(route.as_path.clone())) {
+                    removed += 1;
+                    dup_times.entry(r.session).or_default().push(r.at);
+                    continue;
+                }
+                last_path.insert(key, Some(route.as_path.clone()));
+            }
+            UpdateMessage::Withdraw(_) => {
+                let prev = last_path.get(&key);
+                if prev == Some(&None) || prev.is_none() {
+                    removed += 1;
+                    continue;
+                }
+                last_path.insert(key, None);
+            }
+        }
+        cleaned.records.push(r.clone());
+    }
+
+    // Burst detection for reporting: sliding window over duplicate
+    // timestamps per session.
+    let mut bursts = 0usize;
+    for (session, mut times) in dup_times {
+        times.sort();
+        let table_size = table.get(&session).map_or(0, |t| t.len());
+        let threshold =
+            ((table_size as f64) * config.table_fraction).ceil().max(1.0) as usize;
+        let mut i = 0usize;
+        while i < times.len() {
+            let mut j = i;
+            while j < times.len()
+                && times[j].since(times[i]) <= config.burst_window
+            {
+                j += 1;
+            }
+            if j - i >= threshold {
+                bursts += 1;
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    (cleaned, removed, bursts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn path(v: &[u32]) -> AsPath {
+        v.iter().map(|&a| Asn(a)).collect()
+    }
+
+    fn announce(at_s: u64, sess: u32, prefix: &str, asns: &[u32]) -> UpdateRecord {
+        UpdateRecord {
+            at: SimTime::from_secs(at_s),
+            session: SessionId(sess),
+            msg: UpdateMessage::Announce(Route {
+                prefix: p(prefix),
+                as_path: path(asns),
+                communities: Default::default(),
+            }),
+        }
+    }
+
+    fn withdraw(at_s: u64, sess: u32, prefix: &str) -> UpdateRecord {
+        UpdateRecord {
+            at: SimTime::from_secs(at_s),
+            session: SessionId(sess),
+            msg: UpdateMessage::Withdraw(p(prefix)),
+        }
+    }
+
+    #[test]
+    fn log_grouping() {
+        let log = UpdateLog {
+            records: vec![
+                announce(0, 0, "10.0.0.0/8", &[1, 2]),
+                announce(5, 1, "10.0.0.0/8", &[3, 2]),
+                announce(9, 0, "11.0.0.0/8", &[1, 4]),
+            ],
+        };
+        let g = log.by_session_prefix();
+        assert_eq!(g.len(), 3);
+        assert_eq!(log.sessions(), vec![SessionId(0), SessionId(1)]);
+        assert_eq!(
+            log.prefixes_on(SessionId(0)),
+            vec![p("10.0.0.0/8"), p("11.0.0.0/8")]
+        );
+    }
+
+    #[test]
+    fn cleaning_removes_duplicates_keeps_changes() {
+        let log = UpdateLog {
+            records: vec![
+                announce(0, 0, "10.0.0.0/8", &[1, 2]),
+                announce(10, 0, "10.0.0.0/8", &[1, 2]), // duplicate (reset)
+                announce(20, 0, "10.0.0.0/8", &[1, 3]), // genuine change
+                withdraw(30, 0, "10.0.0.0/8"),
+                withdraw(31, 0, "10.0.0.0/8"), // duplicate withdraw
+                announce(40, 0, "10.0.0.0/8", &[1, 3]), // genuine re-announce
+            ],
+        };
+        let (cleaned, removed, _bursts) =
+            clean_session_resets(&log, &CleaningConfig::default());
+        assert_eq!(removed, 2);
+        assert_eq!(cleaned.len(), 4);
+        // Withdraw with no prior announce is also an artifact.
+        let log2 = UpdateLog {
+            records: vec![withdraw(0, 0, "10.0.0.0/8")],
+        };
+        let (cleaned2, removed2, _) =
+            clean_session_resets(&log2, &CleaningConfig::default());
+        assert_eq!(removed2, 1);
+        assert!(cleaned2.is_empty());
+    }
+
+    #[test]
+    fn collector_diffs_and_filters_partial_feeds() {
+        // Two peers: peer 10 full feed, peer 20 partial (force kinds by
+        // seed search below).
+        let config = CollectorConfig {
+            frac_full: 0.0, // all partial
+            resets_per_session: 0.0,
+            ..Default::default()
+        };
+        let mut coll = Collector::new(&[Asn(10)], &config);
+        assert_eq!(coll.sessions()[0].kind, FeedKind::Partial);
+        let prefix = p("10.0.0.0/8");
+        let mut log = UpdateLog::default();
+        // Peer has a provider route: invisible on partial feed.
+        coll.observe(
+            SimTime::from_secs(0),
+            &[prefix],
+            |_, _| Some((path(&[2, 3]), RouteClass::Provider)),
+            &mut log,
+        );
+        assert!(log.is_empty());
+        // Route becomes customer-learned: appears (with peer prepended).
+        coll.observe(
+            SimTime::from_secs(10),
+            &[prefix],
+            |_, _| Some((path(&[7, 3]), RouteClass::Customer)),
+            &mut log,
+        );
+        assert_eq!(log.len(), 1);
+        match &log.records[0].msg {
+            UpdateMessage::Announce(r) => {
+                assert_eq!(r.as_path, path(&[10, 7, 3]));
+            }
+            _ => panic!("expected announce"),
+        }
+        // Same route again: no duplicate.
+        coll.observe(
+            SimTime::from_secs(20),
+            &[prefix],
+            |_, _| Some((path(&[7, 3]), RouteClass::Customer)),
+            &mut log,
+        );
+        assert_eq!(log.len(), 1);
+        // Route back to provider class: withdrawal on partial feed.
+        coll.observe(
+            SimTime::from_secs(30),
+            &[prefix],
+            |_, _| Some((path(&[2, 3]), RouteClass::Provider)),
+            &mut log,
+        );
+        assert_eq!(log.len(), 2);
+        assert!(log.records[1].msg.is_withdraw());
+    }
+
+    #[test]
+    fn full_feed_sees_everything() {
+        let config = CollectorConfig {
+            frac_full: 1.0,
+            resets_per_session: 0.0,
+            ..Default::default()
+        };
+        let mut coll = Collector::new(&[Asn(10)], &config);
+        assert_eq!(coll.sessions()[0].kind, FeedKind::Full);
+        let mut log = UpdateLog::default();
+        coll.observe(
+            SimTime::from_secs(0),
+            &[p("10.0.0.0/8")],
+            |_, _| Some((path(&[2, 3]), RouteClass::Provider)),
+            &mut log,
+        );
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn resets_redump_table_and_cleaning_detects_burst() {
+        let config = CollectorConfig {
+            frac_full: 1.0,
+            resets_per_session: 3.0,
+            horizon: SimDuration::from_days(1),
+            seed: 42,
+            ..Default::default()
+        };
+        let mut coll = Collector::new(&[Asn(10)], &config);
+        let prefixes: Vec<Ipv4Prefix> =
+            vec![p("10.0.0.0/8"), p("11.0.0.0/8"), p("12.0.0.0/8")];
+        let mut log = UpdateLog::default();
+        coll.observe(
+            SimTime::from_secs(0),
+            &prefixes,
+            |_, q| Some((path(&[2, q.network_u32() >> 24]), RouteClass::Customer)),
+            &mut log,
+        );
+        let initial = log.len();
+        assert_eq!(initial, 3);
+        // Observe again at end of horizon: resets in between re-dump.
+        coll.observe(
+            SimTime::ZERO + SimDuration::from_days(1),
+            &prefixes,
+            |_, q| Some((path(&[2, q.network_u32() >> 24]), RouteClass::Customer)),
+            &mut log,
+        );
+        assert!(log.len() > initial, "resets should emit duplicates");
+        let (cleaned, removed, bursts) =
+            clean_session_resets(&log, &CleaningConfig::default());
+        assert_eq!(cleaned.len(), 3);
+        assert_eq!(removed, log.len() - 3);
+        assert!(bursts >= 1);
+    }
+}

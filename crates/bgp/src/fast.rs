@@ -1,0 +1,314 @@
+//! Fast static reconvergence over a mutable topology.
+//!
+//! [`FastConverge`] maintains, for a set of *tracked origin ASes*, the
+//! post-convergence Gao–Rexford routing tree, and updates them as link
+//! events are applied — the approach of C-BGP-class simulators. A
+//! month-long churn study only needs stable (post-convergence) paths at
+//! the vantage points, so recomputing affected trees per event is both
+//! faster and exactly consistent with what [`crate::EventSim`] converges
+//! to (cross-validated in the workspace integration tests).
+//!
+//! Per event, a tree is recomputed only when it can actually change:
+//!
+//! * **link down** — only if the link carries traffic in that tree;
+//! * **link up** — only if the new link would offer either endpoint a
+//!   route that beats (or ties and displaces, via the deterministic
+//!   tie-break) its current one under the decision process.
+
+use crate::churn::LinkChange;
+use quicksand_net::Asn;
+use quicksand_topology::{AsGraph, Relationship, RouteClass, RoutingTree};
+use std::collections::BTreeMap;
+
+/// Incrementally maintained routing trees for tracked origins.
+pub struct FastConverge {
+    graph: AsGraph,
+    trees: BTreeMap<Asn, RoutingTree>,
+    /// Relationships of currently-down links, so recovery restores the
+    /// original business relationship. Keyed `(lo, hi)` by ASN; value is
+    /// the relationship of `hi` from `lo`'s point of view.
+    down: BTreeMap<(Asn, Asn), Relationship>,
+    /// Count of tree recomputations (for benchmarks/diagnostics).
+    pub recomputes: u64,
+}
+
+fn key(a: Asn, b: Asn) -> (Asn, Asn) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl FastConverge {
+    /// Build over `graph`, tracking routing trees toward each of
+    /// `origins` (duplicates are fine).
+    ///
+    /// # Panics
+    /// Panics if an origin is not present in the graph.
+    pub fn new(graph: AsGraph, origins: impl IntoIterator<Item = Asn>) -> Self {
+        let mut trees = BTreeMap::new();
+        for o in origins {
+            trees.entry(o).or_insert_with(|| {
+                RoutingTree::compute(&graph, o).expect("tracked origin not in graph")
+            });
+        }
+        FastConverge {
+            graph,
+            trees,
+            down: BTreeMap::new(),
+            recomputes: 0,
+        }
+    }
+
+    /// The current (mutated) topology.
+    pub fn graph(&self) -> &AsGraph {
+        &self.graph
+    }
+
+    /// The current routing tree toward `origin`.
+    pub fn tree(&self, origin: Asn) -> Option<&RoutingTree> {
+        self.trees.get(&origin)
+    }
+
+    /// Tracked origins, ascending.
+    pub fn origins(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.trees.keys().copied()
+    }
+
+    /// Apply a link change; returns the tracked origins whose trees
+    /// actually changed (some path differs from before the event).
+    ///
+    /// Each candidate tree is updated by the exact incremental
+    /// reconvergence of [`RoutingTree::reconverge_after_link_event`];
+    /// cheap pre-filters (`uses_link` for failures, the decision-process
+    /// check at the endpoints for recoveries) skip trees the event
+    /// provably cannot touch.
+    pub fn apply(&mut self, change: LinkChange) -> Vec<Asn> {
+        let LinkChange { a, b, up } = change;
+        let k = key(a, b);
+        if up {
+            let Some(rel) = self.down.remove(&k) else {
+                return Vec::new(); // link was not down; nothing to do
+            };
+            // Restore: rel is relationship of k.1 (hi) from k.0 (lo).
+            match rel {
+                Relationship::Peer => self.graph.add_peering(k.0, k.1).unwrap(),
+                Relationship::Customer => {
+                    // hi is lo's customer ⇒ hi buys transit from lo.
+                    self.graph.add_customer_provider(k.1, k.0).unwrap()
+                }
+                Relationship::Provider => {
+                    self.graph.add_customer_provider(k.0, k.1).unwrap()
+                }
+            }
+            let candidates: Vec<Asn> = self
+                .trees
+                .iter()
+                .filter(|(_, tree)| Self::link_up_matters(&self.graph, tree, a, b))
+                .map(|(o, _)| *o)
+                .collect();
+            self.reconverge(&candidates, a, b)
+        } else {
+            let Some(rel) = self.graph.relationship(k.0, k.1) else {
+                return Vec::new(); // already down
+            };
+            self.down.insert(k, rel);
+            self.graph.remove_link(k.0, k.1).unwrap();
+            let candidates: Vec<Asn> = self
+                .trees
+                .iter()
+                .filter(|(_, tree)| tree.uses_link(&self.graph, a, b))
+                .map(|(o, _)| *o)
+                .collect();
+            self.reconverge(&candidates, a, b)
+        }
+    }
+
+    fn reconverge(&mut self, origins: &[Asn], a: Asn, b: Asn) -> Vec<Asn> {
+        let mut changed = Vec::new();
+        for &o in origins {
+            self.recomputes += 1;
+            let tree = self.trees.get_mut(&o).expect("tracked origin");
+            if tree.reconverge_after_link_event(&self.graph, a, b) {
+                changed.push(o);
+            }
+        }
+        changed
+    }
+
+    /// Would the (re)appearance of link `a`–`b` change this tree? True
+    /// when either endpoint would select a route through the other under
+    /// the decision process (class, then length, then lowest-ASN
+    /// tie-break), considering export legality.
+    fn link_up_matters(graph: &AsGraph, tree: &RoutingTree, a: Asn, b: Asn) -> bool {
+        Self::endpoint_gains(graph, tree, a, b) || Self::endpoint_gains(graph, tree, b, a)
+    }
+
+    /// Would `at` select a route via `via` for this tree's destination?
+    fn endpoint_gains(graph: &AsGraph, tree: &RoutingTree, at: Asn, via: Asn) -> bool {
+        let Some(via_class) = tree.class_of(graph, via) else {
+            return false; // via has no route to offer
+        };
+        // Export legality at `via`: own/customer routes go to anyone;
+        // peer/provider routes only to via's customers.
+        let rel_of_at_from_via = graph.relationship(via, at).expect("link exists");
+        let exportable = matches!(via_class, RouteClass::Origin | RouteClass::Customer)
+            || rel_of_at_from_via == Relationship::Customer;
+        if !exportable {
+            return false;
+        }
+        // Never route back through yourself.
+        if tree.next_hop(graph, via) == Some(at) {
+            return false;
+        }
+        let cand_class = match graph.relationship(at, via).expect("link exists") {
+            Relationship::Customer => RouteClass::Customer,
+            Relationship::Peer => RouteClass::Peer,
+            Relationship::Provider => RouteClass::Provider,
+        };
+        let cand_dist = tree.distance(graph, via).expect("routed via") + 1;
+        match (tree.class_of(graph, at), tree.distance(graph, at)) {
+            (None, _) | (_, None) => true,
+            (Some(cur_class), Some(cur_dist)) => {
+                if cur_class == RouteClass::Origin {
+                    return false;
+                }
+                let cur_next = tree
+                    .next_hop(graph, at)
+                    .expect("routed AS has a next hop");
+                (cand_class, cand_dist, via) < (cur_class, cur_dist, cur_next)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksand_topology::Tier;
+
+    fn diamond() -> AsGraph {
+        let mut g = AsGraph::new();
+        for (a, t) in [
+            (1, Tier::Tier1),
+            (2, Tier::Tier1),
+            (3, Tier::Tier2),
+            (4, Tier::Tier2),
+            (5, Tier::Tier2),
+            (6, Tier::Tier2),
+            (7, Tier::Stub),
+            (8, Tier::Stub),
+            (9, Tier::Stub),
+        ] {
+            g.add_as(Asn(a), t).unwrap();
+        }
+        g.add_peering(Asn(1), Asn(2)).unwrap();
+        g.add_customer_provider(Asn(3), Asn(1)).unwrap();
+        g.add_customer_provider(Asn(4), Asn(1)).unwrap();
+        g.add_customer_provider(Asn(5), Asn(2)).unwrap();
+        g.add_customer_provider(Asn(6), Asn(2)).unwrap();
+        g.add_peering(Asn(4), Asn(5)).unwrap();
+        g.add_customer_provider(Asn(7), Asn(3)).unwrap();
+        g.add_customer_provider(Asn(8), Asn(4)).unwrap();
+        g.add_customer_provider(Asn(8), Asn(5)).unwrap();
+        g.add_customer_provider(Asn(9), Asn(6)).unwrap();
+        g
+    }
+
+    fn path(fc: &FastConverge, origin: u32, src: u32) -> Option<Vec<u32>> {
+        fc.tree(Asn(origin))
+            .unwrap()
+            .path_from(fc.graph(), Asn(src))
+            .map(|v| v.into_iter().map(|a| a.0).collect())
+    }
+
+    #[test]
+    fn down_then_up_restores_paths() {
+        let fc0 = FastConverge::new(diamond(), [Asn(8)]);
+        let before = path(&fc0, 8, 1);
+        let mut fc = fc0;
+        let affected = fc.apply(LinkChange::down(Asn(4), Asn(8)));
+        assert_eq!(affected, vec![Asn(8)]);
+        assert_eq!(path(&fc, 8, 1), Some(vec![1, 2, 5, 8]));
+        let affected = fc.apply(LinkChange::up(Asn(4), Asn(8)));
+        assert_eq!(affected, vec![Asn(8)]);
+        assert_eq!(path(&fc, 8, 1), before);
+        // Relationship restored, not mangled.
+        assert_eq!(
+            fc.graph().relationship(Asn(8), Asn(4)),
+            Some(Relationship::Provider)
+        );
+    }
+
+    #[test]
+    fn unrelated_link_event_skips_recompute() {
+        let mut fc = FastConverge::new(diamond(), [Asn(8)]);
+        // 9–6 carries no traffic toward 8's prefix except 9's own.
+        // It does carry 9's traffic, so use 7–3 instead? 7 routes via 3.
+        // Every stub's access link carries its own traffic, so use a
+        // link that is genuinely unused: none in a tree spanning all ASes.
+        // Instead verify the filter via link-up of an already-up link
+        // (no-op) and down of an already-down link.
+        assert_eq!(fc.apply(LinkChange::up(Asn(9), Asn(6))), vec![]);
+        fc.apply(LinkChange::down(Asn(9), Asn(6)));
+        assert_eq!(fc.apply(LinkChange::down(Asn(9), Asn(6))), vec![]);
+    }
+
+    #[test]
+    fn link_up_that_cannot_improve_is_skipped() {
+        // Take down 9–6 (9 isolated), then 4–8: tree for 8 reroutes.
+        // Bringing 9–6 back up: 9 gains a route to 8, so it *does*
+        // matter. Instead check a peering that can't win: 4===5 peer
+        // link down/up for destination 8 — wait, that link matters for 4
+        // only if 4 lost its customer route. With 4–8 intact, 4 has a
+        // dist-1 customer route; the peer route via 5 can't beat it, and
+        // 5 has a dist-1 customer route too. So 4===5 up is a no-op for
+        // destination 8 once it is down.
+        let mut fc = FastConverge::new(diamond(), [Asn(8)]);
+        let affected = fc.apply(LinkChange::down(Asn(4), Asn(5)));
+        // The peer link carries no traffic in 8's tree (both have
+        // customer routes), so even the down is a no-op.
+        assert_eq!(affected, vec![]);
+        let affected = fc.apply(LinkChange::up(Asn(4), Asn(5)));
+        assert_eq!(affected, vec![]);
+    }
+
+    #[test]
+    fn matches_full_recompute_after_random_events() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let g = diamond();
+        let links: Vec<(Asn, Asn)> = vec![
+            (Asn(1), Asn(2)),
+            (Asn(3), Asn(1)),
+            (Asn(4), Asn(1)),
+            (Asn(5), Asn(2)),
+            (Asn(6), Asn(2)),
+            (Asn(4), Asn(5)),
+            (Asn(7), Asn(3)),
+            (Asn(8), Asn(4)),
+            (Asn(8), Asn(5)),
+        ];
+        let origins: Vec<Asn> = g.asns().collect();
+        let mut fc = FastConverge::new(g, origins.clone());
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..60 {
+            let (a, b) = links[rng.gen_range(0..links.len())];
+            let up = rng.gen_bool(0.5);
+            fc.apply(LinkChange { a, b, up });
+            // Cross-check every tracked tree against a fresh compute.
+            for &o in &origins {
+                let fresh = RoutingTree::compute(fc.graph(), o).unwrap();
+                for &src in &origins {
+                    assert_eq!(
+                        fc.tree(o).unwrap().path_from(fc.graph(), src),
+                        fresh.path_from(fc.graph(), src),
+                        "divergence at src {src} origin {o}"
+                    );
+                }
+            }
+        }
+        assert!(fc.recomputes > 0);
+    }
+}

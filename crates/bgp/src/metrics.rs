@@ -1,0 +1,418 @@
+//! The paper's §4 measurement metrics, computed from update logs.
+//!
+//! * **Path changes** — "a change in the set of ASes crossed to reach a
+//!   BGP prefix (as indicated by the AS-PATH) between two subsequent BGP
+//!   UPDATEs" — counted per (session, prefix). Withdrawals count as a
+//!   transition to the empty AS set.
+//! * **Median-normalized churn ratio** (Fig 3 left) — per session, each
+//!   Tor prefix's change count divided by the median change count over
+//!   all prefixes received on that session.
+//! * **Extra-AS exposure** (Fig 3 right) — per prefix, the number of
+//!   ASes beyond the baseline (first) path that were crossed for at
+//!   least a minimum cumulative duration (the paper uses 5 minutes,
+//!   "as it is anyway unlikely that an attack can be performed on such
+//!   a short timescale").
+
+use crate::collector::{SessionId, UpdateLog};
+use crate::msg::UpdateMessage;
+use quicksand_net::{Asn, Ipv4Prefix, SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A per-(session, prefix) timeline of selected paths, as (start time,
+/// AS set on path) intervals; `None`-path periods are represented by an
+/// empty set. The final interval is closed by the horizon end.
+#[derive(Clone, Debug, Default)]
+pub struct PathTimeline {
+    /// Chronological (time, AS set) change points.
+    pub points: Vec<(SimTime, BTreeSet<Asn>)>,
+}
+
+impl PathTimeline {
+    /// Build timelines for every (session, prefix) in the log.
+    pub fn from_log(log: &UpdateLog) -> BTreeMap<(SessionId, Ipv4Prefix), PathTimeline> {
+        let mut out: BTreeMap<(SessionId, Ipv4Prefix), PathTimeline> = BTreeMap::new();
+        for r in &log.records {
+            let key = (r.session, r.msg.prefix());
+            let set = match &r.msg {
+                UpdateMessage::Announce(route) => route.as_path.as_set(),
+                UpdateMessage::Withdraw(_) => BTreeSet::new(),
+            };
+            out.entry(key).or_default().points.push((r.at, set));
+        }
+        out
+    }
+
+    /// Number of path changes: transitions between *different* AS sets
+    /// across subsequent updates (the first update is not a change).
+    pub fn path_changes(&self) -> u32 {
+        self.points
+            .windows(2)
+            .filter(|w| w[0].1 != w[1].1)
+            .count() as u32
+    }
+
+    /// The baseline AS set: the first non-empty path observed.
+    pub fn baseline(&self) -> BTreeSet<Asn> {
+        self.points
+            .iter()
+            .find(|(_, s)| !s.is_empty())
+            .map(|(_, s)| s.clone())
+            .unwrap_or_default()
+    }
+
+    /// Cumulative on-path duration per AS, closing the final interval at
+    /// `horizon_end` and *clipping* every interval to it — so passing an
+    /// earlier horizon computes the exposure "as of" that time (used for
+    /// day-by-day growth curves).
+    pub fn as_durations(&self, horizon_end: SimTime) -> BTreeMap<Asn, SimDuration> {
+        let mut out: BTreeMap<Asn, SimDuration> = BTreeMap::new();
+        for (i, (start, set)) in self.points.iter().enumerate() {
+            let end = self
+                .points
+                .get(i + 1)
+                .map(|(t, _)| *t)
+                .unwrap_or(horizon_end)
+                .min(horizon_end);
+            let dur = end.since((*start).min(horizon_end));
+            for &a in set {
+                let e = out.entry(a).or_insert(SimDuration::ZERO);
+                *e = *e + dur;
+            }
+        }
+        out
+    }
+
+    /// The paper's Fig-3-right quantity: ASes not on the baseline path
+    /// that were crossed for at least `min_duration` in total.
+    pub fn extra_ases(&self, horizon_end: SimTime, min_duration: SimDuration) -> BTreeSet<Asn> {
+        let baseline = self.baseline();
+        self.as_durations(horizon_end)
+            .into_iter()
+            .filter(|(a, d)| !baseline.contains(a) && *d >= min_duration)
+            .map(|(a, _)| a)
+            .collect()
+    }
+
+    /// All distinct ASes crossed for at least `min_duration` (baseline
+    /// included) — the `x` in the paper's `1 − (1 − f)^x` model.
+    pub fn distinct_ases(
+        &self,
+        horizon_end: SimTime,
+        min_duration: SimDuration,
+    ) -> BTreeSet<Asn> {
+        self.as_durations(horizon_end)
+            .into_iter()
+            .filter(|(_, d)| *d >= min_duration)
+            .map(|(a, _)| a)
+            .collect()
+    }
+}
+
+/// Per-(session, prefix) path-change counts for the whole log.
+pub fn path_changes(log: &UpdateLog) -> BTreeMap<(SessionId, Ipv4Prefix), u32> {
+    PathTimeline::from_log(log)
+        .into_iter()
+        .map(|(k, t)| (k, t.path_changes()))
+        .collect()
+}
+
+/// The Fig-3-left ratios: for each (session, Tor prefix) pair, the
+/// prefix's change count divided by the session's median change count
+/// over *all* prefixes received on that session.
+///
+/// Sessions whose median is zero use a median of 1 (the ratio is then
+/// the raw change count); the paper's feeds always had nonzero medians,
+/// ours may not at small scale.
+pub fn churn_ratios(
+    changes: &BTreeMap<(SessionId, Ipv4Prefix), u32>,
+    tor_prefixes: &BTreeSet<Ipv4Prefix>,
+) -> Vec<f64> {
+    // Median per session over all prefixes.
+    let mut per_session: BTreeMap<SessionId, Vec<u32>> = BTreeMap::new();
+    for (&(s, _), &c) in changes {
+        per_session.entry(s).or_default().push(c);
+    }
+    let medians: BTreeMap<SessionId, f64> = per_session
+        .into_iter()
+        .map(|(s, mut v)| {
+            v.sort_unstable();
+            let m = if v.is_empty() {
+                0.0
+            } else if v.len() % 2 == 1 {
+                f64::from(v[v.len() / 2])
+            } else {
+                (f64::from(v[v.len() / 2 - 1]) + f64::from(v[v.len() / 2])) / 2.0
+            };
+            (s, m.max(1.0))
+        })
+        .collect();
+    changes
+        .iter()
+        .filter(|((_, p), _)| tor_prefixes.contains(p))
+        .map(|((s, _), &c)| f64::from(c) / medians[s])
+        .collect()
+}
+
+/// The Fig-3-right quantity per prefix: the union over sessions of
+/// extra ASes (≥ `min_duration`) for each prefix in `prefixes`.
+pub fn extra_ases_per_prefix(
+    log: &UpdateLog,
+    prefixes: &BTreeSet<Ipv4Prefix>,
+    horizon_end: SimTime,
+    min_duration: SimDuration,
+) -> BTreeMap<Ipv4Prefix, BTreeSet<Asn>> {
+    let timelines = PathTimeline::from_log(log);
+    let mut out: BTreeMap<Ipv4Prefix, BTreeSet<Asn>> = BTreeMap::new();
+    for ((_, p), t) in timelines {
+        if !prefixes.contains(&p) {
+            continue;
+        }
+        out.entry(p)
+            .or_default()
+            .extend(t.extra_ases(horizon_end, min_duration));
+    }
+    // Prefixes never seen still get an entry (empty set).
+    for &p in prefixes {
+        out.entry(p).or_default();
+    }
+    out
+}
+
+/// A complementary cumulative distribution function over sample values:
+/// `ccdf(x)` = fraction of samples `>= x` evaluated at each distinct
+/// sample value (the form the paper plots in Fig 3).
+#[derive(Clone, Debug, Default)]
+pub struct Ccdf {
+    sorted: Vec<f64>,
+}
+
+impl Ccdf {
+    /// Build from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ccdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≥ `x` (in [0, 1]; 0 for an empty CCDF).
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v < x);
+        (self.sorted.len() - idx) as f64 / self.sorted.len() as f64
+    }
+
+    /// The p-quantile (0 ≤ p ≤ 1) by nearest-rank; `None` when empty.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((self.sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The curve as `(value, fraction ≥ value)` points at each distinct
+    /// sample value, ascending.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let v = self.sorted[i];
+            out.push((v, self.at(v)));
+            while i < self.sorted.len() && self.sorted[i] == v {
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::UpdateRecord;
+    use crate::msg::Route;
+    use quicksand_net::AsPath;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ann(at_s: u64, sess: u32, prefix: &str, asns: &[u32]) -> UpdateRecord {
+        UpdateRecord {
+            at: SimTime::from_secs(at_s),
+            session: SessionId(sess),
+            msg: UpdateMessage::Announce(Route {
+                prefix: p(prefix),
+                as_path: asns.iter().map(|&a| Asn(a)).collect::<AsPath>(),
+                communities: Default::default(),
+            }),
+        }
+    }
+
+    fn wd(at_s: u64, sess: u32, prefix: &str) -> UpdateRecord {
+        UpdateRecord {
+            at: SimTime::from_secs(at_s),
+            session: SessionId(sess),
+            msg: UpdateMessage::Withdraw(p(prefix)),
+        }
+    }
+
+    #[test]
+    fn path_change_counting_uses_as_sets() {
+        let log = UpdateLog {
+            records: vec![
+                ann(0, 0, "10.0.0.0/8", &[1, 2, 3]),
+                // Same AS set, different order (prepending): not a change.
+                ann(10, 0, "10.0.0.0/8", &[1, 2, 2, 3]),
+                // Different set: change.
+                ann(20, 0, "10.0.0.0/8", &[1, 4, 3]),
+                // Withdraw: change to empty.
+                wd(30, 0, "10.0.0.0/8"),
+                // Re-announce: change from empty.
+                ann(40, 0, "10.0.0.0/8", &[1, 4, 3]),
+            ],
+        };
+        let changes = path_changes(&log);
+        assert_eq!(changes[&(SessionId(0), p("10.0.0.0/8"))], 3);
+    }
+
+    #[test]
+    fn baseline_and_extra_ases_respect_min_duration() {
+        let log = UpdateLog {
+            records: vec![
+                ann(0, 0, "10.0.0.0/8", &[1, 2, 3]),
+                // 60 s detour via AS 9 (under 5 min).
+                ann(1000, 0, "10.0.0.0/8", &[1, 9, 3]),
+                ann(1060, 0, "10.0.0.0/8", &[1, 2, 3]),
+                // Long detour via AS 7 (over 5 min).
+                ann(2000, 0, "10.0.0.0/8", &[1, 7, 3]),
+                ann(3000, 0, "10.0.0.0/8", &[1, 2, 3]),
+            ],
+        };
+        let timelines = PathTimeline::from_log(&log);
+        let t = &timelines[&(SessionId(0), p("10.0.0.0/8"))];
+        assert_eq!(
+            t.baseline(),
+            [Asn(1), Asn(2), Asn(3)].into_iter().collect()
+        );
+        let horizon = SimTime::from_secs(4000);
+        let extra = t.extra_ases(horizon, SimDuration::from_mins(5));
+        assert_eq!(extra, [Asn(7)].into_iter().collect());
+        // AS 9 was on-path only 60 s.
+        let durs = t.as_durations(horizon);
+        assert_eq!(durs[&Asn(9)], SimDuration::from_secs(60));
+        // Distinct ASes ≥5 min: baseline plus 7.
+        let distinct = t.distinct_ases(horizon, SimDuration::from_mins(5));
+        assert_eq!(
+            distinct,
+            [Asn(1), Asn(2), Asn(3), Asn(7)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn churn_ratio_normalizes_by_session_median() {
+        let tor = p("10.0.0.0/8");
+        // Session 0: tor prefix changes 6 times; three control prefixes
+        // change 2, 2, 4 times → median over {6,2,2,4} = 3.
+        let mut records = Vec::new();
+        let mut add_changes = |prefix: &str, n: usize, base: u64| {
+            records.push(ann(base, 0, prefix, &[1, 2]));
+            for k in 0..n {
+                let asn = 10 + (k as u32 % 2); // alternate to force changes
+                records.push(ann(base + 10 * (k as u64 + 1), 0, prefix, &[1, asn]));
+            }
+        };
+        add_changes("10.0.0.0/8", 6, 0);
+        add_changes("11.0.0.0/8", 2, 1000);
+        add_changes("12.0.0.0/8", 2, 2000);
+        add_changes("13.0.0.0/8", 4, 3000);
+        let log = UpdateLog { records };
+        let changes = path_changes(&log);
+        let ratios = churn_ratios(&changes, &[tor].into_iter().collect());
+        assert_eq!(ratios.len(), 1);
+        assert!((ratios[0] - 2.0).abs() < 1e-9, "got {}", ratios[0]);
+    }
+
+    #[test]
+    fn ccdf_behaves() {
+        let c = Ccdf::new(vec![1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(c.at(0.5), 1.0);
+        assert_eq!(c.at(1.0), 1.0);
+        assert_eq!(c.at(1.5), 0.75);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(2.1), 0.25);
+        assert_eq!(c.at(5.0), 0.25);
+        assert_eq!(c.at(5.1), 0.0);
+        assert_eq!(c.quantile(0.5), Some(2.0));
+        assert_eq!(c.max(), Some(5.0));
+        assert_eq!(c.points().len(), 3);
+        assert!(Ccdf::new(vec![]).is_empty());
+        assert_eq!(Ccdf::new(vec![]).at(1.0), 0.0);
+    }
+
+    #[test]
+    fn extra_ases_per_prefix_unions_sessions() {
+        let tor = p("10.0.0.0/8");
+        let log = UpdateLog {
+            records: vec![
+                ann(0, 0, "10.0.0.0/8", &[1, 2]),
+                ann(1000, 0, "10.0.0.0/8", &[1, 7]),
+                ann(0, 1, "10.0.0.0/8", &[4, 2]),
+                ann(1000, 1, "10.0.0.0/8", &[4, 8]),
+            ],
+        };
+        let out = extra_ases_per_prefix(
+            &log,
+            &[tor].into_iter().collect(),
+            SimTime::from_secs(2000),
+            SimDuration::from_mins(5),
+        );
+        assert_eq!(out[&tor], [Asn(7), Asn(8)].into_iter().collect());
+    }
+}
+
+#[cfg(test)]
+mod clipping_tests {
+    use super::*;
+
+    #[test]
+    fn durations_clip_to_horizon() {
+        let mut tl = PathTimeline::default();
+        tl.points.push((SimTime::from_secs(0), [Asn(1)].into_iter().collect()));
+        tl.points.push((SimTime::from_secs(100), [Asn(2)].into_iter().collect()));
+        tl.points.push((SimTime::from_secs(200), [Asn(3)].into_iter().collect()));
+        // Horizon mid-way through the second interval.
+        let durs = tl.as_durations(SimTime::from_secs(150));
+        assert_eq!(durs[&Asn(1)], SimDuration::from_secs(100));
+        assert_eq!(durs[&Asn(2)], SimDuration::from_secs(50));
+        // AS 3's interval starts after the horizon: zero exposure.
+        assert_eq!(
+            durs.get(&Asn(3)).copied().unwrap_or(SimDuration::ZERO),
+            SimDuration::ZERO
+        );
+        // "As of" queries are monotone in the horizon.
+        let early = tl.distinct_ases(SimTime::from_secs(100), SimDuration::from_secs(10));
+        let late = tl.distinct_ases(SimTime::from_secs(300), SimDuration::from_secs(10));
+        assert!(early.is_subset(&late));
+    }
+}

@@ -1,0 +1,353 @@
+//! Compact binary serialization of update logs, MRT-style.
+//!
+//! The paper's raw material is MRT dumps from RIPE RIS. This module
+//! provides the workspace's equivalent wire format so month-scale logs
+//! can be persisted and re-analyzed without JSON overhead (a 290k-record
+//! month is ~8 MB binary vs ~60 MB JSON).
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic   8 bytes  "QSMRT001"
+//! record  repeated:
+//!   at        u64   microseconds
+//!   session   u32
+//!   kind      u8    1 = announce, 2 = withdraw
+//!   prefix    u32 + u8 (network, length)
+//!   announce only:
+//!     path_len  u16, then path_len × u32 ASNs (nearest first)
+//!     n_comm    u8, then per community: tag u8 + payload u32
+//!       tag 1 = NO_EXPORT (payload 0), 2 = NoExportTo(asn), 3 = opaque
+//! ```
+
+use crate::collector::{SessionId, UpdateLog, UpdateRecord};
+use crate::msg::{Community, Route, UpdateMessage};
+use quicksand_net::{AsPath, Asn, Ipv4Prefix, SimTime};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"QSMRT001";
+
+/// Errors when decoding a binary log.
+#[derive(Debug)]
+pub enum MrtError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic header is missing or wrong.
+    BadMagic,
+    /// A record had an unknown kind or community tag, or an invalid
+    /// prefix length.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for MrtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrtError::Io(e) => write!(f, "i/o error: {e}"),
+            MrtError::BadMagic => write!(f, "not a QSMRT001 stream"),
+            MrtError::Malformed(what) => write!(f, "malformed record: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+impl From<io::Error> for MrtError {
+    fn from(e: io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}
+
+fn put_u16(w: &mut impl Write, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+fn get_u16(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Serialize a log to a writer.
+pub fn write_log(log: &UpdateLog, w: &mut impl Write) -> Result<(), MrtError> {
+    w.write_all(MAGIC)?;
+    for rec in &log.records {
+        put_u64(w, rec.at.0)?;
+        put_u32(w, rec.session.0)?;
+        match &rec.msg {
+            UpdateMessage::Announce(route) => {
+                w.write_all(&[1u8])?;
+                put_u32(w, route.prefix.network_u32())?;
+                w.write_all(&[route.prefix.len()])?;
+                let path = route.as_path.asns();
+                put_u16(
+                    w,
+                    u16::try_from(path.len())
+                        .map_err(|_| MrtError::Malformed("path too long"))?,
+                )?;
+                for a in path {
+                    put_u32(w, a.0)?;
+                }
+                let comms: Vec<&Community> = route.communities.iter().collect();
+                w.write_all(&[u8::try_from(comms.len())
+                    .map_err(|_| MrtError::Malformed("too many communities"))?])?;
+                for c in comms {
+                    match c {
+                        Community::NoExport => {
+                            w.write_all(&[1u8])?;
+                            put_u32(w, 0)?;
+                        }
+                        Community::NoExportTo(a) => {
+                            w.write_all(&[2u8])?;
+                            put_u32(w, a.0)?;
+                        }
+                        Community::Opaque(v) => {
+                            w.write_all(&[3u8])?;
+                            put_u32(w, *v)?;
+                        }
+                    }
+                }
+            }
+            UpdateMessage::Withdraw(p) => {
+                w.write_all(&[2u8])?;
+                put_u32(w, p.network_u32())?;
+                w.write_all(&[p.len()])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a log from a reader, consuming it to EOF.
+pub fn read_log(r: &mut impl Read) -> Result<UpdateLog, MrtError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(MrtError::BadMagic);
+    }
+    let mut records = Vec::new();
+    loop {
+        // Peek: a clean EOF before a record boundary ends the stream.
+        let at = {
+            let mut b = [0u8; 8];
+            match r.read(&mut b)? {
+                0 => break,
+                8 => u64::from_le_bytes(b),
+                n => {
+                    // Partial read: try to complete (short reads are
+                    // legal for readers); fail only on true truncation.
+                    let mut rest = vec![0u8; 8 - n];
+                    r.read_exact(&mut rest)?;
+                    let mut full = [0u8; 8];
+                    full[..n].copy_from_slice(&b[..n]);
+                    full[n..].copy_from_slice(&rest);
+                    u64::from_le_bytes(full)
+                }
+            }
+        };
+        let session = SessionId(get_u32(r)?);
+        let kind = get_u8(r)?;
+        let net = get_u32(r)?;
+        let len = get_u8(r)?;
+        if len > 32 {
+            return Err(MrtError::Malformed("prefix length > 32"));
+        }
+        let prefix = Ipv4Prefix::from_u32(net, len);
+        let msg = match kind {
+            1 => {
+                let path_len = get_u16(r)? as usize;
+                let mut asns = Vec::with_capacity(path_len);
+                for _ in 0..path_len {
+                    asns.push(Asn(get_u32(r)?));
+                }
+                let n_comm = get_u8(r)? as usize;
+                let mut communities = std::collections::BTreeSet::new();
+                for _ in 0..n_comm {
+                    let tag = get_u8(r)?;
+                    let payload = get_u32(r)?;
+                    communities.insert(match tag {
+                        1 => Community::NoExport,
+                        2 => Community::NoExportTo(Asn(payload)),
+                        3 => Community::Opaque(payload),
+                        _ => return Err(MrtError::Malformed("unknown community tag")),
+                    });
+                }
+                UpdateMessage::Announce(Route {
+                    prefix,
+                    as_path: AsPath::from_asns(asns),
+                    communities,
+                })
+            }
+            2 => UpdateMessage::Withdraw(prefix),
+            _ => return Err(MrtError::Malformed("unknown record kind")),
+        };
+        records.push(UpdateRecord {
+            at: SimTime(at),
+            session,
+            msg,
+        });
+    }
+    Ok(UpdateLog { records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> UpdateLog {
+        let p1: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let p2: Ipv4Prefix = "78.46.0.0/15".parse().unwrap();
+        let mut route = Route {
+            prefix: p2,
+            as_path: [Asn(3356), Asn(24940)].into_iter().collect(),
+            communities: Default::default(),
+        };
+        route.communities.insert(Community::NoExport);
+        route.communities.insert(Community::NoExportTo(Asn(7)));
+        route.communities.insert(Community::Opaque(0xDEAD));
+        UpdateLog {
+            records: vec![
+                UpdateRecord {
+                    at: SimTime::from_secs(1),
+                    session: SessionId(0),
+                    msg: UpdateMessage::Announce(Route {
+                        prefix: p1,
+                        as_path: [Asn(1), Asn(2), Asn(3)].into_iter().collect(),
+                        communities: Default::default(),
+                    }),
+                },
+                UpdateRecord {
+                    at: SimTime::from_secs(2),
+                    session: SessionId(9),
+                    msg: UpdateMessage::Announce(route),
+                },
+                UpdateRecord {
+                    at: SimTime::from_secs(3),
+                    session: SessionId(0),
+                    msg: UpdateMessage::Withdraw(p1),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let back = read_log(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.records, log.records);
+    }
+
+    #[test]
+    fn empty_log_roundtrips() {
+        let mut buf = Vec::new();
+        write_log(&UpdateLog::default(), &mut buf).unwrap();
+        assert_eq!(buf, MAGIC);
+        let back = read_log(&mut buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTMRT00".to_vec();
+        assert!(matches!(
+            read_log(&mut buf.as_slice()),
+            Err(MrtError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_log(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_kind_rejected() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        // Kind byte of record 1 sits at offset 8 (magic) + 8 + 4.
+        buf[20] = 99;
+        assert!(matches!(
+            read_log(&mut buf.as_slice()),
+            Err(MrtError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn binary_is_compact() {
+        // A plausible record should be well under its JSON size.
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let json = serde_json::to_string(&log).unwrap();
+        assert!(buf.len() * 3 < json.len(), "{} vs {}", buf.len(), json.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_record() -> impl Strategy<Value = UpdateRecord> {
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            0u8..=32,
+            proptest::collection::vec(any::<u32>(), 0..8),
+            proptest::bool::ANY,
+        )
+            .prop_map(|(at, sess, net, len, path, withdraw)| {
+                let prefix = Ipv4Prefix::from_u32(net, len);
+                let msg = if withdraw {
+                    UpdateMessage::Withdraw(prefix)
+                } else {
+                    UpdateMessage::Announce(Route {
+                        prefix,
+                        as_path: path.into_iter().map(Asn).collect(),
+                        communities: Default::default(),
+                    })
+                };
+                UpdateRecord {
+                    at: SimTime(at),
+                    session: SessionId(sess),
+                    msg,
+                }
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_logs_roundtrip(
+            records in proptest::collection::vec(arb_record(), 0..50)
+        ) {
+            let log = UpdateLog { records };
+            let mut buf = Vec::new();
+            write_log(&log, &mut buf).unwrap();
+            let back = read_log(&mut buf.as_slice()).unwrap();
+            prop_assert_eq!(back.records, log.records);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! BGP routes and UPDATE messages.
+
+use quicksand_net::{AsPath, Asn, Ipv4Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A (subset of the) BGP community attribute, as used by the attacks the
+/// paper cites: Renesys/Zmijewski's community-scoped hijacks \[35\] limit
+/// where an announcement propagates, making the hijack invisible to most
+/// vantage points while still attracting traffic nearby.
+///
+/// Communities are *requests* honored by the direct neighbor receiving the
+/// announcement (as in practice, where providers publish community
+/// dictionaries for customers).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Community {
+    /// Well-known NO_EXPORT: the receiving AS must not propagate the
+    /// route to any eBGP neighbor.
+    NoExport,
+    /// "Do not announce to this neighbor" — the action of provider
+    /// communities like `AS:0:peer-asn`. The receiving AS withholds the
+    /// route from the named neighbor.
+    NoExportTo(Asn),
+    /// An opaque community carried but not interpreted.
+    Opaque(u32),
+}
+
+/// A BGP route for one prefix: the path attributes the workspace models.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Route {
+    /// The announced prefix.
+    pub prefix: Ipv4Prefix,
+    /// AS path, nearest AS first, origin last.
+    pub as_path: AsPath,
+    /// Attached communities.
+    pub communities: BTreeSet<Community>,
+}
+
+impl Route {
+    /// Originate a route for `prefix` at `origin` with no communities.
+    pub fn originate(prefix: Ipv4Prefix, origin: Asn) -> Self {
+        Route {
+            prefix,
+            as_path: AsPath::originate(origin),
+            communities: BTreeSet::new(),
+        }
+    }
+
+    /// The origin AS of the route (rightmost AS-path element).
+    pub fn origin(&self) -> Option<Asn> {
+        self.as_path.origin()
+    }
+
+    /// The route as propagated by `asn` to a neighbor: `asn` prepended to
+    /// the AS path, communities carried through.
+    pub fn propagated_by(&self, asn: Asn) -> Route {
+        Route {
+            prefix: self.prefix,
+            as_path: self.as_path.prepended(asn),
+            communities: self.communities.clone(),
+        }
+    }
+
+    /// True if the receiving AS must not export this route to `to`,
+    /// according to the carried communities.
+    pub fn export_blocked_to(&self, to: Asn) -> bool {
+        self.communities.contains(&Community::NoExport)
+            || self.communities.contains(&Community::NoExportTo(to))
+    }
+}
+
+/// A BGP UPDATE for one prefix: either an announcement carrying a route
+/// or a withdrawal.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum UpdateMessage {
+    /// Announce (or implicitly replace) the route for the prefix.
+    Announce(Route),
+    /// Withdraw any previously announced route for the prefix.
+    Withdraw(Ipv4Prefix),
+}
+
+impl UpdateMessage {
+    /// The prefix this update concerns.
+    pub fn prefix(&self) -> Ipv4Prefix {
+        match self {
+            UpdateMessage::Announce(r) => r.prefix,
+            UpdateMessage::Withdraw(p) => *p,
+        }
+    }
+
+    /// Is this a withdrawal?
+    pub fn is_withdraw(&self) -> bool {
+        matches!(self, UpdateMessage::Withdraw(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn originate_and_propagate() {
+        let r = Route::originate(p("10.0.0.0/8"), Asn(100));
+        assert_eq!(r.origin(), Some(Asn(100)));
+        let r2 = r.propagated_by(Asn(200));
+        assert_eq!(r2.as_path.asns(), &[Asn(200), Asn(100)]);
+        assert_eq!(r2.origin(), Some(Asn(100)));
+        // Original unchanged.
+        assert_eq!(r.as_path.len(), 1);
+    }
+
+    #[test]
+    fn community_export_blocking() {
+        let mut r = Route::originate(p("10.0.0.0/8"), Asn(1));
+        assert!(!r.export_blocked_to(Asn(2)));
+        r.communities.insert(Community::NoExportTo(Asn(2)));
+        assert!(r.export_blocked_to(Asn(2)));
+        assert!(!r.export_blocked_to(Asn(3)));
+        r.communities.insert(Community::NoExport);
+        assert!(r.export_blocked_to(Asn(3)));
+    }
+
+    #[test]
+    fn update_accessors() {
+        let a = UpdateMessage::Announce(Route::originate(p("10.0.0.0/8"), Asn(1)));
+        let w = UpdateMessage::Withdraw(p("10.0.0.0/8"));
+        assert_eq!(a.prefix(), p("10.0.0.0/8"));
+        assert_eq!(w.prefix(), p("10.0.0.0/8"));
+        assert!(!a.is_withdraw());
+        assert!(w.is_withdraw());
+    }
+}

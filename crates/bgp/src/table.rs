@@ -1,0 +1,146 @@
+//! The prefix origination table: which AS originates which prefix.
+
+use quicksand_net::{Asn, Ipv4Prefix, PrefixTrie};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Maps announced prefixes to their (legitimate) origin AS, with
+/// longest-prefix-match lookup for host addresses.
+///
+/// The table is the ground truth of *intended* origination; attacks in
+/// `quicksand-attack` announce prefixes from other ASes without touching
+/// it.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PrefixTable {
+    by_prefix: BTreeMap<Ipv4Prefix, Asn>,
+    #[serde(skip)]
+    trie: std::sync::OnceLock<PrefixTrie<Asn>>,
+}
+
+impl PrefixTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `origin` announces `prefix`. Returns the previous
+    /// origin if the prefix was already present.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, origin: Asn) -> Option<Asn> {
+        self.trie = std::sync::OnceLock::new();
+        self.by_prefix.insert(prefix, origin)
+    }
+
+    /// The origin of an exactly-matching prefix.
+    pub fn origin_of(&self, prefix: &Ipv4Prefix) -> Option<Asn> {
+        self.by_prefix.get(prefix).copied()
+    }
+
+    /// The most-specific announced prefix containing `addr`, with its
+    /// origin — the operation the paper uses to define "Tor prefixes".
+    pub fn longest_match(&self, addr: std::net::Ipv4Addr) -> Option<(Ipv4Prefix, Asn)> {
+        let trie = self.trie.get_or_init(|| {
+            self.by_prefix
+                .iter()
+                .map(|(p, a)| (*p, *a))
+                .collect::<PrefixTrie<Asn>>()
+        });
+        trie.longest_match_addr(addr).map(|(p, a)| (p, *a))
+    }
+
+    /// Number of announced prefixes.
+    pub fn len(&self) -> usize {
+        self.by_prefix.len()
+    }
+
+    /// True when no prefixes are announced.
+    pub fn is_empty(&self) -> bool {
+        self.by_prefix.is_empty()
+    }
+
+    /// Iterate `(prefix, origin)` in canonical prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, Asn)> + '_ {
+        self.by_prefix.iter().map(|(p, a)| (*p, *a))
+    }
+
+    /// All prefixes originated by `asn`, in canonical order.
+    pub fn prefixes_of(&self, asn: Asn) -> Vec<Ipv4Prefix> {
+        self.by_prefix
+            .iter()
+            .filter(|&(_, a)| *a == asn)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+}
+
+impl FromIterator<(Ipv4Prefix, Asn)> for PrefixTable {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, Asn)>>(iter: I) -> Self {
+        let mut t = PrefixTable::new();
+        for (p, a) in iter {
+            t.insert(p, a);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_lookup() {
+        let mut t = PrefixTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), Asn(1)), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), Asn(2)), Some(Asn(1)));
+        assert_eq!(t.origin_of(&p("10.0.0.0/8")), Some(Asn(2)));
+        assert_eq!(t.origin_of(&p("10.0.0.0/9")), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn longest_match_picks_most_specific_origin() {
+        let t: PrefixTable = [
+            (p("78.0.0.0/8"), Asn(1)),
+            (p("78.46.0.0/15"), Asn(24940)),
+        ]
+        .into_iter()
+        .collect();
+        let (q, a) = t.longest_match("78.46.10.1".parse().unwrap()).unwrap();
+        assert_eq!((q, a), (p("78.46.0.0/15"), Asn(24940)));
+        let (q, a) = t.longest_match("78.99.0.1".parse().unwrap()).unwrap();
+        assert_eq!((q, a), (p("78.0.0.0/8"), Asn(1)));
+        assert!(t.longest_match("79.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn trie_cache_invalidation_on_insert() {
+        let mut t = PrefixTable::new();
+        t.insert(p("10.0.0.0/8"), Asn(1));
+        assert_eq!(
+            t.longest_match("10.1.1.1".parse().unwrap()),
+            Some((p("10.0.0.0/8"), Asn(1)))
+        );
+        t.insert(p("10.1.0.0/16"), Asn(2));
+        assert_eq!(
+            t.longest_match("10.1.1.1".parse().unwrap()),
+            Some((p("10.1.0.0/16"), Asn(2)))
+        );
+    }
+
+    #[test]
+    fn prefixes_of_origin() {
+        let t: PrefixTable = [
+            (p("10.0.0.0/8"), Asn(1)),
+            (p("11.0.0.0/8"), Asn(1)),
+            (p("12.0.0.0/8"), Asn(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.prefixes_of(Asn(1)), vec![p("10.0.0.0/8"), p("11.0.0.0/8")]);
+        assert_eq!(t.prefixes_of(Asn(3)), vec![]);
+    }
+}

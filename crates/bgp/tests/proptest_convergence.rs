@@ -1,0 +1,167 @@
+//! Property-based cross-validation: on *random* small tiered
+//! topologies, the message-level simulator must converge to exactly the
+//! static Gao–Rexford routes, routes must be valley-free and loop-free,
+//! and a failure/recovery cycle must restore the original routes.
+
+use proptest::prelude::*;
+use quicksand_bgp::{EventSim, Route, SimConfig, SimStats};
+use quicksand_net::{Asn, Ipv4Prefix};
+use quicksand_topology::{AsGraph, RoutingTree, Tier};
+
+/// A compact description of a random tiered topology that is always
+/// well-formed (connected through providers by construction).
+#[derive(Debug, Clone)]
+struct RandomTopo {
+    n_t1: usize,
+    /// For each non-T1 AS (in creation order), the providers chosen
+    /// among previously created ASes (non-empty).
+    attach: Vec<Vec<usize>>,
+    /// Peering links among non-T1 ASes as (i, j) index pairs.
+    peerings: Vec<(usize, usize)>,
+}
+
+fn arb_topo() -> impl Strategy<Value = RandomTopo> {
+    (2usize..4, 4usize..14).prop_flat_map(|(n_t1, n_rest)| {
+        let attach = proptest::collection::vec(
+            proptest::collection::vec(any::<proptest::sample::Index>(), 1..3),
+            n_rest,
+        );
+        let peerings = proptest::collection::vec(
+            (any::<proptest::sample::Index>(), any::<proptest::sample::Index>()),
+            0..4,
+        );
+        (Just(n_t1), attach, peerings).prop_map(move |(n_t1, attach, peerings)| {
+            RandomTopo {
+                n_t1,
+                attach: attach
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, provs)| {
+                        let pool = n_t1 + k; // providers among earlier ASes
+                        let mut v: Vec<usize> =
+                            provs.into_iter().map(|ix| ix.index(pool)).collect();
+                        v.sort_unstable();
+                        v.dedup();
+                        v
+                    })
+                    .collect(),
+                peerings: peerings
+                    .into_iter()
+                    .map(|(a, b)| (a.index(n_rest), b.index(n_rest)))
+                    .collect(),
+            }
+        })
+    })
+}
+
+fn build(t: &RandomTopo) -> AsGraph {
+    let mut g = AsGraph::new();
+    let n = t.n_t1 + t.attach.len();
+    for i in 0..n {
+        let tier = if i < t.n_t1 { Tier::Tier1 } else { Tier::Tier2 };
+        g.add_as(Asn(i as u32 + 1), tier).unwrap();
+    }
+    // T1 clique.
+    for i in 0..t.n_t1 {
+        for j in (i + 1)..t.n_t1 {
+            g.add_peering(Asn(i as u32 + 1), Asn(j as u32 + 1)).unwrap();
+        }
+    }
+    for (k, provs) in t.attach.iter().enumerate() {
+        let me = Asn((t.n_t1 + k) as u32 + 1);
+        for &p in provs {
+            let p = Asn(p as u32 + 1);
+            if g.relationship(me, p).is_none() {
+                g.add_customer_provider(me, p).unwrap();
+            }
+        }
+    }
+    for &(a, b) in &t.peerings {
+        let (a, b) = (
+            Asn((t.n_t1 + a) as u32 + 1),
+            Asn((t.n_t1 + b) as u32 + 1),
+        );
+        if a != b && g.relationship(a, b).is_none() {
+            g.add_peering(a, b).unwrap();
+        }
+    }
+    g
+}
+
+fn prefix() -> Ipv4Prefix {
+    "198.51.100.0/24".parse().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Convergence equals static routing; all selected paths are
+    /// loop-free and valley-free.
+    #[test]
+    fn event_sim_matches_static_on_random_topologies(t in arb_topo(), dest_ix in any::<proptest::sample::Index>()) {
+        let g = build(&t);
+        let asns: Vec<Asn> = g.asns().collect();
+        let dest = asns[dest_ix.index(asns.len())];
+        let mut sim = EventSim::new(&g, SimConfig::default());
+        sim.originate(dest, Route::originate(prefix(), dest), None);
+        sim.run_to_quiescence();
+        let tree = RoutingTree::compute(&g, dest).unwrap();
+        for &a in &asns {
+            let got = sim.path_at(a, &prefix());
+            let want = tree.as_path_at(&g, a);
+            prop_assert_eq!(&got, &want, "divergence at {}", a);
+            if let Some(p) = got {
+                prop_assert!(!p.has_loop(), "loop at {}", a);
+                let mut full = vec![a];
+                full.extend(p.asns().iter().copied());
+                prop_assert_eq!(g.is_valley_free(&full), Some(true));
+            }
+        }
+    }
+
+    /// A link flap (down, converge, up, converge) restores the exact
+    /// pre-failure routes (BGP is memoryless about history).
+    #[test]
+    fn flap_restores_routes(t in arb_topo(), dest_ix in any::<proptest::sample::Index>(), link_ix in any::<proptest::sample::Index>()) {
+        let g = build(&t);
+        let asns: Vec<Asn> = g.asns().collect();
+        let dest = asns[dest_ix.index(asns.len())];
+        // Enumerate links.
+        let mut links = Vec::new();
+        for i in 0..g.len() {
+            let a = g.asn_of(i);
+            for &(j, _) in g.neighbors_idx(i) {
+                let b = g.asn_of(j);
+                if a < b {
+                    links.push((a, b));
+                }
+            }
+        }
+        let (la, lb) = links[link_ix.index(links.len())];
+        let mut sim = EventSim::new(&g, SimConfig::default());
+        sim.originate(dest, Route::originate(prefix(), dest), None);
+        sim.run_to_quiescence();
+        let before: Vec<_> = asns.iter().map(|&a| sim.path_at(a, &prefix())).collect();
+        sim.link_down(la, lb);
+        sim.run_to_quiescence();
+        sim.link_up(la, lb);
+        sim.run_to_quiescence();
+        let after: Vec<_> = asns.iter().map(|&a| sim.path_at(a, &prefix())).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Determinism: two runs with the same seed produce identical stats.
+    #[test]
+    fn runs_are_deterministic(t in arb_topo(), dest_ix in any::<proptest::sample::Index>()) {
+        let g = build(&t);
+        let asns: Vec<Asn> = g.asns().collect();
+        let dest = asns[dest_ix.index(asns.len())];
+        let run = |g: &AsGraph| -> SimStats {
+            let mut sim = EventSim::new(g, SimConfig::default());
+            sim.originate(dest, Route::originate(prefix(), dest), None);
+            sim.run_to_quiescence();
+            sim.stats()
+        };
+        prop_assert_eq!(run(&g), run(&g));
+    }
+}

@@ -1,0 +1,337 @@
+//! Long-term anonymity under guard rotation (§2 + the paper's footnote:
+//! "The Tor Project is considering increasing the duration of the time
+//! period to 9 months" \[13\]).
+//!
+//! Two adversaries race over the months:
+//!
+//! * the **relay-level** adversary the guard design targets — a client
+//!   is compromised in an epoch iff one of its *current guards* is
+//!   malicious, so rotating guards more often means more draws from the
+//!   urn;
+//! * the paper's **AS-level** adversary — a client is compromised in an
+//!   epoch iff a malicious AS lies on a client↔guard path at some point
+//!   during that epoch. Each month is a fresh draw of churn, so even
+//!   *fixed* guards keep exposing new ASes ("the set of ASes on the
+//!   paths between the client and the guard relays does change").
+//!
+//! [`long_term_study`] measures cumulative compromise probability per
+//! month for both adversaries under different rotation periods,
+//! quantifying the §3.1 claim that guard pinning does not protect
+//! against AS-level adversaries.
+
+use crate::scenario::Scenario;
+use quicksand_net::{Asn, SimDuration};
+use quicksand_tor::{CircuitBuilder, SelectionConfig};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::BTreeSet;
+
+/// Configuration for [`long_term_study`].
+#[derive(Clone, Debug)]
+pub struct LongTermConfig {
+    /// Number of epochs (months) to simulate.
+    pub months: usize,
+    /// Guard rotation periods (in months) to compare; 1 = monthly
+    /// rotation (Tor 2014), larger = the "one guard for 9 months"
+    /// direction, `>= months` = never rotate.
+    pub rotation_periods: Vec<usize>,
+    /// Probability that any AS is malicious (the §3.1 `f`).
+    pub f_as: f64,
+    /// Probability that any guard relay is malicious.
+    pub f_guard: f64,
+    /// Number of sampled clients.
+    pub n_clients: usize,
+    /// Guards per client.
+    pub guards_per_client: usize,
+    /// Monte-Carlo trials for the adversary draws.
+    pub trials: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LongTermConfig {
+    fn default() -> Self {
+        LongTermConfig {
+            months: 9,
+            rotation_periods: vec![1, 3, 9],
+            f_as: 0.02,
+            f_guard: 0.02,
+            n_clients: 8,
+            guards_per_client: 3,
+            trials: 400,
+            seed: 0x10E6,
+        }
+    }
+}
+
+/// One policy's cumulative compromise curves.
+#[derive(Clone, Debug)]
+pub struct LongTermCurve {
+    /// The rotation period this curve is for.
+    pub rotation_months: usize,
+    /// Per month m (1-based): cumulative probability that a malicious
+    /// *AS* observed the client↔guard segment in some epoch ≤ m.
+    pub p_as_cumulative: Vec<f64>,
+    /// Per month m: cumulative probability that a malicious *guard
+    /// relay* was in the client's guard set in some epoch ≤ m.
+    pub p_relay_cumulative: Vec<f64>,
+}
+
+/// The study result.
+#[derive(Clone, Debug)]
+pub struct LongTermResult {
+    /// One curve per rotation period, in config order.
+    pub curves: Vec<LongTermCurve>,
+    /// Months simulated.
+    pub months: usize,
+}
+
+/// Run the study over a scenario.
+pub fn long_term_study(scenario: &Scenario, config: &LongTermConfig) -> LongTermResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Sampled clients.
+    let mut clients: Vec<Asn> = scenario.topo.stubs.clone();
+    clients.shuffle(&mut rng);
+    clients.truncate(config.n_clients);
+
+    // Pre-draw guard sets for every (client, epoch) under the fastest
+    // rotation; slower rotations reuse the epoch-0, epoch-r, … sets.
+    // Selection is bandwidth-weighted as Tor's is.
+    let mut builder = CircuitBuilder::new(
+        &scenario.consensus,
+        &SelectionConfig {
+            guards_per_client: config.guards_per_client,
+            seed: config.seed ^ 0xFACE,
+        },
+    );
+    let mut guard_sets: Vec<Vec<Vec<quicksand_tor::RelayId>>> =
+        Vec::with_capacity(clients.len()); // [client][epoch] -> relay ids
+    for _ in &clients {
+        let mut per_epoch = Vec::with_capacity(config.months);
+        for _ in 0..config.months {
+            let gs = builder
+                .pick_guards(config.guards_per_client)
+                .expect("enough guards");
+            per_epoch.push(gs.guards);
+        }
+        guard_sets.push(per_epoch);
+    }
+
+    // Per epoch, the AS-exposure sets for every (client, guard AS) pair
+    // that could be needed: collect the union of guard ASes across all
+    // epochs/clients, then replay each epoch's churn once.
+    let mut all_guard_ases: BTreeSet<Asn> = BTreeSet::new();
+    for per_epoch in &guard_sets {
+        for epoch in per_epoch {
+            for id in epoch {
+                all_guard_ases.insert(scenario.consensus.relay(*id).host_as);
+            }
+        }
+    }
+    let guard_as_vec: Vec<Asn> = all_guard_ases.iter().copied().collect();
+    let min_dur = SimDuration::from_mins(5);
+    let horizon = scenario.horizon_end();
+    // exposure[epoch][(client, guard_as)] = distinct-AS set that month.
+    let mut exposure: Vec<std::collections::BTreeMap<(Asn, Asn), BTreeSet<Asn>>> =
+        Vec::with_capacity(config.months);
+    for epoch in 0..config.months {
+        let hist = scenario.path_history_seeded(
+            &clients,
+            &guard_as_vec,
+            config.seed.wrapping_add(epoch as u64 * 7919),
+        );
+        exposure.push(
+            hist.into_iter()
+                .map(|(k, tl)| (k, tl.distinct_ases(horizon, min_dur)))
+                .collect(),
+        );
+    }
+
+    // Monte Carlo over adversary draws.
+    let mut curves = Vec::new();
+    for &rot in &config.rotation_periods {
+        let rot = rot.max(1);
+        let mut as_hits = vec![0u32; config.months];
+        let mut relay_hits = vec![0u32; config.months];
+        for trial in 0..config.trials {
+            let mut trial_rng =
+                StdRng::seed_from_u64(config.seed ^ (u64::from(trial) << 20) ^ rot as u64);
+            // Malicious draws for this trial.
+            let f_as = config.f_as;
+            let f_guard = config.f_guard;
+            let mut malicious_as: std::collections::BTreeMap<Asn, bool> =
+                Default::default();
+            let mut malicious_guard: std::collections::BTreeMap<
+                quicksand_tor::RelayId,
+                bool,
+            > = Default::default();
+            for (ci, &client) in clients.iter().enumerate() {
+                let mut as_done = false;
+                let mut relay_done = false;
+                for m in 0..config.months {
+                    // Guards in force this month under this rotation.
+                    let epoch_of_set = (m / rot) * rot;
+                    let guards = &guard_sets[ci][epoch_of_set.min(config.months - 1)];
+                    if !relay_done {
+                        let hit = guards.iter().any(|id| {
+                            *malicious_guard
+                                .entry(*id)
+                                .or_insert_with(|| trial_rng.gen_bool(f_guard))
+                        });
+                        if hit {
+                            relay_done = true;
+                        }
+                    }
+                    if !as_done {
+                        let mut union: BTreeSet<Asn> = BTreeSet::new();
+                        for id in guards {
+                            let ga = scenario.consensus.relay(*id).host_as;
+                            if let Some(set) = exposure[m].get(&(client, ga)) {
+                                union.extend(set.iter().copied());
+                            }
+                        }
+                        let hit = union.iter().any(|a| {
+                            *malicious_as
+                                .entry(*a)
+                                .or_insert_with(|| trial_rng.gen_bool(f_as))
+                        });
+                        if hit {
+                            as_done = true;
+                        }
+                    }
+                    if relay_done {
+                        relay_hits[m] += 1;
+                    }
+                    if as_done {
+                        as_hits[m] += 1;
+                    }
+                }
+            }
+        }
+        let denom = (config.trials as f64) * clients.len() as f64;
+        curves.push(LongTermCurve {
+            rotation_months: rot,
+            p_as_cumulative: as_hits.iter().map(|&h| f64::from(h) / denom).collect(),
+            p_relay_cumulative: relay_hits
+                .iter()
+                .map(|&h| f64::from(h) / denom)
+                .collect(),
+        });
+    }
+    LongTermResult {
+        curves,
+        months: config.months,
+    }
+}
+
+/// Render the study as a text table.
+pub fn render_long_term(r: &LongTermResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "L1: long-term anonymity — cumulative compromise probability by month"
+    );
+    for c in &r.curves {
+        let _ = writeln!(
+            s,
+            "  rotation every {} month(s):",
+            c.rotation_months
+        );
+        let _ = write!(s, "    month:      ");
+        for m in 1..=r.months {
+            let _ = write!(s, " {m:>6}");
+        }
+        let _ = writeln!(s);
+        let _ = write!(s, "    AS-level:   ");
+        for p in &c.p_as_cumulative {
+            let _ = write!(s, " {p:>6.3}");
+        }
+        let _ = writeln!(s);
+        let _ = write!(s, "    relay-level:");
+        for p in &c.p_relay_cumulative {
+            let _ = write!(s, " {p:>6.3}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> LongTermConfig {
+        LongTermConfig {
+            months: 4,
+            rotation_periods: vec![1, 4],
+            n_clients: 3,
+            trials: 60,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cumulative_curves_are_monotone() {
+        let (s, _) = crate::testworld::get();
+        let r = long_term_study(s, &small_config());
+        assert_eq!(r.curves.len(), 2);
+        for c in &r.curves {
+            for w in c.p_as_cumulative.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12, "AS curve not monotone");
+            }
+            for w in c.p_relay_cumulative.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12, "relay curve not monotone");
+            }
+            for p in c.p_as_cumulative.iter().chain(&c.p_relay_cumulative) {
+                assert!((0.0..=1.0).contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_guards_reduce_relay_level_risk() {
+        let (s, _) = crate::testworld::get();
+        let r = long_term_study(s, &small_config());
+        let monthly = &r.curves[0];
+        let pinned = &r.curves[1];
+        // By the final month, monthly rotation has sampled more guards,
+        // so relay-level risk is at least as high as with pinning.
+        let last = r.months - 1;
+        assert!(
+            monthly.p_relay_cumulative[last] >= pinned.p_relay_cumulative[last] - 0.05,
+            "rotation should not reduce relay-level risk: {} vs {}",
+            monthly.p_relay_cumulative[last],
+            pinned.p_relay_cumulative[last]
+        );
+    }
+
+    #[test]
+    fn as_level_risk_grows_even_with_pinned_guards() {
+        let (s, _) = crate::testworld::get();
+        let r = long_term_study(s, &small_config());
+        let pinned = r
+            .curves
+            .iter()
+            .find(|c| c.rotation_months >= 4)
+            .expect("pinned curve");
+        // The paper's point: AS-level exposure accumulates despite
+        // pinning — the final month's cumulative risk exceeds the
+        // first month's.
+        assert!(
+            pinned.p_as_cumulative[r.months - 1] > pinned.p_as_cumulative[0],
+            "AS-level risk failed to grow: {:?}",
+            pinned.p_as_cumulative
+        );
+    }
+
+    #[test]
+    fn rendering_mentions_both_adversaries() {
+        let (s, _) = crate::testworld::get();
+        let r = long_term_study(s, &small_config());
+        let text = render_long_term(&r);
+        assert!(text.contains("AS-level"));
+        assert!(text.contains("relay-level"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Plain-text rendering of experiment results, in the shape of the
+//! paper's tables and figures (figures render as sampled data series).
+
+use crate::countermeasures::{CircuitFilterEval, GuardStrategyEval, MonitoringEval, RealtimeMonitoringEval};
+use crate::experiments::{
+    ConvergenceExperiment, Fig2Left, Fig2Right, Fig3Left, Fig3Right, HijackExperiment,
+    InterceptExperiment, ModelSweep, StaticVsDynamic, StealthExperiment, Table1,
+};
+use std::fmt::Write as _;
+
+/// Render T1.
+pub fn render_table1(t: &Table1) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "T1: dataset statistics (paper values in parentheses)");
+    let _ = writeln!(s, "  relays:                {:>6}  (4586)", t.n_relays);
+    let _ = writeln!(s, "  guards:                {:>6}  (1918)", t.n_guards);
+    let _ = writeln!(s, "  exits:                 {:>6}  (891)", t.n_exits);
+    let _ = writeln!(s, "  guard+exit:            {:>6}  (442)", t.n_both);
+    let p = &t.prefix_stats;
+    let _ = writeln!(s, "  Tor prefixes:          {:>6}  (1251)", p.n_prefixes);
+    let _ = writeln!(s, "  origin ASes:           {:>6}  (650)", p.n_origin_ases);
+    let _ = writeln!(
+        s,
+        "  relays/prefix median:  {:>6}  (1)",
+        p.relays_per_prefix_median
+    );
+    let _ = writeln!(
+        s,
+        "  relays/prefix p75:     {:>6}  (2)",
+        p.relays_per_prefix_p75
+    );
+    let _ = writeln!(
+        s,
+        "  relays/prefix max:     {:>6}  (33)",
+        p.relays_per_prefix_max
+    );
+    let _ = writeln!(
+        s,
+        "  mean session visibility: {:>5.1}%  (40%)",
+        100.0 * t.mean_session_visibility
+    );
+    let _ = writeln!(
+        s,
+        "  max session visibility:  {:>5.1}%  (60%)",
+        100.0 * t.max_session_visibility
+    );
+    let _ = writeln!(
+        s,
+        "  median Tor pfx/session:  {:>5}  (438)",
+        t.median_prefixes_per_session
+    );
+    let _ = writeln!(
+        s,
+        "  max Tor pfx/session:     {:>5}  (1242)",
+        t.max_prefixes_per_session
+    );
+    s
+}
+
+/// Render F2L as a sampled curve.
+pub fn render_fig2_left(f: &Fig2Left) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "F2L: guard/exit relay concentration — top-5 AS share {:.1}% (paper ~20%), {} hosting ASes",
+        100.0 * f.top5_share,
+        f.n_hosting_ases
+    );
+    let _ = writeln!(s, "  #ASes  %relays");
+    for &k in &[1usize, 2, 5, 10, 20, 50, 100, 200, 500] {
+        if let Some(&(n, pct)) = f.curve.get(k.saturating_sub(1)) {
+            let _ = writeln!(s, "  {n:>5}  {pct:>6.1}");
+        }
+    }
+    s
+}
+
+/// Render F2R as the four time series.
+pub fn render_fig2_right(f: &Fig2Right) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "F2R: bytes sent/acked over time — min pairwise correlation {:.4} (paper: curves nearly identical)",
+        f.min_pairwise_correlation
+    );
+    let _ = write!(s, "  t(s)");
+    for (label, _) in &f.curves {
+        let _ = write!(s, "  {label:>22}");
+    }
+    let _ = writeln!(s);
+    let n = f.curves[0].1.len();
+    for i in (0..n).step_by((n / 10).max(1)) {
+        let _ = write!(s, "  {:>4.1}", f.curves[0].1[i].0);
+        for (_, pts) in &f.curves {
+            let _ = write!(s, "  {:>19.2} MB", pts[i].1);
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Render F3L (CCDF summary).
+pub fn render_fig3_left(f: &Fig3Left) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "F3L: Tor-prefix churn ratio CCDF — {:.1}% of ratios > 1 (paper >50%), max ratio {:.0}x",
+        100.0 * f.fraction_above_one,
+        f.max_ratio
+    );
+    let _ = writeln!(s, "  ratio   CCDF");
+    for x in [0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 1000.0] {
+        let _ = writeln!(s, "  {x:>6.1}  {:>5.3}", f.ccdf.at(x));
+    }
+    s
+}
+
+/// Render F3R (CCDF summary).
+pub fn render_fig3_right(f: &Fig3Right) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "F3R: extra ASes (≥5 min) per Tor prefix — ≥2 in {:.1}% (paper ~50%), >5 in {:.1}% (paper ~8%)",
+        100.0 * f.fraction_at_least_2,
+        100.0 * f.fraction_above_5
+    );
+    let _ = writeln!(s, "  extra  CCDF");
+    for x in [1.0, 2.0, 3.0, 5.0, 10.0, 15.0, 20.0] {
+        let _ = writeln!(s, "  {x:>5.0}  {:>5.3}", f.ccdf.at(x));
+    }
+    s
+}
+
+/// Render M1.
+pub fn render_model(m: &ModelSweep) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "M1: §3.1 model 1-(1-f)^(l·x) — analytic vs Monte Carlo");
+    let _ = writeln!(s, "     f    x   l  analytic   MC");
+    for &(f, x, l, a, mc) in &m.rows {
+        let _ = writeln!(s, "  {f:>4.2}  {x:>3}  {l:>2}   {a:>7.4}  {mc:>7.4}");
+    }
+    s
+}
+
+/// Render A1.
+pub fn render_hijack(h: &HijackExperiment) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "A1: guard-prefix hijack ({} samples/tier)",
+        h.samples_per_tier
+    );
+    let _ = writeln!(s, "  attacker  capture%  anonymity-set exposure%");
+    for (label, cap, anon) in &h.rows {
+        let _ = writeln!(
+            s,
+            "  {label:>8}  {:>7.1}  {:>7.1}",
+            100.0 * cap,
+            100.0 * anon
+        );
+    }
+    s
+}
+
+/// Render A2.
+pub fn render_intercept(i: &InterceptExperiment) -> String {
+    format!(
+        "A2: interception — feasible {:.1}% of {} samples; mean capture {:.1}%; \
+         mean forwarding observers {:.1}\n",
+        100.0 * i.feasibility,
+        i.samples,
+        100.0 * i.mean_capture,
+        i.mean_forwarding_observers
+    )
+}
+
+/// Render E9.
+pub fn render_convergence(e: &ConvergenceExperiment) -> String {
+    format!(
+        "E9: convergence transients — mean {:.2} extra ASes per client path; \
+         {:.1}% of client paths exposed ≥1 extra AS ({} samples)\n",
+        e.mean_extra,
+        100.0 * e.fraction_exposed,
+        e.samples.len()
+    )
+}
+
+/// Render the real-time monitoring evaluation (C1d).
+pub fn render_realtime_monitoring(e: &RealtimeMonitoringEval) -> String {
+    format!(
+        "C1d: real-time monitoring — {} attacks, detection rate {:.2}, mean latency {}; \
+         guard sets free of attacked prefixes: {:.1}% without advisories → {:.1}% with\n",
+        e.attacks,
+        e.detection_rate,
+        e.mean_detection_latency,
+        100.0 * e.unprotected_fraction,
+        100.0 * e.protected_fraction
+    )
+}
+
+/// Render P1.
+pub fn render_static_vs_dynamic(r: &StaticVsDynamic) -> String {
+    format!(
+        "P1: static vs dynamic exposure ({} pairs) — mean ASes {:.1} static → {:.1} \
+         over the month; P(compromise, f={:.2}) {:.3} → {:.3}; Gao inference \
+         accuracy on the same feed: {:.2}\n",
+        r.n_pairs,
+        r.mean_static,
+        r.mean_dynamic,
+        r.f,
+        r.p_static,
+        r.p_dynamic,
+        r.inference_accuracy
+    )
+}
+
+/// Render S1.
+pub fn render_stealth(e: &StealthExperiment) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "S1: community-scoped stealth hijacks ({} frontiers) — at max scoping: \
+         mean capture {:.1}%, mean collector visibility {:.1}%",
+        e.frontiers.len(),
+        100.0 * e.mean_stealthy_capture,
+        100.0 * e.mean_final_visibility
+    );
+    // Aggregate frontier: mean capture/visibility by blocked-edge count.
+    let max_len = e.frontiers.iter().map(|f| f.len()).max().unwrap_or(0);
+    let _ = writeln!(s, "  blocked  capture%  visibility%");
+    for k in 0..max_len {
+        let pts: Vec<_> = e.frontiers.iter().filter_map(|f| f.get(k)).collect();
+        if pts.is_empty() {
+            continue;
+        }
+        let cap = pts.iter().map(|p| p.capture).sum::<f64>() / pts.len() as f64;
+        let vis = pts.iter().map(|p| p.visibility).sum::<f64>() / pts.len() as f64;
+        let _ = writeln!(s, "  {k:>7}  {:>7.1}  {:>10.1}", 100.0 * cap, 100.0 * vis);
+    }
+    s
+}
+
+/// Render the guard-strategy table (C1a).
+pub fn render_guard_strategies(e: &GuardStrategyEval) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "C1a: guard selection over {} clients, {} guards each",
+        e.n_clients, e.guards_per_client
+    );
+    let _ = write!(s, "  {:<16}  mean x", "strategy");
+    for f in &e.fs {
+        let _ = write!(s, "   P(f={f:.2})");
+    }
+    let _ = writeln!(s);
+    for (st, x, ps) in &e.rows {
+        let _ = write!(s, "  {:<16}  {x:>6.1}", st.name());
+        for p in ps {
+            let _ = write!(s, "   {p:>8.4}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Render the circuit-filter evaluation (C1b).
+pub fn render_circuit_filter(e: &CircuitFilterEval) -> String {
+    format!(
+        "C1b: AS-disjoint circuits ({} sampled) — vanilla overlap {:.1}%; \
+         static-filter residual {:.1}%; dynamics-aware residual {:.1}%\n",
+        e.n_circuits,
+        100.0 * e.vanilla_overlap,
+        100.0 * e.static_filter_residual,
+        100.0 * e.dynamic_filter_residual
+    )
+}
+
+/// Render the monitoring evaluation (C1c).
+pub fn render_monitoring(e: &MonitoringEval) -> String {
+    format!(
+        "C1c: monitoring — natural alarm rate {:.3}/pair; hijack recall {:.2} \
+         (precision {:.2}); splice recall {:.2} (precision {:.2})\n",
+        e.natural_alarm_rate,
+        e.hijack_score.recall(),
+        e.hijack_score.precision(),
+        e.splice_score.recall(),
+        e.splice_score.precision()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+
+    #[test]
+    fn renderers_produce_nonempty_output() {
+        let (s, m) = crate::testworld::get();
+        let t1 = experiments::table1(s, m);
+        assert!(render_table1(&t1).contains("Tor prefixes"));
+        let f2l = experiments::fig2_left(s);
+        assert!(render_fig2_left(&f2l).contains("top-5"));
+        let f3l = experiments::fig3_left(s, m);
+        assert!(render_fig3_left(&f3l).contains("CCDF"));
+        let f3r = experiments::fig3_right(s, m);
+        assert!(render_fig3_right(&f3r).contains("extra"));
+        let model = experiments::model_sweep(&[0.05], &[4], &[3], 1000);
+        assert!(render_model(&model).contains("Monte Carlo"));
+    }
+}

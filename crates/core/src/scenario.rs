@@ -1,0 +1,451 @@
+//! End-to-end scenario orchestration: the paper's measurement pipeline.
+//!
+//! [`Scenario::build`] assembles the world: a tiered AS topology, an
+//! address/announcement plan, a calibrated Tor consensus, the relay→
+//! prefix join ("Tor prefixes"), and a set of route-collector sessions.
+//! [`Scenario::run_month`] then plays a month of churn through the
+//! fast-reconvergence BGP simulator, records collector update logs
+//! (session resets included), and applies the paper's cleaning pass —
+//! yielding exactly the dataset shape §4 analyzes.
+//!
+//! [`Scenario::path_history`] is the same replay but recording path
+//! timelines at arbitrary vantage ASes (e.g. sampled Tor clients toward
+//! their guards), which feeds the temporal-compromise model and the
+//! countermeasure evaluation.
+
+use quicksand_bgp::metrics::PathTimeline;
+use quicksand_bgp::{
+    clean_session_resets, ChurnConfig, ChurnGenerator, CleaningConfig, Collector,
+    CollectorConfig, FastConverge, PrefixTable, UpdateLog,
+};
+use quicksand_net::{Asn, Ipv4Prefix, SimTime};
+use quicksand_topology::{GeneratedTopology, TopologyConfig, TopologyGenerator};
+use quicksand_tor::{
+    map_tor_prefixes, AddressPlan, AddressPlanConfig, Consensus, ConsensusConfig,
+    ConsensusGenerator, TorPrefixes,
+};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration for [`Scenario::build`].
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Topology generation.
+    pub topology: TopologyConfig,
+    /// Address/announcement plan.
+    pub plan: AddressPlanConfig,
+    /// Tor consensus generation.
+    pub consensus: ConsensusConfig,
+    /// Churn schedule.
+    pub churn: ChurnConfig,
+    /// Collector construction (feed mix, reset rate).
+    pub collector: CollectorConfig,
+    /// Number of collector eBGP sessions (the paper used >70 across 4
+    /// collectors).
+    pub n_sessions: usize,
+    /// Number of control (non-Tor) origin ASes whose prefixes are also
+    /// tracked, providing the per-session churn medians of Fig 3.
+    pub n_control_origins: usize,
+    /// Master seed for vantage/control sampling.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            topology: TopologyConfig::default(),
+            plan: AddressPlanConfig::default(),
+            consensus: ConsensusConfig::default(),
+            churn: ChurnConfig::default(),
+            collector: CollectorConfig::default(),
+            n_sessions: 70,
+            n_control_origins: 300,
+            seed: 0x5CEA,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A small configuration for tests: a few hundred ASes, 300 relays,
+    /// a week of churn, 12 sessions.
+    pub fn small(seed: u64) -> Self {
+        ScenarioConfig {
+            topology: TopologyConfig::small(seed),
+            consensus: ConsensusConfig::small(seed),
+            churn: ChurnConfig {
+                horizon: quicksand_net::SimDuration::from_days(7),
+                seed,
+                ..Default::default()
+            },
+            collector: CollectorConfig {
+                horizon: quicksand_net::SimDuration::from_days(7),
+                seed,
+                ..Default::default()
+            },
+            n_sessions: 12,
+            n_control_origins: 60,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// A fully assembled world.
+pub struct Scenario {
+    /// The scenario's configuration.
+    pub config: ScenarioConfig,
+    /// Topology and roles.
+    pub topo: GeneratedTopology,
+    /// Address plan and announced prefixes.
+    pub plan: AddressPlan,
+    /// The Tor consensus.
+    pub consensus: Consensus,
+    /// The relay→prefix join.
+    pub tor_prefixes: TorPrefixes,
+    /// The ASes peering with the collectors (one session each).
+    pub session_peers: Vec<Asn>,
+    /// Control origins whose prefixes pad the tracked population.
+    pub control_origins: Vec<Asn>,
+}
+
+/// The outcome of a month-long measurement run.
+pub struct MonthResult {
+    /// The raw update log (reset artifacts included).
+    pub raw: UpdateLog,
+    /// The cleaned log (duplicates removed, as the paper does).
+    pub cleaned: UpdateLog,
+    /// How many duplicate records the cleaning removed.
+    pub removed_duplicates: usize,
+    /// How many session-reset bursts were detected.
+    pub reset_bursts: usize,
+    /// End of the measurement horizon.
+    pub horizon_end: SimTime,
+}
+
+impl Scenario {
+    /// Assemble the world from a configuration.
+    pub fn build(config: ScenarioConfig) -> Scenario {
+        let topo = TopologyGenerator::new(config.topology.clone()).generate();
+        let plan = AddressPlan::generate(&topo.graph, &topo.hosting, &config.plan);
+        let asns: Vec<Asn> = topo.graph.asns().collect();
+        let consensus = ConsensusGenerator::new(config.consensus.clone()).generate(
+            &plan,
+            &topo.hosting,
+            &asns,
+        );
+        let tor_prefixes = map_tor_prefixes(&consensus, &plan.table);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Collector peers: RIS peers are ISPs, so draw a quarter from
+        // the tier-1 clique and the rest from the *largest* tier-2s
+        // (customer-cone size drives how much of the table a partial
+        // feed exports — the paper's sessions saw a median of 35% of
+        // Tor prefixes).
+        let mut peers: Vec<Asn> = Vec::new();
+        peers.extend(topo.tier1.iter().take(config.n_sessions / 4));
+        let mut t2 = topo.tier2.clone();
+        t2.sort_by_key(|a| std::cmp::Reverse(topo.graph.customers(*a).len()));
+        for a in t2 {
+            if peers.len() >= config.n_sessions {
+                break;
+            }
+            if !peers.contains(&a) {
+                peers.push(a);
+            }
+        }
+        let mut stubs = topo.stubs.clone();
+        stubs.shuffle(&mut rng);
+        for s in stubs {
+            if peers.len() >= config.n_sessions {
+                break;
+            }
+            if !peers.contains(&s) {
+                peers.push(s);
+            }
+        }
+        peers.truncate(config.n_sessions);
+
+        // Control origins: ASes hosting no relays.
+        let relay_ases: BTreeSet<Asn> =
+            consensus.relays.iter().map(|r| r.host_as).collect();
+        let mut control: Vec<Asn> = topo
+            .graph
+            .asns()
+            .filter(|a| !relay_ases.contains(a))
+            .collect();
+        control.shuffle(&mut rng);
+        control.truncate(config.n_control_origins);
+        control.sort();
+
+        Scenario {
+            config,
+            topo,
+            plan,
+            consensus,
+            tor_prefixes,
+            session_peers: peers,
+            control_origins: control,
+        }
+    }
+
+    /// The announced-prefix table.
+    pub fn table(&self) -> &PrefixTable {
+        &self.plan.table
+    }
+
+    /// All tracked prefixes (Tor + control), with their origins.
+    pub fn tracked_prefixes(&self) -> BTreeMap<Ipv4Prefix, Asn> {
+        let mut out: BTreeMap<Ipv4Prefix, Asn> = self
+            .tor_prefixes
+            .origin_by_prefix
+            .iter()
+            .map(|(p, a)| (*p, *a))
+            .collect();
+        for &o in &self.control_origins {
+            for p in self.plan.table.prefixes_of(o) {
+                out.insert(p, o);
+            }
+        }
+        out
+    }
+
+    /// The Tor prefixes (guard/exit-hosting).
+    pub fn tor_prefix_set(&self) -> BTreeSet<Ipv4Prefix> {
+        self.tor_prefixes.prefixes()
+    }
+
+    /// Play the churn schedule, recording collector update logs, then
+    /// clean session resets. This is the paper's dataset construction.
+    pub fn run_month(&self) -> MonthResult {
+        let tracked = self.tracked_prefixes();
+        let origins: BTreeSet<Asn> = tracked.values().copied().collect();
+        let prefixes_by_origin: BTreeMap<Asn, Vec<Ipv4Prefix>> = {
+            let mut m: BTreeMap<Asn, Vec<Ipv4Prefix>> = BTreeMap::new();
+            for (p, o) in &tracked {
+                m.entry(*o).or_default().push(*p);
+            }
+            m
+        };
+        let all_prefixes: Vec<Ipv4Prefix> = tracked.keys().copied().collect();
+
+        let mut fc = FastConverge::new(self.topo.graph.clone(), origins.iter().copied());
+        let mut collector = Collector::new(&self.session_peers, &self.config.collector);
+        let mut log = UpdateLog::default();
+        let horizon_end = SimTime::ZERO + self.config.churn.horizon;
+
+        let observe =
+            |fc: &FastConverge,
+             collector: &mut Collector,
+             log: &mut UpdateLog,
+             at: SimTime,
+             prefixes: &[Ipv4Prefix],
+             tracked: &BTreeMap<Ipv4Prefix, Asn>| {
+                collector.observe(
+                    at,
+                    prefixes,
+                    |peer, prefix| {
+                        let origin = *tracked.get(&prefix)?;
+                        let tree = fc.tree(origin)?;
+                        let path = tree.as_path_at(fc.graph(), peer)?;
+                        let class = tree.class_of(fc.graph(), peer)?;
+                        Some((path, class))
+                    },
+                    log,
+                );
+            };
+
+        // Initial table dump at t = 0.
+        observe(
+            &fc,
+            &mut collector,
+            &mut log,
+            SimTime::ZERO,
+            &all_prefixes,
+            &tracked,
+        );
+
+        // Play the schedule.
+        let events = ChurnGenerator::new(self.config.churn.clone())
+            .generate(&self.topo.graph, &self.topo.hosting);
+        for ev in events {
+            let affected = fc.apply(ev.change);
+            if affected.is_empty() {
+                continue;
+            }
+            let mut prefixes: Vec<Ipv4Prefix> = Vec::new();
+            for o in affected {
+                if let Some(ps) = prefixes_by_origin.get(&o) {
+                    prefixes.extend_from_slice(ps);
+                }
+            }
+            if !prefixes.is_empty() {
+                observe(&fc, &mut collector, &mut log, ev.at, &prefixes, &tracked);
+            }
+        }
+
+        // Final observation flushes trailing session resets.
+        observe(
+            &fc,
+            &mut collector,
+            &mut log,
+            horizon_end,
+            &all_prefixes,
+            &tracked,
+        );
+
+        let (cleaned, removed_duplicates, reset_bursts) =
+            clean_session_resets(&log, &CleaningConfig::default());
+        MonthResult {
+            raw: log,
+            cleaned,
+            removed_duplicates,
+            reset_bursts,
+            horizon_end,
+        }
+    }
+
+    /// Replay the same churn schedule, recording the AS-set timeline of
+    /// the path from each `vantage` toward each `origin` — the
+    /// (client, guard) exposure histories behind the §3.1 model and the
+    /// §5 countermeasures. Timelines start at t = 0 with the initial
+    /// path.
+    pub fn path_history(
+        &self,
+        vantages: &[Asn],
+        origins: &[Asn],
+    ) -> BTreeMap<(Asn, Asn), PathTimeline> {
+        self.path_history_seeded(vantages, origins, self.config.churn.seed)
+    }
+
+    /// [`Scenario::path_history`] with an explicit churn seed — used to
+    /// model *successive* measurement epochs (each month of churn is a
+    /// fresh draw from the same instability distribution, over the same
+    /// topology).
+    pub fn path_history_seeded(
+        &self,
+        vantages: &[Asn],
+        origins: &[Asn],
+        churn_seed: u64,
+    ) -> BTreeMap<(Asn, Asn), PathTimeline> {
+        let origin_set: BTreeSet<Asn> = origins.iter().copied().collect();
+        let mut fc = FastConverge::new(self.topo.graph.clone(), origin_set.iter().copied());
+        let mut out: BTreeMap<(Asn, Asn), PathTimeline> = BTreeMap::new();
+
+        let record = |fc: &FastConverge,
+                      out: &mut BTreeMap<(Asn, Asn), PathTimeline>,
+                      at: SimTime,
+                      origins: &[Asn],
+                      vantages: &[Asn]| {
+            for &o in origins {
+                let Some(tree) = fc.tree(o) else { continue };
+                for &v in vantages {
+                    let set: BTreeSet<Asn> = tree
+                        .path_from(fc.graph(), v)
+                        .map(|p| p.into_iter().collect())
+                        .unwrap_or_default();
+                    let tl = out.entry((v, o)).or_default();
+                    if tl.points.last().map(|(_, s)| s) != Some(&set) {
+                        tl.points.push((at, set));
+                    }
+                }
+            }
+        };
+
+        let all_origins: Vec<Asn> = origin_set.iter().copied().collect();
+        record(&fc, &mut out, SimTime::ZERO, &all_origins, vantages);
+        let events = ChurnGenerator::new(ChurnConfig {
+            seed: churn_seed,
+            ..self.config.churn.clone()
+        })
+        .generate(&self.topo.graph, &self.topo.hosting);
+        for ev in events {
+            let affected = fc.apply(ev.change);
+            if !affected.is_empty() {
+                record(&fc, &mut out, ev.at, &affected, vantages);
+            }
+        }
+        out
+    }
+
+    /// The horizon end of the configured churn schedule.
+    pub fn horizon_end(&self) -> SimTime {
+        SimTime::ZERO + self.config.churn.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> &'static (Scenario, MonthResult) {
+        crate::testworld::get()
+    }
+
+    #[test]
+    fn build_produces_consistent_world() {
+        let (s, _) = world();
+        assert_eq!(s.consensus.len(), s.config.consensus.n_relays);
+        assert!(!s.tor_prefixes.is_empty());
+        assert!(s.tor_prefixes.unmatched.is_empty(), "plan covers all relays");
+        assert_eq!(s.session_peers.len(), s.config.n_sessions);
+        // Control origins host no relays.
+        let relay_ases: BTreeSet<Asn> =
+            s.consensus.relays.iter().map(|r| r.host_as).collect();
+        assert!(s.control_origins.iter().all(|o| !relay_ases.contains(o)));
+        // Tracked = tor + control prefixes.
+        let tracked = s.tracked_prefixes();
+        assert!(tracked.len() >= s.tor_prefixes.len());
+    }
+
+    #[test]
+    fn month_run_produces_cleanable_logs() {
+        let (s, m) = world();
+        assert!(!m.raw.is_empty());
+        assert!(m.cleaned.len() <= m.raw.len());
+        assert!(m.removed_duplicates > 0, "resets should create duplicates");
+        // Every session produced at least one record.
+        assert!(!m.cleaned.sessions().is_empty());
+        // Some Tor prefix changed paths during the week.
+        let tor = s.tor_prefix_set();
+        let changes = quicksand_bgp::metrics::path_changes(&m.cleaned);
+        let tor_changes: u32 = changes
+            .iter()
+            .filter(|((_, p), _)| tor.contains(p))
+            .map(|(_, &c)| c)
+            .sum();
+        assert!(tor_changes > 0, "no Tor-prefix churn observed");
+    }
+
+    #[test]
+    fn path_history_records_initial_and_changes() {
+        let (s, _) = world();
+        let clients: Vec<Asn> = s.topo.stubs.iter().copied().take(3).collect();
+        let guards: Vec<Asn> = s
+            .consensus
+            .guards()
+            .map(|r| r.host_as)
+            .take(3)
+            .collect();
+        let hist = s.path_history(&clients, &guards);
+        assert_eq!(hist.len(), clients.len() * guards.len());
+        for ((v, o), tl) in &hist {
+            assert!(
+                !tl.points.is_empty(),
+                "no initial path for {v}→{o}"
+            );
+            // First point is at t=0 with a non-empty set (connected graph).
+            assert_eq!(tl.points[0].0, SimTime::ZERO);
+            assert!(!tl.points[0].1.is_empty());
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = Scenario::build(ScenarioConfig::small(5)).run_month();
+        let b = Scenario::build(ScenarioConfig::small(5)).run_month();
+        assert_eq!(a.raw.len(), b.raw.len());
+        assert_eq!(a.cleaned.len(), b.cleaned.len());
+        assert_eq!(a.removed_duplicates, b.removed_duplicates);
+    }
+}

@@ -1,0 +1,72 @@
+//! Autonomous-system numbers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An autonomous-system number (32-bit, per RFC 6793).
+///
+/// `Asn` is a transparent newtype so it can be used as a map key, sorted
+/// deterministically, and formatted in the conventional `AS<number>` form.
+///
+/// ```
+/// use quicksand_net::Asn;
+/// let hetzner = Asn(24940);
+/// assert_eq!(hetzner.to_string(), "AS24940");
+/// assert!(Asn(1) < Asn(2));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The raw 32-bit AS number.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Debug for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_debug_use_as_prefix() {
+        assert_eq!(Asn(65000).to_string(), "AS65000");
+        assert_eq!(format!("{:?}", Asn(7)), "AS7");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![Asn(30), Asn(2), Asn(100)];
+        v.sort();
+        assert_eq!(v, vec![Asn(2), Asn(30), Asn(100)]);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let j = serde_json::to_string(&Asn(42)).unwrap();
+        assert_eq!(j, "42");
+        let back: Asn = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, Asn(42));
+    }
+}

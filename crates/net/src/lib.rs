@@ -1,0 +1,35 @@
+//! Fundamental networking types shared by every crate in the `quicksand`
+//! workspace.
+//!
+//! This crate deliberately has no knowledge of BGP, Tor, or traffic
+//! analysis; it only provides the vocabulary those subsystems speak:
+//!
+//! * [`Asn`] — an autonomous-system number.
+//! * [`Ipv4Prefix`] — a CIDR IPv4 prefix with containment/specificity
+//!   relations.
+//! * [`PrefixTrie`] — a binary radix trie supporting exact and
+//!   longest-prefix-match lookups (used to map Tor relay addresses to the
+//!   most-specific announced BGP prefix, the paper's "Tor prefixes").
+//! * [`AsPath`] — a BGP AS-level path with loop detection and the
+//!   distinct-AS queries the paper's metrics are built on.
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time.
+//!
+//! Everything is plain data: `Copy` where cheap, deterministic `Ord`
+//! implementations so collections iterate reproducibly, and `serde`
+//! support so higher layers can persist artifacts (consensus files,
+//! update logs) as JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asn;
+mod aspath;
+mod prefix;
+mod time;
+mod trie;
+
+pub use asn::Asn;
+pub use aspath::AsPath;
+pub use prefix::{Ipv4Prefix, PrefixParseError};
+pub use time::{SimDuration, SimTime};
+pub use trie::PrefixTrie;

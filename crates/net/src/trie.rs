@@ -1,0 +1,362 @@
+//! A binary radix (Patricia-style, uncompressed) trie over IPv4 prefixes.
+//!
+//! The paper maps every Tor relay to "the most specific BGP prefix that
+//! contained it" — a classic longest-prefix-match query. [`PrefixTrie`]
+//! supports exact insert/lookup/remove plus longest-prefix match against
+//! both host addresses and prefixes, and iteration in canonical order.
+//!
+//! The trie is uncompressed (one node per bit of depth). IPv4 depth is at
+//! most 32, so lookups touch ≤ 33 nodes; with the prefix populations used
+//! in this workspace (thousands) memory is negligible and the simplicity
+//! is worth more than path compression — the same trade the smoltcp guide
+//! makes ("design anti-goals include complicated … tricks").
+
+use crate::Ipv4Prefix;
+use std::net::Ipv4Addr;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A map from [`Ipv4Prefix`] to `T` with longest-prefix-match lookup.
+///
+/// ```
+/// use quicksand_net::{Ipv4Prefix, PrefixTrie};
+/// let mut t = PrefixTrie::new();
+/// t.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+/// t.insert("10.5.0.0/16".parse().unwrap(), "fine");
+/// let (p, v) = t.longest_match_addr("10.5.1.2".parse().unwrap()).unwrap();
+/// assert_eq!(p.to_string(), "10.5.0.0/16");
+/// assert_eq!(*v, "fine");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value at `prefix`, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&T> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            node = node.children[prefix.bit(i) as usize].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: &Ipv4Prefix) -> Option<&mut T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            node = node.children[prefix.bit(i) as usize].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Remove the value at `prefix`, returning it if present.
+    ///
+    /// Interior nodes are left in place (no pruning); with ≤ 32-deep
+    /// tries and the populations used here this never matters, and it
+    /// keeps removal trivially correct.
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            node = node.children[prefix.bit(i) as usize].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match for a host address: the most-specific stored
+    /// prefix containing `addr`, with its value.
+    pub fn longest_match_addr(&self, addr: Ipv4Addr) -> Option<(Ipv4Prefix, &T)> {
+        self.longest_match(&Ipv4Prefix::new(addr, 32))
+    }
+
+    /// Longest-prefix match for a prefix: the most-specific stored prefix
+    /// that contains (is equal to or less specific than) `prefix`.
+    pub fn longest_match(&self, prefix: &Ipv4Prefix) -> Option<(Ipv4Prefix, &T)> {
+        let mut node = &self.root;
+        let mut best: Option<(u8, &T)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..prefix.len() {
+            match node.children[prefix.bit(i) as usize].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Ipv4Prefix::from_u32(prefix.network_u32(), len), v))
+    }
+
+    /// All stored prefixes that contain `prefix`, least specific first,
+    /// with their values (the "covering chain").
+    pub fn matches<'a>(&'a self, prefix: &Ipv4Prefix) -> Vec<(Ipv4Prefix, &'a T)> {
+        let mut out = Vec::new();
+        let mut node = &self.root;
+        if let Some(v) = node.value.as_ref() {
+            out.push((Ipv4Prefix::from_u32(0, 0), v));
+        }
+        for i in 0..prefix.len() {
+            match node.children[prefix.bit(i) as usize].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        out.push((Ipv4Prefix::from_u32(prefix.network_u32(), i + 1), v));
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Iterate over all `(prefix, value)` pairs in canonical order
+    /// (network address ascending, shorter prefixes before their
+    /// more-specifics).
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        Self::collect(&self.root, 0, 0, &mut out);
+        out.into_iter()
+    }
+
+    fn collect<'a>(
+        node: &'a Node<T>,
+        addr: u32,
+        depth: u8,
+        out: &mut Vec<(Ipv4Prefix, &'a T)>,
+    ) {
+        if let Some(v) = node.value.as_ref() {
+            out.push((Ipv4Prefix::from_u32(addr, depth), v));
+        }
+        for (b, child) in node.children.iter().enumerate() {
+            if let Some(child) = child.as_deref() {
+                let next = if b == 1 {
+                    addr | (1u32 << (31 - depth))
+                } else {
+                    addr
+                };
+                Self::collect(child, next, depth + 1, out);
+            }
+        }
+    }
+}
+
+impl<T> FromIterator<(Ipv4Prefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, T)>>(iter: I) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> PrefixTrie<&'static str> {
+        [
+            (p("0.0.0.0/0"), "default"),
+            (p("10.0.0.0/8"), "ten"),
+            (p("10.5.0.0/16"), "ten-five"),
+            (p("10.5.3.0/24"), "ten-five-three"),
+            (p("192.168.0.0/16"), "rfc1918"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(2));
+        assert_eq!(t.remove(&p("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut t = sample();
+        *t.get_mut(&p("10.0.0.0/8")).unwrap() = "changed";
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&"changed"));
+    }
+
+    #[test]
+    fn longest_match_picks_most_specific() {
+        let t = sample();
+        let (q, v) = t.longest_match_addr("10.5.3.99".parse().unwrap()).unwrap();
+        assert_eq!((q, *v), (p("10.5.3.0/24"), "ten-five-three"));
+        let (q, v) = t.longest_match_addr("10.5.9.1".parse().unwrap()).unwrap();
+        assert_eq!((q, *v), (p("10.5.0.0/16"), "ten-five"));
+        let (q, v) = t.longest_match_addr("10.9.9.9".parse().unwrap()).unwrap();
+        assert_eq!((q, *v), (p("10.0.0.0/8"), "ten"));
+        let (q, v) = t.longest_match_addr("8.8.8.8".parse().unwrap()).unwrap();
+        assert_eq!((q, *v), (p("0.0.0.0/0"), "default"));
+    }
+
+    #[test]
+    fn longest_match_without_default_can_miss() {
+        let mut t = sample();
+        t.remove(&p("0.0.0.0/0"));
+        assert!(t.longest_match_addr("8.8.8.8".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn longest_match_on_prefix_requires_containment() {
+        let t = sample();
+        // 10.5.0.0/12 is *less* specific than 10.5.0.0/16, so only /8 covers it.
+        let (q, _) = t.longest_match(&p("10.0.0.0/12")).unwrap();
+        assert_eq!(q, p("10.0.0.0/8"));
+        // Exact stored prefix matches itself.
+        let (q, _) = t.longest_match(&p("10.5.0.0/16")).unwrap();
+        assert_eq!(q, p("10.5.0.0/16"));
+    }
+
+    #[test]
+    fn matches_returns_covering_chain() {
+        let t = sample();
+        let chain: Vec<_> = t
+            .matches(&p("10.5.3.0/24"))
+            .into_iter()
+            .map(|(q, _)| q)
+            .collect();
+        assert_eq!(
+            chain,
+            vec![p("0.0.0.0/0"), p("10.0.0.0/8"), p("10.5.0.0/16"), p("10.5.3.0/24")]
+        );
+    }
+
+    #[test]
+    fn iteration_is_canonical_and_complete() {
+        let t = sample();
+        let all: Vec<_> = t.iter().map(|(q, _)| q).collect();
+        assert_eq!(all.len(), t.len());
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+        (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Ipv4Prefix::from_u32(a, l))
+    }
+
+    proptest! {
+        /// The trie's longest match must agree with a brute-force linear
+        /// scan over the stored prefixes.
+        #[test]
+        fn lpm_equals_linear_scan(
+            prefixes in proptest::collection::vec(arb_prefix(), 1..40),
+            addr in any::<u32>(),
+        ) {
+            let trie: PrefixTrie<usize> =
+                prefixes.iter().copied().zip(0..).collect();
+            let addr = std::net::Ipv4Addr::from(addr);
+            let expected = prefixes
+                .iter()
+                .filter(|p| p.contains_addr(addr))
+                .max_by_key(|p| p.len())
+                .copied();
+            let got = trie.longest_match_addr(addr).map(|(p, _)| p);
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Insert-then-get returns the inserted value; remove erases it.
+        #[test]
+        fn insert_get_remove_roundtrip(prefix in arb_prefix(), v in any::<u64>()) {
+            let mut t = PrefixTrie::new();
+            prop_assert_eq!(t.insert(prefix, v), None);
+            prop_assert_eq!(t.get(&prefix), Some(&v));
+            prop_assert_eq!(t.remove(&prefix), Some(v));
+            prop_assert_eq!(t.get(&prefix), None);
+        }
+
+        /// Iteration yields exactly the distinct inserted prefixes, sorted.
+        #[test]
+        fn iteration_matches_contents(
+            prefixes in proptest::collection::vec(arb_prefix(), 0..40),
+        ) {
+            let trie: PrefixTrie<()> =
+                prefixes.iter().map(|p| (*p, ())).collect();
+            let mut expected: Vec<_> = prefixes.clone();
+            expected.sort();
+            expected.dedup();
+            let got: Vec<_> = trie.iter().map(|(p, _)| p).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

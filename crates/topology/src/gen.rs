@@ -1,0 +1,361 @@
+//! Seeded generator for tiered, power-law-ish AS topologies.
+//!
+//! The real 2014 Internet (~47k ASes) is substituted by a configurable
+//! scale model that preserves the structural regimes the paper's metrics
+//! depend on (see DESIGN.md §2):
+//!
+//! * a provider-free **tier-1 clique** at the top,
+//! * a layer of **tier-2 transit** ASes, multihomed to tier-1s/other
+//!   tier-2s with preferential attachment (producing power-law customer
+//!   degrees) and some settlement-free peering among themselves,
+//! * a majority of **stub** ASes multihomed to 1–3 transit providers,
+//! * a designated subset of stubs/tier-2s flagged as **hosting ASes** —
+//!   the "Hetzner/OVH" role where Tor relays concentrate; they get extra
+//!   multihoming like real hosting providers.
+//!
+//! Average AS-path lengths come out around 4 hops at default scale,
+//! matching the figure the paper cites [23].
+
+use crate::graph::{AsGraph, Tier};
+use quicksand_net::Asn;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for [`TopologyGenerator`].
+#[derive(Clone, Debug)]
+pub struct TopologyConfig {
+    /// Total number of ASes.
+    pub n_ases: usize,
+    /// Number of tier-1 (provider-free, fully peered) ASes.
+    pub n_tier1: usize,
+    /// Fraction of the remaining ASes that are tier-2 transit.
+    pub frac_tier2: f64,
+    /// Fraction of non-tier-1 ASes that are hosting ASes.
+    pub frac_hosting: f64,
+    /// Probability that a pair of tier-2 ASes peers (sampled per pair up
+    /// to a cap, so density stays sane at scale).
+    pub t2_peering_prob: f64,
+    /// Maximum providers for ordinary stubs (min is always 1).
+    pub max_stub_providers: usize,
+    /// Maximum providers for hosting ASes (hosting providers multihome
+    /// more aggressively).
+    pub max_hosting_providers: usize,
+    /// RNG seed; same seed ⇒ identical topology.
+    pub seed: u64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            n_ases: 2000,
+            n_tier1: 8,
+            frac_tier2: 0.15,
+            frac_hosting: 0.03,
+            t2_peering_prob: 0.02,
+            max_stub_providers: 3,
+            max_hosting_providers: 5,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// A small configuration (200 ASes) for fast tests.
+    pub fn small(seed: u64) -> Self {
+        TopologyConfig {
+            n_ases: 200,
+            n_tier1: 4,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates an [`AsGraph`] plus role metadata from a [`TopologyConfig`].
+#[derive(Clone, Debug)]
+pub struct TopologyGenerator {
+    config: TopologyConfig,
+}
+
+/// The generator's output: the graph and the ASNs in each role.
+#[derive(Clone, Debug)]
+pub struct GeneratedTopology {
+    /// The AS graph.
+    pub graph: AsGraph,
+    /// Tier-1 ASNs (ascending).
+    pub tier1: Vec<Asn>,
+    /// Tier-2 transit ASNs (ascending).
+    pub tier2: Vec<Asn>,
+    /// Stub ASNs (ascending).
+    pub stubs: Vec<Asn>,
+    /// Hosting ASNs (subset of tier2 ∪ stubs, ascending) — where Tor
+    /// relays will concentrate.
+    pub hosting: Vec<Asn>,
+}
+
+impl TopologyGenerator {
+    /// Create a generator for the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is degenerate (fewer than 2 tier-1s,
+    /// or more tier-1s than ASes).
+    pub fn new(config: TopologyConfig) -> Self {
+        assert!(config.n_tier1 >= 2, "need at least 2 tier-1 ASes");
+        assert!(
+            config.n_ases > config.n_tier1,
+            "need more ASes than tier-1s"
+        );
+        TopologyGenerator { config }
+    }
+
+    /// Generate the topology.
+    pub fn generate(&self) -> GeneratedTopology {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let mut graph = AsGraph::new();
+
+        // ASNs are assigned 1..=n, tier-1s first, then tier-2s, then stubs.
+        let n_t2 = ((c.n_ases - c.n_tier1) as f64 * c.frac_tier2).round() as usize;
+        let n_stub = c.n_ases - c.n_tier1 - n_t2;
+
+        let tier1: Vec<Asn> = (1..=c.n_tier1 as u32).map(Asn).collect();
+        let tier2: Vec<Asn> = (0..n_t2)
+            .map(|i| Asn((c.n_tier1 + i) as u32 + 1))
+            .collect();
+        let stubs: Vec<Asn> = (0..n_stub)
+            .map(|i| Asn((c.n_tier1 + n_t2 + i) as u32 + 1))
+            .collect();
+
+        for &a in &tier1 {
+            graph.add_as(a, Tier::Tier1).unwrap();
+        }
+        for &a in &tier2 {
+            graph.add_as(a, Tier::Tier2).unwrap();
+        }
+        for &a in &stubs {
+            graph.add_as(a, Tier::Stub).unwrap();
+        }
+
+        // Tier-1 full peering clique.
+        for i in 0..tier1.len() {
+            for j in (i + 1)..tier1.len() {
+                graph.add_peering(tier1[i], tier1[j]).unwrap();
+            }
+        }
+
+        // Preferential attachment weight: 1 + current customer count.
+        // `transit` collects eligible providers in creation order so the
+        // early tier-2s accumulate customers first (rich get richer).
+        let mut transit: Vec<Asn> = tier1.clone();
+        let mut customer_count: Vec<usize> = vec![0; c.n_ases + 1];
+
+        let pick_providers =
+            |rng: &mut StdRng,
+             transit: &[Asn],
+             customer_count: &mut Vec<usize>,
+             me: Asn,
+             n_providers: usize| {
+                let mut chosen: Vec<Asn> = Vec::new();
+                // Weighted sampling without replacement by repeated draws.
+                let mut guard = 0;
+                while chosen.len() < n_providers && guard < 1000 {
+                    guard += 1;
+                    let total: usize = transit
+                        .iter()
+                        .filter(|a| **a != me && !chosen.contains(a))
+                        .map(|a| 1 + customer_count[a.0 as usize])
+                        .sum();
+                    if total == 0 {
+                        break;
+                    }
+                    let mut x = rng.gen_range(0..total);
+                    for &a in transit {
+                        if a == me || chosen.contains(&a) {
+                            continue;
+                        }
+                        let w = 1 + customer_count[a.0 as usize];
+                        if x < w {
+                            chosen.push(a);
+                            break;
+                        }
+                        x -= w;
+                    }
+                }
+                for &p in &chosen {
+                    customer_count[p.0 as usize] += 1;
+                }
+                chosen
+            };
+
+        // Hosting role assignment: a deterministic sample over tier-2s
+        // and stubs.
+        let n_hosting =
+            (((n_t2 + n_stub) as f64) * c.frac_hosting).round().max(1.0) as usize;
+        let mut non_t1: Vec<Asn> = tier2.iter().chain(stubs.iter()).copied().collect();
+        non_t1.shuffle(&mut rng);
+        let mut hosting: Vec<Asn> = non_t1.into_iter().take(n_hosting).collect();
+        hosting.sort();
+
+        // Tier-2s attach to 1–3 providers among already-created transit.
+        for &a in &tier2 {
+            let is_hosting = hosting.binary_search(&a).is_ok();
+            let max_p = if is_hosting {
+                c.max_hosting_providers
+            } else {
+                3
+            };
+            let n_p = rng.gen_range(1..=max_p.max(1));
+            for p in pick_providers(&mut rng, &transit, &mut customer_count, a, n_p) {
+                graph.add_customer_provider(a, p).unwrap();
+            }
+            transit.push(a);
+        }
+
+        // Tier-2 peering: sample pairs.
+        for i in 0..tier2.len() {
+            for j in (i + 1)..tier2.len() {
+                if rng.gen_bool(c.t2_peering_prob) {
+                    // Skip if already linked (e.g. provider relation).
+                    if graph.relationship(tier2[i], tier2[j]).is_none() {
+                        graph.add_peering(tier2[i], tier2[j]).unwrap();
+                    }
+                }
+            }
+        }
+
+        // Stubs attach to providers among transit (tier-1 + tier-2), with
+        // a bias toward tier-2 (real stubs rarely buy direct tier-1
+        // transit): tier-2 weights are scaled up 4x.
+        for &a in &stubs {
+            let is_hosting = hosting.binary_search(&a).is_ok();
+            let max_p = if is_hosting {
+                c.max_hosting_providers
+            } else {
+                c.max_stub_providers
+            };
+            let n_p = if is_hosting {
+                rng.gen_range(2..=max_p.max(2))
+            } else {
+                rng.gen_range(1..=max_p.max(1))
+            };
+            // Bias: draw from tier-2s 80% of the time when available.
+            let pool: Vec<Asn> = if !tier2.is_empty() && rng.gen_bool(0.8) {
+                tier2.clone()
+            } else {
+                transit.clone()
+            };
+            for p in pick_providers(&mut rng, &pool, &mut customer_count, a, n_p) {
+                graph.add_customer_provider(a, p).unwrap();
+            }
+        }
+
+        GeneratedTopology {
+            graph,
+            tier1,
+            tier2,
+            stubs,
+            hosting,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingTree;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TopologyGenerator::new(TopologyConfig::small(7)).generate();
+        let b = TopologyGenerator::new(TopologyConfig::small(7)).generate();
+        assert_eq!(a.graph.len(), b.graph.len());
+        assert_eq!(a.graph.link_count(), b.graph.link_count());
+        assert_eq!(a.hosting, b.hosting);
+        for asn in a.graph.asns() {
+            assert_eq!(a.graph.providers(asn), b.graph.providers(asn));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TopologyGenerator::new(TopologyConfig::small(1)).generate();
+        let b = TopologyGenerator::new(TopologyConfig::small(2)).generate();
+        // Same node count, but link structure should differ somewhere.
+        let differs = a
+            .graph
+            .asns()
+            .any(|asn| a.graph.providers(asn) != b.graph.providers(asn));
+        assert!(differs);
+    }
+
+    #[test]
+    fn every_as_reaches_every_destination() {
+        let t = TopologyGenerator::new(TopologyConfig::small(42)).generate();
+        // Spot-check 10 destinations: all ASes must be routed.
+        let asns: Vec<Asn> = t.graph.asns().collect();
+        for &dest in asns.iter().step_by(asns.len() / 10) {
+            let tree = RoutingTree::compute(&t.graph, dest).unwrap();
+            assert_eq!(tree.routed(&t.graph).count(), t.graph.len());
+        }
+    }
+
+    #[test]
+    fn roles_partition_the_as_space() {
+        let t = TopologyGenerator::new(TopologyConfig::small(3)).generate();
+        assert_eq!(
+            t.tier1.len() + t.tier2.len() + t.stubs.len(),
+            t.graph.len()
+        );
+        assert!(!t.hosting.is_empty());
+        for h in &t.hosting {
+            assert!(t.graph.tier(*h) != Some(Tier::Tier1));
+        }
+        // Stubs never have customers.
+        for s in &t.stubs {
+            assert!(t.graph.customers(*s).is_empty(), "{s} has customers");
+        }
+        // Tier-1s never have providers.
+        for a in &t.tier1 {
+            assert!(t.graph.providers(*a).is_empty(), "{a} has providers");
+        }
+    }
+
+    #[test]
+    fn mean_path_length_is_internet_like() {
+        let t = TopologyGenerator::new(TopologyConfig::default()).generate();
+        let asns: Vec<Asn> = t.graph.asns().collect();
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for &dest in asns.iter().step_by(200) {
+            let tree = RoutingTree::compute(&t.graph, dest).unwrap();
+            for &src in asns.iter().step_by(37) {
+                if let Some(d) = tree.distance(&t.graph, src) {
+                    total += u64::from(d);
+                    count += 1;
+                }
+            }
+        }
+        let mean = total as f64 / count as f64;
+        // Paper cites ~4 AS hops on average [23]; accept a broad band.
+        assert!(
+            (2.0..=6.0).contains(&mean),
+            "mean path length {mean:.2} outside Internet-like band"
+        );
+    }
+
+    #[test]
+    fn hosting_ases_are_multihomed() {
+        let t = TopologyGenerator::new(TopologyConfig::small(11)).generate();
+        let hosting_stubs: Vec<_> = t
+            .hosting
+            .iter()
+            .filter(|h| t.graph.tier(**h) == Some(Tier::Stub))
+            .collect();
+        for h in hosting_stubs {
+            assert!(
+                t.graph.providers(*h).len() >= 2,
+                "hosting stub {h} is single-homed"
+            );
+        }
+    }
+}

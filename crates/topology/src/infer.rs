@@ -1,0 +1,272 @@
+//! Gao's AS-relationship inference algorithm (the paper's reference
+//! \[18\]: L. Gao, *On inferring autonomous system relationships in the
+//! Internet*, IEEE/ACM ToN 2001).
+//!
+//! Prior AS-aware Tor work (Feamster–Dingledine, Edman–Syverson) relied
+//! on Gao-style inference to estimate AS paths from public BGP tables.
+//! We rebuild the core algorithm so the workspace can (a) run the same
+//! estimation pipeline those papers used, and (b) quantify its accuracy
+//! against the generator's ground-truth relationships — one of the
+//! reasons the QuickSand paper argues static path estimation understates
+//! the threat.
+//!
+//! The implementation follows the basic two-phase heuristic of the
+//! original paper:
+//!
+//! 1. For each AS path, find the **top provider** (the AS with highest
+//!    degree). Every edge on the left of the top is a candidate
+//!    customer→provider (uphill) edge; every edge on the right a
+//!    provider→customer (downhill) edge. Votes are tallied over all
+//!    paths.
+//! 2. Edges with votes in both directions are **sibling/ambiguous**; we
+//!    classify by majority, requiring a configurable dominance ratio.
+//!    Edges adjacent to the top whose endpoint degrees are within a
+//!    ratio `peer_degree_ratio` of each other are classified as peers
+//!    (Gao's phase 3 refinement, simplified).
+
+use crate::graph::Relationship;
+use quicksand_net::{AsPath, Asn};
+use std::collections::BTreeMap;
+
+/// Configuration for [`infer_relationships`].
+#[derive(Clone, Debug)]
+pub struct InferenceConfig {
+    /// An edge is classified transit (customer→provider) only if uphill
+    /// votes exceed downhill votes by this factor (and vice versa);
+    /// otherwise it is ambiguous and resolved by degree comparison.
+    pub dominance: f64,
+    /// Two ASes adjacent to a path's top provider are considered peers if
+    /// the ratio of their degrees is below this threshold.
+    pub peer_degree_ratio: f64,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig {
+            dominance: 1.5,
+            peer_degree_ratio: 2.0,
+        }
+    }
+}
+
+/// An undirected edge key with deterministic ordering.
+fn edge_key(a: Asn, b: Asn) -> (Asn, Asn) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The inferred relationship of the *second* AS of the canonical edge key
+/// relative to the first, plus vote counts (for diagnostics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InferredEdge {
+    /// Relationship of `hi` (the larger-ASN endpoint) from `lo`'s view.
+    pub rel_of_hi_from_lo: Relationship,
+    /// Votes that `lo` is the customer (uphill `lo`→`hi`).
+    pub votes_lo_customer: u32,
+    /// Votes that `hi` is the customer (uphill `hi`→`lo`).
+    pub votes_hi_customer: u32,
+    /// Votes that the edge straddles a path top (peer candidate).
+    pub votes_peer: u32,
+}
+
+/// Infer business relationships from a corpus of observed AS paths.
+///
+/// Paths are in wire order (nearest AS first, origin last); traffic flows
+/// origin→nearest, but for inference only adjacency and the degree-based
+/// "top provider" matter. Returns a map from canonical `(lo, hi)` edge to
+/// the inference.
+pub fn infer_relationships(
+    paths: &[AsPath],
+    config: &InferenceConfig,
+) -> BTreeMap<(Asn, Asn), InferredEdge> {
+    // Degree = number of distinct neighbors seen across all paths.
+    let mut neighbors: BTreeMap<Asn, std::collections::BTreeSet<Asn>> = BTreeMap::new();
+    for p in paths {
+        for w in p.asns().windows(2) {
+            neighbors.entry(w[0]).or_default().insert(w[1]);
+            neighbors.entry(w[1]).or_default().insert(w[0]);
+        }
+    }
+    let degree = |a: Asn| neighbors.get(&a).map_or(0, |s| s.len());
+
+    #[derive(Default)]
+    struct Votes {
+        lo_customer: u32,
+        hi_customer: u32,
+        peer: u32,
+    }
+    let mut votes: BTreeMap<(Asn, Asn), Votes> = BTreeMap::new();
+
+    for p in paths {
+        let asns = p.asns();
+        if asns.len() < 2 {
+            continue;
+        }
+        // Index of the top provider: highest degree, ties to the earlier
+        // position (deterministic).
+        let top = (0..asns.len())
+            .max_by_key(|&i| (degree(asns[i]), std::cmp::Reverse(i)))
+            .expect("non-empty path");
+        for i in 0..asns.len() - 1 {
+            let (a, b) = (asns[i], asns[i + 1]);
+            let key = edge_key(a, b);
+            let v = votes.entry(key).or_default();
+            if i + 1 <= top {
+                // Edge on the left of (or reaching) the top: a is closer
+                // to the path start; walking start→top is uphill, so `a`
+                // is the customer of `b`.
+                if key.0 == a {
+                    v.lo_customer += 1;
+                } else {
+                    v.hi_customer += 1;
+                }
+            } else {
+                // Right of the top: downhill, `b` is the customer of `a`.
+                if key.0 == b {
+                    v.lo_customer += 1;
+                } else {
+                    v.hi_customer += 1;
+                }
+            }
+            // Peer candidate: the edge straddling the top with
+            // comparable endpoint degrees.
+            if (i == top || i + 1 == top) && i != top.min(asns.len() - 1) {
+                // handled below via explicit straddle check
+            }
+        }
+        // Straddle edge: (top-1, top) and (top, top+1) are candidates;
+        // the classic heuristic marks the single edge between the two
+        // highest-degree adjacent ASes around the top as a peering
+        // candidate when degrees are comparable.
+        if top > 0 {
+            let (a, b) = (asns[top - 1], asns[top]);
+            let (da, db) = (degree(a) as f64, degree(b) as f64);
+            if da > 0.0 && db > 0.0 {
+                let ratio = (da / db).max(db / da);
+                if ratio <= config.peer_degree_ratio {
+                    votes.entry(edge_key(a, b)).or_default().peer += 1;
+                }
+            }
+        }
+    }
+
+    votes
+        .into_iter()
+        .map(|((lo, hi), v)| {
+            let rel = if f64::from(v.peer)
+                > (f64::from(v.lo_customer) + f64::from(v.hi_customer)) * 0.5
+            {
+                Relationship::Peer
+            } else if f64::from(v.lo_customer)
+                >= f64::from(v.hi_customer) * config.dominance
+            {
+                // lo is the customer ⇒ from lo's view, hi is its provider.
+                Relationship::Provider
+            } else if f64::from(v.hi_customer)
+                >= f64::from(v.lo_customer) * config.dominance
+            {
+                Relationship::Customer
+            } else {
+                // Ambiguous: fall back to degree (smaller degree = customer).
+                let (dl, dh) = (degree(lo), degree(hi));
+                if dl <= dh {
+                    Relationship::Provider
+                } else {
+                    Relationship::Customer
+                }
+            };
+            (
+                (lo, hi),
+                InferredEdge {
+                    rel_of_hi_from_lo: rel,
+                    votes_lo_customer: v.lo_customer,
+                    votes_hi_customer: v.hi_customer,
+                    votes_peer: v.peer,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Accuracy of an inference against ground truth: fraction of inferred
+/// edges present in `graph` whose relationship matches.
+pub fn accuracy_against(
+    graph: &crate::graph::AsGraph,
+    inferred: &BTreeMap<(Asn, Asn), InferredEdge>,
+) -> f64 {
+    let mut total = 0usize;
+    let mut correct = 0usize;
+    for (&(lo, hi), inf) in inferred {
+        let Some(truth) = graph.relationship(lo, hi) else {
+            continue;
+        };
+        total += 1;
+        if truth == inf.rel_of_hi_from_lo {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{TopologyConfig, TopologyGenerator};
+    use crate::routing::RoutingTree;
+
+    #[test]
+    fn empty_corpus_yields_nothing() {
+        let out = infer_relationships(&[], &InferenceConfig::default());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_transit_chain() {
+        // Degrees: make 30 the obvious top by giving it many neighbors.
+        let mut paths = vec![AsPath::from_asns([Asn(10), Asn(30), Asn(20)])];
+        for x in 100..110 {
+            paths.push(AsPath::from_asns([Asn(x), Asn(30), Asn(x + 50)]));
+        }
+        let out = infer_relationships(&paths, &InferenceConfig::default());
+        // Edge (10, 30): path order 10,30 with top at 30 ⇒ 10 is customer.
+        let e = out.get(&(Asn(10), Asn(30))).unwrap();
+        assert_eq!(e.rel_of_hi_from_lo, Relationship::Provider);
+        // Edge (20, 30): downhill 30→20 ⇒ 20 is customer of 30.
+        let e = out.get(&(Asn(20), Asn(30))).unwrap();
+        assert_eq!(e.rel_of_hi_from_lo, Relationship::Provider);
+    }
+
+    #[test]
+    fn inference_recovers_most_of_ground_truth() {
+        let t = TopologyGenerator::new(TopologyConfig::small(5)).generate();
+        // Corpus: paths from every AS toward 20 destinations.
+        let asns: Vec<Asn> = t.graph.asns().collect();
+        let mut paths = Vec::new();
+        for &dest in asns.iter().step_by(asns.len() / 20) {
+            let tree = RoutingTree::compute(&t.graph, dest).unwrap();
+            for &src in &asns {
+                if let Some(p) = tree.as_path_at(&t.graph, src) {
+                    if p.len() >= 2 {
+                        // Include the source itself as the nearest hop,
+                        // matching what a route collector peered at `src`
+                        // would record after src prepends.
+                        paths.push(p.prepended(src));
+                    }
+                }
+            }
+        }
+        let inferred = infer_relationships(&paths, &InferenceConfig::default());
+        let acc = accuracy_against(&t.graph, &inferred);
+        assert!(
+            acc > 0.75,
+            "Gao inference accuracy {acc:.3} below expected threshold"
+        );
+    }
+}

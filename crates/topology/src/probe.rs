@@ -1,0 +1,160 @@
+//! Data-plane path probing (traceroute), §5: "Information about path
+//! dynamics can be obtained using data-plane (e.g., traceroute) or
+//! control-plane (e.g., BGP feed) tools… perhaps in combination with
+//! their own traceroute measurements of the forward path to each guard
+//! relay."
+//!
+//! A traceroute sees the *forward* path only, one AS per responding
+//! hop, and real traceroutes are incomplete: routers rate-limit or drop
+//! TTL-expired probes. [`traceroute`] models that: it walks the current
+//! routing tree and masks each intermediate hop with a per-AS response
+//! probability (deterministic per (AS, seed), as router filtering
+//! policy is stable, not per-probe coin flips).
+
+use crate::graph::AsGraph;
+use crate::routing::RoutingTree;
+use quicksand_net::Asn;
+
+/// Configuration for [`traceroute`].
+#[derive(Clone, Debug)]
+pub struct ProbeConfig {
+    /// Probability that an intermediate AS responds to TTL-expired
+    /// probes (endpoints always respond).
+    pub response_prob: f64,
+    /// Seed for the per-AS response mask.
+    pub seed: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            response_prob: 0.85,
+            seed: 0x7247,
+        }
+    }
+}
+
+/// Does `asn` respond to traceroute probes under this config?
+/// Deterministic: the same AS answers (or not) every probe.
+pub fn responds(asn: Asn, config: &ProbeConfig) -> bool {
+    // Cheap stable hash of (asn, seed) → [0, 1).
+    let mut x = u64::from(asn.0) ^ config.seed.rotate_left(17);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51afd7ed558ccd);
+    x ^= x >> 33;
+    let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+    u < config.response_prob
+}
+
+/// Traceroute from `src` toward the tree's destination: one entry per
+/// AS-level hop, `None` where the hop did not respond. The source and
+/// destination always respond (the prober controls both ends in the
+/// §5 use case: a client probing its own guard).
+///
+/// Returns `None` when `src` has no route at all.
+pub fn traceroute(
+    graph: &AsGraph,
+    tree: &RoutingTree,
+    src: Asn,
+    config: &ProbeConfig,
+) -> Option<Vec<Option<Asn>>> {
+    let path = tree.path_from(graph, src)?;
+    let last = path.len() - 1;
+    Some(
+        path.into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                if i == 0 || i == last || responds(a, config) {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect(),
+    )
+}
+
+/// The set of ASes a prober *learns* from a traceroute (responding hops
+/// only) — the partial knowledge a client has of its own forward path.
+pub fn observed_ases(
+    graph: &AsGraph,
+    tree: &RoutingTree,
+    src: Asn,
+    config: &ProbeConfig,
+) -> std::collections::BTreeSet<Asn> {
+    traceroute(graph, tree, src, config)
+        .map(|hops| hops.into_iter().flatten().collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{TopologyConfig, TopologyGenerator};
+
+    #[test]
+    fn full_response_prob_reveals_the_whole_path() {
+        let t = TopologyGenerator::new(TopologyConfig::small(31)).generate();
+        let dest = t.stubs[0];
+        let src = t.stubs[5];
+        let tree = RoutingTree::compute(&t.graph, dest).unwrap();
+        let cfg = ProbeConfig {
+            response_prob: 1.0,
+            ..Default::default()
+        };
+        let hops = traceroute(&t.graph, &tree, src, &cfg).unwrap();
+        let path = tree.path_from(&t.graph, src).unwrap();
+        assert_eq!(
+            hops.into_iter().collect::<Option<Vec<_>>>().unwrap(),
+            path
+        );
+    }
+
+    #[test]
+    fn zero_response_prob_hides_intermediates_only() {
+        let t = TopologyGenerator::new(TopologyConfig::small(32)).generate();
+        let dest = t.stubs[1];
+        let src = t.stubs[7];
+        let tree = RoutingTree::compute(&t.graph, dest).unwrap();
+        let cfg = ProbeConfig {
+            response_prob: 0.0,
+            ..Default::default()
+        };
+        let hops = traceroute(&t.graph, &tree, src, &cfg).unwrap();
+        assert!(hops.len() >= 2);
+        assert_eq!(hops[0], Some(src));
+        assert_eq!(hops[hops.len() - 1], Some(dest));
+        for h in &hops[1..hops.len() - 1] {
+            assert_eq!(*h, None);
+        }
+        // The observed set still contains the endpoints.
+        let seen = observed_ases(&t.graph, &tree, src, &cfg);
+        assert!(seen.contains(&src) && seen.contains(&dest));
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn response_mask_is_deterministic_per_as() {
+        let cfg = ProbeConfig::default();
+        for a in [1u32, 7, 100, 65000] {
+            assert_eq!(responds(Asn(a), &cfg), responds(Asn(a), &cfg));
+        }
+        // Different seeds change the mask for at least one AS in a
+        // modest range.
+        let other = ProbeConfig {
+            seed: 99,
+            ..Default::default()
+        };
+        assert!((1..200).any(|a| responds(Asn(a), &cfg) != responds(Asn(a), &other)));
+    }
+
+    #[test]
+    fn unrouted_source_yields_none() {
+        let mut g = crate::graph::AsGraph::new();
+        g.add_as(Asn(1), crate::graph::Tier::Tier1).unwrap();
+        g.add_as(Asn(2), crate::graph::Tier::Stub).unwrap();
+        let tree = RoutingTree::compute(&g, Asn(1)).unwrap();
+        assert!(traceroute(&g, &tree, Asn(2), &ProbeConfig::default()).is_none());
+        assert!(observed_ases(&g, &tree, Asn(2), &ProbeConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,622 @@
+//! Static Gao–Rexford policy routing.
+//!
+//! For a destination AS `d`, [`RoutingTree::compute`] assigns every AS its
+//! best route to `d` under the standard policy model:
+//!
+//! 1. **LocalPref by relationship**: routes learned from customers beat
+//!    routes from peers beat routes from providers.
+//! 2. **Shortest AS path** within the same class.
+//! 3. **Deterministic tie-break**: lowest next-hop ASN.
+//!
+//! combined with valley-free export (an AS only exports peer/provider
+//! routes to its customers). The computation is the classic three-phase
+//! BFS used by C-BGP-style simulators: customer routes ripple *up*
+//! provider links from `d`, peer routes hop *across* one peering link,
+//! provider routes ripple *down* customer links.
+//!
+//! The message-level simulator in `quicksand-bgp` converges to exactly
+//! these routes; integration tests cross-validate the two.
+
+use crate::graph::{AsGraph, Relationship};
+use quicksand_net::Asn;
+
+/// How a route was learned, in decreasing order of preference.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RouteClass {
+    /// The destination itself (the origin has a trivial route).
+    Origin,
+    /// Learned from a customer.
+    Customer,
+    /// Learned from a peer.
+    Peer,
+    /// Learned from a provider.
+    Provider,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry {
+    class: RouteClass,
+    /// AS-hop distance to the destination (origin = 0).
+    dist: u32,
+    /// Next hop on the way to the destination (index), origin points to
+    /// itself.
+    next: usize,
+}
+
+/// The best policy-compliant route from every AS to one destination AS.
+#[derive(Clone, Debug)]
+pub struct RoutingTree {
+    dest: Asn,
+    dest_idx: usize,
+    entries: Vec<Option<Entry>>,
+}
+
+impl RoutingTree {
+    /// Compute the routing tree toward `dest` over `graph`.
+    ///
+    /// Returns `None` if `dest` is not in the graph.
+    pub fn compute(graph: &AsGraph, dest: Asn) -> Option<RoutingTree> {
+        let n = graph.len();
+        let d = graph.index_of(dest)?;
+        let mut entries: Vec<Option<Entry>> = vec![None; n];
+        entries[d] = Some(Entry {
+            class: RouteClass::Origin,
+            dist: 0,
+            next: d,
+        });
+
+        // Phase 1: customer routes — BFS from d along "to my provider"
+        // direction. An AS x with a customer-or-origin route offers the
+        // route to each of its providers p; p installs it as a Customer
+        // route. BFS order guarantees shortest distance; among equal
+        // distances the lowest next-hop ASN wins, which we enforce by
+        // scanning candidates per level.
+        let mut frontier = vec![d];
+        let mut dist = 0u32;
+        while !frontier.is_empty() {
+            dist += 1;
+            // Gather candidate (provider <- via) offers for this level.
+            let mut offers: Vec<(usize, usize)> = Vec::new(); // (provider, via)
+            for &x in &frontier {
+                for &(p, rel) in graph.neighbors_idx(x) {
+                    // rel is p's relationship w.r.t. x; p is x's provider.
+                    if rel == Relationship::Provider && entries[p].is_none() {
+                        offers.push((p, x));
+                    }
+                }
+            }
+            // Deterministic: among multiple offers to the same provider,
+            // choose lowest next-hop ASN.
+            offers.sort_by_key(|&(p, via)| (p, graph.asn_of(via)));
+            let mut next_frontier = Vec::new();
+            for (p, via) in offers {
+                if entries[p].is_none() {
+                    entries[p] = Some(Entry {
+                        class: RouteClass::Customer,
+                        dist,
+                        next: via,
+                    });
+                    next_frontier.push(p);
+                }
+            }
+            frontier = next_frontier;
+        }
+
+        // Phase 2: peer routes — every AS x with a customer-or-origin
+        // route offers it across each peering link; the peer q installs
+        // it (class Peer) unless q already has a customer/origin route.
+        // Peer routes are not re-exported, so a single pass suffices.
+        let mut peer_offers: Vec<(usize, u32, Asn, usize)> = Vec::new(); // (q, dist, via_asn, via)
+        for x in 0..n {
+            let Some(e) = entries[x] else { continue };
+            if e.class > RouteClass::Customer {
+                continue;
+            }
+            for &(q, rel) in graph.neighbors_idx(x) {
+                if rel == Relationship::Peer {
+                    let better = match entries[q] {
+                        None => true,
+                        Some(eq) => eq.class > RouteClass::Peer,
+                    };
+                    if better {
+                        peer_offers.push((q, e.dist + 1, graph.asn_of(x), x));
+                    }
+                }
+            }
+        }
+        peer_offers.sort_by_key(|&(q, dist, via_asn, _)| (q, dist, via_asn));
+        for (q, dist, _, via) in peer_offers {
+            let take = match entries[q] {
+                None => true,
+                Some(eq) => {
+                    eq.class > RouteClass::Peer
+                        || (eq.class == RouteClass::Peer && dist < eq.dist)
+                }
+            };
+            if take {
+                entries[q] = Some(Entry {
+                    class: RouteClass::Peer,
+                    dist,
+                    next: via,
+                });
+            }
+        }
+
+        // Phase 3: provider routes — Dijkstra (unit weights) *down*
+        // customer links from every already-routed AS. Any AS x with any
+        // route offers it to its customers c; c installs the shortest
+        // such offer as a Provider route only if it has no route yet
+        // (policy beats length, so customer/peer routes are never
+        // displaced). Sources have heterogeneous distances, so a plain
+        // level-order BFS would be wrong; a distance-ordered heap keeps
+        // shortest-AS-path semantics. Ties break on lowest next-hop ASN
+        // via the heap key.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap: BinaryHeap<Reverse<(u32, Asn, usize, usize)>> = BinaryHeap::new();
+        for x in 0..n {
+            let Some(e) = entries[x] else { continue };
+            for &(c, rel) in graph.neighbors_idx(x) {
+                if rel == Relationship::Customer && entries[c].is_none() {
+                    heap.push(Reverse((e.dist + 1, graph.asn_of(x), c, x)));
+                }
+            }
+        }
+        while let Some(Reverse((dist, _, c, via))) = heap.pop() {
+            if entries[c].is_some() {
+                continue;
+            }
+            entries[c] = Some(Entry {
+                class: RouteClass::Provider,
+                dist,
+                next: via,
+            });
+            for &(cc, rel) in graph.neighbors_idx(c) {
+                if rel == Relationship::Customer && entries[cc].is_none() {
+                    heap.push(Reverse((dist + 1, graph.asn_of(c), cc, c)));
+                }
+            }
+        }
+
+        Some(RoutingTree {
+            dest,
+            dest_idx: d,
+            entries,
+        })
+    }
+
+    /// The destination this tree routes toward.
+    pub fn dest(&self) -> Asn {
+        self.dest
+    }
+
+    /// Incrementally reconverge this tree after the link `a`–`b`
+    /// changed state (failed or recovered). `graph` must already
+    /// reflect the change.
+    ///
+    /// This runs the distributed decision process as a worklist
+    /// ("re-decide a node from its neighbors' current routes; if its
+    /// best changed, re-examine its neighbors"), seeded with the link
+    /// endpoints — exactly how the change propagates in BGP. Under
+    /// Gao–Rexford policies the process is safe (no dispute wheel), so
+    /// it terminates in the unique stable state, which equals a full
+    /// [`RoutingTree::compute`]; a work budget guards the theory and
+    /// falls back to the full recomputation if ever exhausted.
+    ///
+    /// Returns `true` if any node's route changed. Cost is proportional
+    /// to the region of the tree the change actually touches — O(1) for
+    /// a leaf access link, larger for core links.
+    pub fn reconverge_after_link_event(&mut self, graph: &AsGraph, a: Asn, b: Asn) -> bool {
+        let n = graph.len();
+        debug_assert_eq!(n, self.entries.len(), "graph node set changed");
+        let mut queue: std::collections::VecDeque<usize> =
+            std::collections::VecDeque::new();
+        let mut queued = vec![false; n];
+        for x in [a, b] {
+            if let Some(i) = graph.index_of(x) {
+                queue.push_back(i);
+                queued[i] = true;
+            }
+        }
+        let mut changed_any = false;
+        // Budget: in safe policy networks the process is near-linear in
+        // the affected region; allow generous slack before bailing out.
+        let mut budget = 50usize.saturating_mul(n).max(10_000);
+        while let Some(v) = queue.pop_front() {
+            queued[v] = false;
+            if budget == 0 {
+                // Theory says we never get here; make sure practice
+                // agrees, via a full recompute.
+                let fresh = RoutingTree::compute(graph, self.dest)
+                    .expect("destination still in graph");
+                let changed = !fresh
+                    .entries
+                    .iter()
+                    .zip(self.entries.iter())
+                    .all(|(x, y)| x == y);
+                self.entries = fresh.entries;
+                return changed_any || changed;
+            }
+            budget -= 1;
+            let new = self.decide(graph, v);
+            if new != self.entries[v] {
+                self.entries[v] = new;
+                changed_any = true;
+                for &(w, _) in graph.neighbors_idx(v) {
+                    if !queued[w] {
+                        queued[w] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        changed_any
+    }
+
+    /// The decision process at node `v` over its neighbors' current
+    /// entries: valley-free export legality, loop rejection (by walking
+    /// the candidate's path), then LocalPref class > shortest path >
+    /// lowest neighbor ASN.
+    fn decide(&self, graph: &AsGraph, v: usize) -> Option<Entry> {
+        if v == self.dest_idx {
+            return Some(Entry {
+                class: RouteClass::Origin,
+                dist: 0,
+                next: v,
+            });
+        }
+        let mut best: Option<(RouteClass, u32, Asn, usize)> = None;
+        for &(nb, rel_of_nb) in graph.neighbors_idx(v) {
+            let Some(e) = self.entries[nb] else { continue };
+            // Export legality at the neighbor: own/customer routes go to
+            // anyone; peer/provider routes only to the neighbor's
+            // customers (v is nb's customer iff nb is v's provider).
+            let exportable = matches!(e.class, RouteClass::Origin | RouteClass::Customer)
+                || rel_of_nb == Relationship::Provider;
+            if !exportable {
+                continue;
+            }
+            // Loop rejection: v must not appear on nb's current path.
+            if self.path_contains(nb, v, graph.len()) {
+                continue;
+            }
+            let class = match rel_of_nb {
+                Relationship::Customer => RouteClass::Customer,
+                Relationship::Peer => RouteClass::Peer,
+                Relationship::Provider => RouteClass::Provider,
+            };
+            let cand = (class, e.dist + 1, graph.asn_of(nb), nb);
+            let better = match &best {
+                None => true,
+                Some((bc, bd, ba, _)) => (cand.0, cand.1, cand.2) < (*bc, *bd, *ba),
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+        best.map(|(class, dist, _, next)| Entry { class, dist, next })
+    }
+
+    /// Does the current path of `from` (following next pointers) pass
+    /// through `target`? Transient states may contain cycles; walks are
+    /// capped at `cap` steps and a capped walk counts as containing
+    /// everything (the candidate is rejected and revisited once the
+    /// cycle resolves).
+    fn path_contains(&self, from: usize, target: usize, cap: usize) -> bool {
+        let mut cur = from;
+        for _ in 0..=cap {
+            if cur == target {
+                return true;
+            }
+            match self.entries[cur] {
+                Some(e) if e.next != cur => cur = e.next,
+                _ => return false,
+            }
+        }
+        true // cycle suspected: reject conservatively
+    }
+
+    /// The class of `src`'s best route, if it has one.
+    pub fn class_of(&self, graph: &AsGraph, src: Asn) -> Option<RouteClass> {
+        let i = graph.index_of(src)?;
+        self.entries[i].map(|e| e.class)
+    }
+
+    /// AS-hop distance from `src` to the destination, if routed.
+    pub fn distance(&self, graph: &AsGraph, src: Asn) -> Option<u32> {
+        let i = graph.index_of(src)?;
+        self.entries[i].map(|e| e.dist)
+    }
+
+    /// The next hop on `src`'s path to the destination (the destination
+    /// itself maps to itself), if routed.
+    pub fn next_hop(&self, graph: &AsGraph, src: Asn) -> Option<Asn> {
+        let i = graph.index_of(src)?;
+        self.entries[i].map(|e| graph.asn_of(e.next))
+    }
+
+    /// Is the undirected link `a`–`b` carrying traffic in this tree, i.e.
+    /// is `b` the next hop of `a` or vice versa?
+    pub fn uses_link(&self, graph: &AsGraph, a: Asn, b: Asn) -> bool {
+        self.next_hop(graph, a) == Some(b) || self.next_hop(graph, b) == Some(a)
+    }
+
+    /// The full AS-level path from `src` to the destination, inclusive of
+    /// both endpoints. `None` when `src` has no route.
+    pub fn path_from(&self, graph: &AsGraph, src: Asn) -> Option<Vec<Asn>> {
+        let mut i = graph.index_of(src)?;
+        self.entries[i]?;
+        let mut path = vec![graph.asn_of(i)];
+        while i != self.dest_idx {
+            let e = self.entries[i].expect("intermediate hops are routed");
+            i = e.next;
+            path.push(graph.asn_of(i));
+            if path.len() > self.entries.len() {
+                unreachable!("routing tree contains a loop");
+            }
+        }
+        Some(path)
+    }
+
+    /// The BGP-style AS path `src` would have selected for a prefix
+    /// originated at the destination: the hops *after* `src`, nearest
+    /// first, origin last — i.e. what `src` would see in the AS_PATH
+    /// attribute. Empty path for the origin itself.
+    pub fn as_path_at(&self, graph: &AsGraph, src: Asn) -> Option<quicksand_net::AsPath> {
+        let path = self.path_from(graph, src)?;
+        Some(quicksand_net::AsPath::from_asns(
+            path.into_iter().skip(1),
+        ))
+    }
+
+    /// Iterate over all ASes that currently have a route, with class and
+    /// distance.
+    pub fn routed<'a>(
+        &'a self,
+        graph: &'a AsGraph,
+    ) -> impl Iterator<Item = (Asn, RouteClass, u32)> + 'a {
+        self.entries.iter().enumerate().filter_map(move |(i, e)| {
+            e.map(|e| (graph.asn_of(i), e.class, e.dist))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AsGraph, Tier};
+
+    /// Same reference topology as `graph::tests::diamond`.
+    fn diamond() -> AsGraph {
+        let mut g = AsGraph::new();
+        for (a, t) in [
+            (1, Tier::Tier1),
+            (2, Tier::Tier1),
+            (3, Tier::Tier2),
+            (4, Tier::Tier2),
+            (5, Tier::Tier2),
+            (6, Tier::Tier2),
+            (7, Tier::Stub),
+            (8, Tier::Stub),
+            (9, Tier::Stub),
+        ] {
+            g.add_as(Asn(a), t).unwrap();
+        }
+        g.add_peering(Asn(1), Asn(2)).unwrap();
+        g.add_customer_provider(Asn(3), Asn(1)).unwrap();
+        g.add_customer_provider(Asn(4), Asn(1)).unwrap();
+        g.add_customer_provider(Asn(5), Asn(2)).unwrap();
+        g.add_customer_provider(Asn(6), Asn(2)).unwrap();
+        g.add_peering(Asn(4), Asn(5)).unwrap();
+        g.add_customer_provider(Asn(7), Asn(3)).unwrap();
+        g.add_customer_provider(Asn(8), Asn(4)).unwrap();
+        g.add_customer_provider(Asn(8), Asn(5)).unwrap();
+        g.add_customer_provider(Asn(9), Asn(6)).unwrap();
+        g
+    }
+
+    fn path(g: &AsGraph, t: &RoutingTree, src: u32) -> Vec<u32> {
+        t.path_from(g, Asn(src)).unwrap().iter().map(|a| a.0).collect()
+    }
+
+    #[test]
+    fn routes_to_stub_8() {
+        let g = diamond();
+        let t = RoutingTree::compute(&g, Asn(8)).unwrap();
+        // Providers of 8 learn customer routes.
+        assert_eq!(t.class_of(&g, Asn(4)), Some(RouteClass::Customer));
+        assert_eq!(t.class_of(&g, Asn(5)), Some(RouteClass::Customer));
+        // 1 learns from customer 4; 2 from customer 5.
+        assert_eq!(path(&g, &t, 1), vec![1, 4, 8]);
+        assert_eq!(path(&g, &t, 2), vec![2, 5, 8]);
+        // 4 and 5 peer: 4 prefers its customer route (dist 1), not peer.
+        assert_eq!(path(&g, &t, 4), vec![4, 8]);
+        // 3 has no customer/peer route; gets provider route via 1.
+        assert_eq!(t.class_of(&g, Asn(3)), Some(RouteClass::Provider));
+        assert_eq!(path(&g, &t, 3), vec![3, 1, 4, 8]);
+        assert_eq!(path(&g, &t, 7), vec![7, 3, 1, 4, 8]);
+        // 9 goes up to 6, 2, then down 5, 8.
+        assert_eq!(path(&g, &t, 9), vec![9, 6, 2, 5, 8]);
+        // Origin's own path is trivial.
+        assert_eq!(path(&g, &t, 8), vec![8]);
+        assert_eq!(
+            t.as_path_at(&g, Asn(8)).unwrap(),
+            quicksand_net::AsPath::empty()
+        );
+    }
+
+    #[test]
+    fn peer_route_beats_provider_route() {
+        let g = diamond();
+        // Destination 7 (customer chain 7-3-1). AS 2 peers with 1 which has
+        // a customer route; 2 should use the peer route 2,1,3,7 rather than
+        // any provider route (it has no providers anyway). AS 5: customer
+        // of 2, peer of 4. 4 has no customer route to 7; so 5 must use
+        // provider 2.
+        let t = RoutingTree::compute(&g, Asn(7)).unwrap();
+        assert_eq!(t.class_of(&g, Asn(2)), Some(RouteClass::Peer));
+        assert_eq!(path(&g, &t, 2), vec![2, 1, 3, 7]);
+        assert_eq!(t.class_of(&g, Asn(5)), Some(RouteClass::Provider));
+        assert_eq!(path(&g, &t, 5), vec![5, 2, 1, 3, 7]);
+        // 8 is a customer of both 4 and 5; both give provider routes of
+        // equal length 8-4-1-3-7 vs 8-5-2-1-3-7: 4's is shorter.
+        assert_eq!(path(&g, &t, 8), vec![8, 4, 1, 3, 7]);
+    }
+
+    #[test]
+    fn valley_freedom_of_all_paths() {
+        let g = diamond();
+        for dest in g.asns().collect::<Vec<_>>() {
+            let t = RoutingTree::compute(&g, dest).unwrap();
+            for src in g.asns().collect::<Vec<_>>() {
+                let p = t.path_from(&g, src).unwrap();
+                assert_eq!(
+                    g.is_valley_free(&p),
+                    Some(true),
+                    "path {p:?} to {dest} not valley-free"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_break_prefers_lower_asn() {
+        // Two equal-length provider routes: stub 30 buys from 10 and 20,
+        // both buy from tier-1 1. Destination 40 is customer of 1.
+        let mut g = AsGraph::new();
+        for (a, t) in [
+            (1, Tier::Tier1),
+            (10, Tier::Tier2),
+            (20, Tier::Tier2),
+            (30, Tier::Stub),
+            (40, Tier::Stub),
+        ] {
+            g.add_as(Asn(a), t).unwrap();
+        }
+        g.add_customer_provider(Asn(10), Asn(1)).unwrap();
+        g.add_customer_provider(Asn(20), Asn(1)).unwrap();
+        g.add_customer_provider(Asn(30), Asn(10)).unwrap();
+        g.add_customer_provider(Asn(30), Asn(20)).unwrap();
+        g.add_customer_provider(Asn(40), Asn(1)).unwrap();
+        let t = RoutingTree::compute(&g, Asn(40)).unwrap();
+        assert_eq!(
+            t.path_from(&g, Asn(30)).unwrap(),
+            vec![Asn(30), Asn(10), Asn(1), Asn(40)]
+        );
+    }
+
+    #[test]
+    fn disconnected_as_has_no_route() {
+        let mut g = diamond();
+        g.add_as(Asn(99), Tier::Stub).unwrap();
+        let t = RoutingTree::compute(&g, Asn(8)).unwrap();
+        assert_eq!(t.path_from(&g, Asn(99)), None);
+        assert_eq!(t.class_of(&g, Asn(99)), None);
+        assert!(RoutingTree::compute(&g, Asn(1000)).is_none());
+    }
+
+    #[test]
+    fn routed_iterates_everyone_in_connected_graph() {
+        let g = diamond();
+        let t = RoutingTree::compute(&g, Asn(1)).unwrap();
+        assert_eq!(t.routed(&g).count(), 9);
+    }
+}
+
+#[cfg(test)]
+mod reconverge_tests {
+    use super::*;
+    use crate::graph::{AsGraph, Tier};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    /// Random tiered graphs: incremental reconvergence after random
+    /// link flaps must match a from-scratch recompute exactly.
+    #[test]
+    fn incremental_matches_full_recompute() {
+        for seed in 0..6u64 {
+            let t = crate::gen::TopologyGenerator::new(
+                crate::gen::TopologyConfig::small(seed),
+            )
+            .generate();
+            let mut g = t.graph.clone();
+            let asns: Vec<Asn> = g.asns().collect();
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let dest = asns[rng.gen_range(0..asns.len())];
+            let mut tree = RoutingTree::compute(&g, dest).unwrap();
+
+            let mut links: Vec<(Asn, Asn)> = Vec::new();
+            for i in 0..g.len() {
+                let a = g.asn_of(i);
+                for &(j, _) in g.neighbors_idx(i) {
+                    let b = g.asn_of(j);
+                    if a < b {
+                        links.push((a, b));
+                    }
+                }
+            }
+            let mut down: Vec<((Asn, Asn), crate::graph::Relationship)> = Vec::new();
+            for _ in 0..40 {
+                if !down.is_empty() && rng.gen_bool(0.45) {
+                    // Bring a down link back up.
+                    let ((a, b), rel) = down.remove(rng.gen_range(0..down.len()));
+                    match rel {
+                        crate::graph::Relationship::Peer => {
+                            g.add_peering(a, b).unwrap()
+                        }
+                        crate::graph::Relationship::Customer => {
+                            g.add_customer_provider(b, a).unwrap()
+                        }
+                        crate::graph::Relationship::Provider => {
+                            g.add_customer_provider(a, b).unwrap()
+                        }
+                    }
+                    tree.reconverge_after_link_event(&g, a, b);
+                } else {
+                    let (a, b) = links[rng.gen_range(0..links.len())];
+                    if g.relationship(a, b).is_none() {
+                        continue;
+                    }
+                    let rel = g.relationship(a, b).unwrap();
+                    g.remove_link(a, b).unwrap();
+                    down.push(((a, b), rel));
+                    tree.reconverge_after_link_event(&g, a, b);
+                }
+                let fresh = RoutingTree::compute(&g, dest).unwrap();
+                for &src in &asns {
+                    assert_eq!(
+                        tree.path_from(&g, src),
+                        fresh.path_from(&g, src),
+                        "seed {seed}: divergence at {src}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A leaf access-link event touches only the leaf: no other entry
+    /// changes and the report flag is accurate.
+    #[test]
+    fn leaf_event_is_local_and_flagged() {
+        let mut g = AsGraph::new();
+        for (a, t) in [(1, Tier::Tier1), (2, Tier::Tier2), (3, Tier::Stub)] {
+            g.add_as(Asn(a), t).unwrap();
+        }
+        g.add_customer_provider(Asn(2), Asn(1)).unwrap();
+        g.add_customer_provider(Asn(3), Asn(2)).unwrap();
+        let mut tree = RoutingTree::compute(&g, Asn(1)).unwrap();
+        g.remove_link(Asn(3), Asn(2)).unwrap();
+        assert!(tree.reconverge_after_link_event(&g, Asn(3), Asn(2)));
+        assert_eq!(tree.path_from(&g, Asn(3)), None);
+        assert_eq!(tree.path_from(&g, Asn(2)), Some(vec![Asn(2), Asn(1)]));
+        // Re-adding restores and reports the change; a second identical
+        // call reports no change.
+        g.add_customer_provider(Asn(3), Asn(2)).unwrap();
+        assert!(tree.reconverge_after_link_event(&g, Asn(3), Asn(2)));
+        assert!(!tree.reconverge_after_link_event(&g, Asn(3), Asn(2)));
+        assert_eq!(
+            tree.path_from(&g, Asn(3)),
+            Some(vec![Asn(3), Asn(2), Asn(1)])
+        );
+    }
+}

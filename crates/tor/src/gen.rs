@@ -1,0 +1,295 @@
+//! Synthetic consensus generation, calibrated to the paper's May-2014
+//! dataset.
+//!
+//! Target marginals (paper §4):
+//!
+//! * 4586 relays; 1918 guards, 891 exits, 442 flagged both;
+//! * guard/exit relays concentrated in a handful of ASes — 5 ASes
+//!   hosting ~20% of them (Hetzner, OVH, Abovenet, Fiberring,
+//!   Online.net);
+//! * heavy-tailed bandwidths (selection is bandwidth-weighted, so the
+//!   head of the distribution observes most circuits).
+//!
+//! Placement model: with probability `hosting_share` a relay lands in a
+//! hosting AS drawn Zipf-style (rank-weighted, so the first few hosting
+//! ASes dominate); otherwise it lands uniformly in a random "tail" AS.
+//! With ~40% hosting share and Zipf exponent 1, the top five hosting
+//! ASes end up with ≈20% of guard/exit relays, matching Fig 2 (left).
+
+use crate::consensus::{Consensus, Relay, RelayFlags, RelayId};
+use crate::plan::AddressPlan;
+use quicksand_net::Asn;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Pareto};
+
+/// Configuration for [`ConsensusGenerator`].
+#[derive(Clone, Debug)]
+pub struct ConsensusConfig {
+    /// Total relay count (paper: 4586).
+    pub n_relays: usize,
+    /// Relays with the Guard flag (paper: 1918).
+    pub n_guards: usize,
+    /// Relays with the Exit flag (paper: 891).
+    pub n_exits: usize,
+    /// Relays flagged both guard and exit (paper: 442).
+    pub n_both: usize,
+    /// Fraction of relays placed in hosting ASes (Zipf head).
+    pub hosting_share: f64,
+    /// Zipf exponent over hosting ASes (1.0 ⇒ weight ∝ 1/rank).
+    pub zipf_exponent: f64,
+    /// How many non-hosting ASes can host relays (the long tail; the
+    /// paper saw 650 distinct origin ASes).
+    pub n_tail_ases: usize,
+    /// Pareto scale (minimum bandwidth, KB/s).
+    pub bw_min_kbs: u64,
+    /// Pareto tail index for bandwidth.
+    pub bw_alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ConsensusConfig {
+    fn default() -> Self {
+        ConsensusConfig {
+            n_relays: 4586,
+            n_guards: 1918,
+            n_exits: 891,
+            n_both: 442,
+            hosting_share: 0.41,
+            zipf_exponent: 0.9,
+            n_tail_ases: 1000,
+            bw_min_kbs: 50,
+            bw_alpha: 1.3,
+            seed: 0x7012,
+        }
+    }
+}
+
+impl ConsensusConfig {
+    /// A small configuration (300 relays) for fast tests, with the same
+    /// flag proportions as the paper.
+    pub fn small(seed: u64) -> Self {
+        ConsensusConfig {
+            n_relays: 300,
+            n_guards: 125,
+            n_exits: 58,
+            n_both: 29,
+            n_tail_ases: 80,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates a [`Consensus`] over a topology's address plan.
+pub struct ConsensusGenerator {
+    config: ConsensusConfig,
+}
+
+impl ConsensusGenerator {
+    /// Create a generator.
+    ///
+    /// # Panics
+    /// Panics if the flag counts are inconsistent (`n_both` exceeding
+    /// either flag count, or flags exceeding the relay count).
+    pub fn new(config: ConsensusConfig) -> Self {
+        assert!(config.n_both <= config.n_guards && config.n_both <= config.n_exits);
+        assert!(
+            config.n_guards + config.n_exits - config.n_both <= config.n_relays,
+            "flagged relays exceed total"
+        );
+        ConsensusGenerator { config }
+    }
+
+    /// Generate the consensus. Relays are placed in `hosting` ASes
+    /// (Zipf head) and a sampled tail of `all_ases`; addresses come from
+    /// the address plan.
+    pub fn generate(
+        &self,
+        plan: &AddressPlan,
+        hosting: &[Asn],
+        all_ases: &[Asn],
+    ) -> Consensus {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        assert!(!hosting.is_empty(), "need at least one hosting AS");
+
+        // The long tail of ASes that host the remaining relays.
+        let mut tail: Vec<Asn> = all_ases
+            .iter()
+            .copied()
+            .filter(|a| !hosting.contains(a))
+            .collect();
+        tail.shuffle(&mut rng);
+        tail.truncate(c.n_tail_ases.max(1));
+
+        // Zipf weights over hosting ASes by rank.
+        let zipf_weights: Vec<f64> = (1..=hosting.len())
+            .map(|k| 1.0 / (k as f64).powf(c.zipf_exponent))
+            .collect();
+        let zipf_total: f64 = zipf_weights.iter().sum();
+
+        let pareto = Pareto::new(c.bw_min_kbs as f64, c.bw_alpha).expect("valid pareto");
+
+        // Flag assignment: shuffle relay indices; first n_both are
+        // guard+exit, next (n_guards - n_both) guard-only, next
+        // (n_exits - n_both) exit-only, rest middle-only.
+        let mut order: Vec<usize> = (0..c.n_relays).collect();
+        order.shuffle(&mut rng);
+        let mut flags = vec![RelayFlags::default(); c.n_relays];
+        let mut it = order.into_iter();
+        for _ in 0..c.n_both {
+            let i = it.next().unwrap();
+            flags[i] = RelayFlags {
+                guard: true,
+                exit: true,
+            };
+        }
+        for _ in 0..(c.n_guards - c.n_both) {
+            let i = it.next().unwrap();
+            flags[i].guard = true;
+        }
+        for _ in 0..(c.n_exits - c.n_both) {
+            let i = it.next().unwrap();
+            flags[i].exit = true;
+        }
+
+        let mut relays = Vec::with_capacity(c.n_relays);
+        for id in 0..c.n_relays {
+            let host_as = if rng.gen_bool(c.hosting_share) {
+                // Zipf draw over hosting ranks.
+                let mut x = rng.gen_range(0.0..zipf_total);
+                let mut chosen = hosting[hosting.len() - 1];
+                for (k, w) in zipf_weights.iter().enumerate() {
+                    if x < *w {
+                        chosen = hosting[k];
+                        break;
+                    }
+                    x -= w;
+                }
+                chosen
+            } else {
+                tail[rng.gen_range(0..tail.len())]
+            };
+            let addr = plan.random_addr_in(host_as, &mut rng);
+            let bandwidth_kbs = pareto.sample(&mut rng).min(1e8) as u64;
+            relays.push(Relay {
+                id: RelayId(id as u32),
+                nickname: format!("relay{id:04}"),
+                addr,
+                host_as,
+                bandwidth_kbs,
+                flags: flags[id],
+            });
+        }
+        Consensus { relays }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AddressPlan, AddressPlanConfig};
+    use quicksand_topology::{TopologyConfig, TopologyGenerator};
+
+    fn setup(seed: u64) -> (Consensus, Vec<Asn>) {
+        let t = TopologyGenerator::new(TopologyConfig::small(seed)).generate();
+        let plan =
+            AddressPlan::generate(&t.graph, &t.hosting, &AddressPlanConfig::default());
+        let asns: Vec<Asn> = t.graph.asns().collect();
+        let consensus = ConsensusGenerator::new(ConsensusConfig::small(seed))
+            .generate(&plan, &t.hosting, &asns);
+        (consensus, t.hosting)
+    }
+
+    #[test]
+    fn flag_counts_match_config() {
+        let (c, _) = setup(1);
+        let cfg = ConsensusConfig::small(1);
+        assert_eq!(c.len(), cfg.n_relays);
+        assert_eq!(c.guards().count(), cfg.n_guards);
+        assert_eq!(c.exits().count(), cfg.n_exits);
+        assert_eq!(c.guard_and_exit().count(), cfg.n_both);
+    }
+
+    #[test]
+    fn paper_scale_counts() {
+        let t = TopologyGenerator::new(TopologyConfig::default()).generate();
+        let plan =
+            AddressPlan::generate(&t.graph, &t.hosting, &AddressPlanConfig::default());
+        let asns: Vec<Asn> = t.graph.asns().collect();
+        let c = ConsensusGenerator::new(ConsensusConfig::default())
+            .generate(&plan, &t.hosting, &asns);
+        assert_eq!(c.len(), 4586);
+        assert_eq!(c.guards().count(), 1918);
+        assert_eq!(c.exits().count(), 891);
+        assert_eq!(c.guard_and_exit().count(), 442);
+    }
+
+    #[test]
+    fn hosting_concentration() {
+        let (c, hosting) = setup(2);
+        use std::collections::BTreeMap;
+        let mut per_as: BTreeMap<Asn, usize> = BTreeMap::new();
+        for r in c.guards_or_exits() {
+            *per_as.entry(r.host_as).or_default() += 1;
+        }
+        let mut counts: Vec<usize> = per_as.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = counts.iter().sum();
+        let top5: usize = counts.iter().take(5).sum();
+        let share = top5 as f64 / total as f64;
+        // The paper found ~20%; accept a band at small scale.
+        assert!(
+            (0.10..=0.45).contains(&share),
+            "top-5 AS share {share:.3} out of band"
+        );
+        // And hosting ASes should be over-represented.
+        let in_hosting: usize = c
+            .guards_or_exits()
+            .filter(|r| hosting.contains(&r.host_as))
+            .count();
+        assert!(in_hosting as f64 / total as f64 > 0.25);
+    }
+
+    #[test]
+    fn bandwidths_are_heavy_tailed() {
+        let (c, _) = setup(3);
+        let mut bws: Vec<u64> = c.relays.iter().map(|r| r.bandwidth_kbs).collect();
+        bws.sort_unstable();
+        let median = bws[bws.len() / 2] as f64;
+        let max = *bws.last().unwrap() as f64;
+        assert!(max / median > 10.0, "tail too light: {max} / {median}");
+        assert!(bws[0] >= 50);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = setup(4);
+        let (b, _) = setup(4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn addresses_belong_to_host_as_blocks() {
+        let (c, _) = setup(5);
+        let t = TopologyGenerator::new(TopologyConfig::small(5)).generate();
+        let plan =
+            AddressPlan::generate(&t.graph, &t.hosting, &AddressPlanConfig::default());
+        for r in &c.relays {
+            assert!(plan.blocks[&r.host_as].contains_addr(r.addr));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn inconsistent_flags_panic() {
+        let cfg = ConsensusConfig {
+            n_both: 10,
+            n_guards: 5,
+            ..ConsensusConfig::small(0)
+        };
+        let _ = ConsensusGenerator::new(cfg);
+    }
+}

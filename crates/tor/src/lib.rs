@@ -1,0 +1,37 @@
+//! Tor network substrate for the `quicksand` workspace.
+//!
+//! The paper joins the May-2014 Tor consensus (4586 relays: 1918 guards,
+//! 891 exits, 442 flagged both) with BGP data. This crate rebuilds that
+//! side of the pipeline:
+//!
+//! * [`Relay`], [`Consensus`] — the relay model (address, flags,
+//!   bandwidth) with JSON (de)serialization.
+//! * [`ConsensusGenerator`] — a seeded synthetic consensus calibrated to
+//!   the paper's marginals: relay/flag counts, heavy-tailed bandwidths,
+//!   and AS concentration (a handful of hosting ASes — the Hetzner/OVH
+//!   role — hosting ~20% of guard/exit relays).
+//! * [`AddressPlan`] — the address/announcement plan: every AS gets a
+//!   /16 block announced as one or several prefixes (with occasional
+//!   more-specifics), feeding both the BGP simulators and relay
+//!   placement.
+//! * [`map_tor_prefixes`] — the paper's "Tor prefixes": for each guard
+//!   or exit relay, the most-specific announced prefix containing it,
+//!   with the §4 per-prefix statistics.
+//! * [`selection`] — bandwidth-weighted relay selection, guard sets
+//!   (3 fixed guards), and circuit construction with Tor's distinct-/16
+//!   constraint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod consensus;
+mod gen;
+mod plan;
+mod prefixmap;
+pub mod selection;
+
+pub use consensus::{Consensus, Relay, RelayFlags, RelayId};
+pub use gen::{ConsensusConfig, ConsensusGenerator};
+pub use plan::{AddressPlan, AddressPlanConfig};
+pub use prefixmap::{map_tor_prefixes, TorPrefixStats, TorPrefixes};
+pub use selection::{Circuit, CircuitBuilder, GuardSet, SelectionConfig};

@@ -1,0 +1,280 @@
+//! Relay selection, guard sets, and circuits.
+//!
+//! Tor clients "select relays with a probability that is proportional to
+//! their network capacity" and "choose their first hop relay from a
+//! small set of three relays (called guards)… kept fixed for about a
+//! month". Both behaviors matter to the paper: bandwidth weighting makes
+//! high-capacity relays observe most circuits (the active-attack target
+//! list), and fixed guards are the defense that BGP dynamics erode.
+//!
+//! The builder enforces Tor's distinct-/16 constraint between the three
+//! hops (the stand-in for Tor's family/subnet rules).
+
+use crate::consensus::{Consensus, Relay, RelayId};
+use quicksand_net::{Asn, Ipv4Prefix};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for selection.
+#[derive(Clone, Debug)]
+pub struct SelectionConfig {
+    /// Number of guards per client (Tor used 3 in 2014; the paper notes
+    /// a proposal to move to one guard for 9 months).
+    pub guards_per_client: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            guards_per_client: 3,
+            seed: 0x70AD,
+        }
+    }
+}
+
+/// A client's fixed set of entry guards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GuardSet {
+    /// The chosen guards (distinct relays, distinct /16s).
+    pub guards: Vec<RelayId>,
+}
+
+/// A three-hop circuit plus its endpoints' ASes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Circuit {
+    /// The client's AS.
+    pub client_as: Asn,
+    /// Entry guard.
+    pub guard: RelayId,
+    /// Middle relay.
+    pub middle: RelayId,
+    /// Exit relay.
+    pub exit: RelayId,
+    /// The destination's AS.
+    pub dest_as: Asn,
+}
+
+/// Bandwidth-weighted selection over a consensus.
+pub struct CircuitBuilder<'c> {
+    consensus: &'c Consensus,
+    rng: StdRng,
+}
+
+fn slash16(r: &Relay) -> Ipv4Prefix {
+    Ipv4Prefix::new(r.addr, 16)
+}
+
+impl<'c> CircuitBuilder<'c> {
+    /// Create a builder over `consensus`.
+    pub fn new(consensus: &'c Consensus, config: &SelectionConfig) -> Self {
+        CircuitBuilder {
+            consensus,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// Bandwidth-weighted draw over relays satisfying `filter`.
+    /// Returns `None` when no relay qualifies.
+    fn weighted_pick<F>(&mut self, filter: F) -> Option<RelayId>
+    where
+        F: Fn(&Relay) -> bool,
+    {
+        let total: u64 = self
+            .consensus
+            .relays
+            .iter()
+            .filter(|r| filter(r))
+            .map(|r| r.bandwidth_kbs.max(1))
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        let mut x = self.rng.gen_range(0..total);
+        for r in self.consensus.relays.iter().filter(|r| filter(r)) {
+            let w = r.bandwidth_kbs.max(1);
+            if x < w {
+                return Some(r.id);
+            }
+            x -= w;
+        }
+        unreachable!("weighted draw fell off the end")
+    }
+
+    /// Choose a client's guard set: bandwidth-weighted guards with
+    /// pairwise-distinct /16s.
+    ///
+    /// Returns `None` if the consensus cannot supply enough qualifying
+    /// guards.
+    pub fn pick_guards(&mut self, n: usize) -> Option<GuardSet> {
+        let mut guards: Vec<RelayId> = Vec::with_capacity(n);
+        let mut nets: Vec<Ipv4Prefix> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = self.weighted_pick(|r| {
+                r.flags.guard
+                    && !guards.contains(&r.id)
+                    && !nets.contains(&slash16(r))
+            })?;
+            nets.push(slash16(self.consensus.relay(id)));
+            guards.push(id);
+        }
+        Some(GuardSet { guards })
+    }
+
+    /// Build a circuit for a client: guard uniformly from the guard set
+    /// (Tor rotates among its guards), middle and exit
+    /// bandwidth-weighted, all three hops in distinct /16s.
+    ///
+    /// Returns `None` when the consensus cannot supply a qualifying
+    /// middle or exit.
+    pub fn build_circuit(
+        &mut self,
+        client_as: Asn,
+        guard_set: &GuardSet,
+        dest_as: Asn,
+    ) -> Option<Circuit> {
+        let guard = guard_set.guards[self.rng.gen_range(0..guard_set.guards.len())];
+        let guard_net = slash16(self.consensus.relay(guard));
+        let exit = self.weighted_pick(|r| {
+            r.flags.exit && r.id != guard && slash16(r) != guard_net
+        })?;
+        let exit_net = slash16(self.consensus.relay(exit));
+        let middle = self.weighted_pick(|r| {
+            r.id != guard
+                && r.id != exit
+                && slash16(r) != guard_net
+                && slash16(r) != exit_net
+        })?;
+        Some(Circuit {
+            client_as,
+            guard,
+            middle,
+            exit,
+            dest_as,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::RelayFlags;
+    use std::net::Ipv4Addr;
+
+    fn relay(id: u32, third_octet: u8, bw: u64, guard: bool, exit: bool) -> Relay {
+        Relay {
+            id: RelayId(id),
+            nickname: format!("r{id}"),
+            // Distinct /16 per id (second octet), unless third_octet
+            // tricks are used.
+            addr: Ipv4Addr::new(10, id as u8, third_octet, 1),
+            host_as: Asn(1000 + id),
+            bandwidth_kbs: bw,
+            flags: RelayFlags { guard, exit },
+        }
+    }
+
+    fn consensus() -> Consensus {
+        Consensus {
+            relays: vec![
+                relay(0, 0, 5000, true, false),
+                relay(1, 0, 100, true, false),
+                relay(2, 0, 100, true, true),
+                relay(3, 0, 2000, false, true),
+                relay(4, 0, 100, false, false),
+                relay(5, 0, 100, false, false),
+            ],
+        }
+    }
+
+    #[test]
+    fn guard_set_has_distinct_relays_and_nets() {
+        let c = consensus();
+        let mut b = CircuitBuilder::new(&c, &SelectionConfig::default());
+        let gs = b.pick_guards(3).expect("enough guards");
+        assert_eq!(gs.guards.len(), 3);
+        let mut sorted = gs.guards.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+        // All chosen relays are guards.
+        assert!(gs.guards.iter().all(|g| c.relay(*g).flags.guard));
+    }
+
+    #[test]
+    fn circuit_hops_are_distinct_and_flagged() {
+        let c = consensus();
+        let mut b = CircuitBuilder::new(&c, &SelectionConfig::default());
+        let gs = b.pick_guards(2).unwrap();
+        for _ in 0..50 {
+            let circ = b
+                .build_circuit(Asn(1), &gs, Asn(2))
+                .expect("circuit built");
+            assert!(gs.guards.contains(&circ.guard));
+            assert!(c.relay(circ.exit).flags.exit);
+            assert_ne!(circ.guard, circ.middle);
+            assert_ne!(circ.guard, circ.exit);
+            assert_ne!(circ.middle, circ.exit);
+        }
+    }
+
+    #[test]
+    fn bandwidth_weighting_prefers_fast_relays() {
+        let c = consensus();
+        let mut b = CircuitBuilder::new(&c, &SelectionConfig::default());
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            let g = b.weighted_pick(|r| r.flags.guard).unwrap();
+            counts[g.0 as usize] += 1;
+        }
+        // Relay 0 has ~96% of guard bandwidth (5000 of 5200).
+        assert!(
+            counts[0] > 1700,
+            "fast guard under-selected: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn same_slash16_guards_rejected() {
+        // Two guards in the same /16: a 2-guard set is impossible.
+        let c = Consensus {
+            relays: vec![
+                Relay {
+                    addr: Ipv4Addr::new(10, 1, 0, 1),
+                    ..relay(0, 0, 100, true, false)
+                },
+                Relay {
+                    addr: Ipv4Addr::new(10, 1, 200, 9),
+                    ..relay(1, 0, 100, true, false)
+                },
+            ],
+        };
+        let mut b = CircuitBuilder::new(&c, &SelectionConfig::default());
+        assert!(b.pick_guards(1).is_some());
+        assert!(b.pick_guards(2).is_none());
+    }
+
+    #[test]
+    fn impossible_circuit_returns_none() {
+        // No exit relays at all.
+        let c = Consensus {
+            relays: vec![relay(0, 0, 100, true, false), relay(1, 0, 100, true, false)],
+        };
+        let mut b = CircuitBuilder::new(&c, &SelectionConfig::default());
+        let gs = b.pick_guards(1).unwrap();
+        assert!(b.build_circuit(Asn(1), &gs, Asn(2)).is_none());
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let c = consensus();
+        let run = || {
+            let mut b = CircuitBuilder::new(&c, &SelectionConfig::default());
+            let gs = b.pick_guards(3).unwrap();
+            let circ = b.build_circuit(Asn(1), &gs, Asn(2)).unwrap();
+            (gs, circ)
+        };
+        assert_eq!(run(), run());
+    }
+}

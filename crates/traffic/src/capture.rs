@@ -1,0 +1,234 @@
+//! Vantage-point captures: what an AS on the path records.
+//!
+//! An AS-level eavesdropper sees TCP/IP *headers* even under SSL/TLS.
+//! From a stream of [`PacketRecord`]s it derives one of two cumulative
+//! byte curves:
+//!
+//! * **data direction** — cumulative payload bytes seen (from the
+//!   length field), or
+//! * **ACK direction** — cumulative bytes *acknowledged* (from the TCP
+//!   acknowledgment number — the paper's observation that "our attack
+//!   inspects TCP headers to infer the number of bytes being
+//!   acknowledged using the TCP sequence number field").
+//!
+//! Both are [`ByteSeries`] — monotone step functions of time — and are
+//! directly comparable, which is exactly why one direction at each end
+//! suffices (§3.3).
+
+use crate::tcp::PacketRecord;
+use quicksand_net::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which direction of a segment a vantage point observes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Direction {
+    /// The data-carrying direction (toward the downloader).
+    Data,
+    /// The acknowledgment direction (from the downloader).
+    Ack,
+}
+
+/// A monotone cumulative-bytes step function.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ByteSeries {
+    /// `(time, cumulative bytes)` points, time-ascending, bytes
+    /// non-decreasing.
+    pub points: Vec<(SimTime, u64)>,
+}
+
+impl ByteSeries {
+    /// Total bytes at the end of the series.
+    pub fn total(&self) -> u64 {
+        self.points.last().map_or(0, |&(_, b)| b)
+    }
+
+    /// The cumulative value at time `t` (0 before the first point).
+    pub fn at(&self, t: SimTime) -> u64 {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => 0,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// The cumulative value strictly before time `t`.
+    fn at_excl(&self, t: SimTime) -> u64 {
+        match self.points.partition_point(|&(pt, _)| pt < t) {
+            0 => 0,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// Resample into fixed-width bins over `[start, end)`: element `i`
+    /// is the byte *increment* within the half-open bin
+    /// `[start + i·bin, start + (i+1)·bin)`. The paper's correlation
+    /// operates on such binned increments.
+    pub fn bin_increments(&self, start: SimTime, end: SimTime, bin: quicksand_net::SimDuration) -> Vec<f64> {
+        assert!(bin.0 > 0, "zero bin width");
+        let mut out = Vec::new();
+        let mut t = start;
+        let mut prev = self.at_excl(start);
+        while t < end {
+            let next = t + bin;
+            let cur = self.at_excl(next.min(end));
+            out.push((cur - prev) as f64);
+            prev = cur;
+            t = next;
+        }
+        out
+    }
+
+    /// End time of the series (last point), if any.
+    pub fn end_time(&self) -> Option<SimTime> {
+        self.points.last().map(|&(t, _)| t)
+    }
+}
+
+/// A capture: one vantage point's view of one segment direction.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capture {
+    /// A label for diagnostics (e.g. "guard→client").
+    pub label: String,
+    /// The derived cumulative byte curve.
+    pub series: ByteSeries,
+}
+
+impl Capture {
+    /// Derive the cumulative *data* curve from data-direction packets.
+    pub fn from_data(label: impl Into<String>, packets: &[PacketRecord]) -> Capture {
+        let mut cum = 0u64;
+        let mut points = Vec::with_capacity(packets.len());
+        for p in packets {
+            cum += u64::from(p.len);
+            points.push((p.at, cum));
+        }
+        Capture {
+            label: label.into(),
+            series: ByteSeries { points },
+        }
+    }
+
+    /// Derive the cumulative *acknowledged-bytes* curve from
+    /// ACK-direction packets: the running maximum of the TCP ack field.
+    /// Cumulative ACKs are not one-to-one with data packets — this is
+    /// the new correlation input §3.3 introduces.
+    pub fn from_acks(label: impl Into<String>, packets: &[PacketRecord]) -> Capture {
+        let mut hi = 0u64;
+        let mut points = Vec::with_capacity(packets.len());
+        for p in packets {
+            hi = hi.max(p.ack);
+            points.push((p.at, hi));
+        }
+        Capture {
+            label: label.into(),
+            series: ByteSeries { points },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksand_net::SimDuration;
+
+    fn rec(at_ms: u64, len: u32, ack: u64) -> PacketRecord {
+        PacketRecord {
+            at: SimTime::from_millis(at_ms),
+            seq: 0,
+            len,
+            ack,
+        }
+    }
+
+    #[test]
+    fn data_capture_accumulates_lengths() {
+        let c = Capture::from_data(
+            "x",
+            &[rec(0, 100, 0), rec(10, 200, 0), rec(20, 50, 0)],
+        );
+        assert_eq!(c.series.total(), 350);
+        assert_eq!(c.series.at(SimTime::from_millis(10)), 300);
+        assert_eq!(c.series.at(SimTime::from_millis(9)), 100);
+        assert_eq!(c.series.at(SimTime::ZERO), 100);
+    }
+
+    #[test]
+    fn ack_capture_takes_running_max() {
+        // Reordered ACKs must not decrease the curve.
+        let c = Capture::from_acks(
+            "x",
+            &[rec(0, 0, 1000), rec(10, 0, 500), rec(20, 0, 3000)],
+        );
+        assert_eq!(
+            c.series.points.iter().map(|&(_, b)| b).collect::<Vec<_>>(),
+            vec![1000, 1000, 3000]
+        );
+    }
+
+    #[test]
+    fn binned_increments_sum_to_total() {
+        let c = Capture::from_data(
+            "x",
+            &[rec(100, 10, 0), rec(900, 20, 0), rec(1500, 30, 0)],
+        );
+        let bins = c.series.bin_increments(
+            SimTime::ZERO,
+            SimTime::from_millis(2000),
+            SimDuration::from_millis(500),
+        );
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins.iter().sum::<f64>(), 60.0);
+        assert_eq!(bins, vec![10.0, 20.0, 0.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_series_edge_cases() {
+        let s = ByteSeries::default();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.at(SimTime::from_secs(5)), 0);
+        assert_eq!(s.end_time(), None);
+        let bins = s.bin_increments(
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            SimDuration::from_millis(250),
+        );
+        assert_eq!(bins, vec![0.0; 4]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use quicksand_net::SimDuration;
+
+    proptest! {
+        /// Binned increments always sum to the cumulative delta over the
+        /// window, for any packet arrangement.
+        #[test]
+        fn bins_partition_the_window(
+            lens in proptest::collection::vec(1u32..5000, 1..50),
+            gaps in proptest::collection::vec(1u64..500, 1..50),
+        ) {
+            let mut t = 0u64;
+            let mut packets = Vec::new();
+            for (len, gap) in lens.iter().zip(gaps.iter().cycle()) {
+                t += gap;
+                packets.push(PacketRecord {
+                    at: SimTime::from_millis(t),
+                    seq: 0,
+                    len: *len,
+                    ack: 0,
+                });
+            }
+            let c = Capture::from_data("p", &packets);
+            let end = SimTime::from_millis(t + 1);
+            let bins = c.series.bin_increments(
+                SimTime::ZERO,
+                end,
+                SimDuration::from_millis(97),
+            );
+            let sum: f64 = bins.iter().sum();
+            prop_assert_eq!(sum as u64, c.series.total());
+        }
+    }
+}

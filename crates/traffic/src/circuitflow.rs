@@ -1,0 +1,351 @@
+//! A file download chained across the four segments of a Tor circuit.
+//!
+//! Reproduces the paper's wide-area experiment (wget of a large file
+//! through Tor, tcpdump at both ends) in simulation. Tor carries traffic
+//! hop-by-hop: each segment (server→exit, exit→middle, middle→guard,
+//! guard→client) is its own TCP connection, and relays repackage the
+//! stream into 512-byte cells. We simulate the first segment with the
+//! full TCP model and propagate the byte arrival schedule through the
+//! relay chain with store-and-forward latency, per-hop rate limits, and
+//! cell quantization; each downstream segment then carries its own
+//! cumulative ACK stream back.
+//!
+//! The output is a [`Capture`] per (segment, direction) — eight in all —
+//! of which the paper plots four in Fig 2 (right).
+
+use crate::capture::Capture;
+use crate::tcp::{PacketRecord, TcpConfig, TcpSim};
+use quicksand_net::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The four segments of a download circuit, in data-flow order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Segment {
+    /// Server → exit relay.
+    ServerExit,
+    /// Exit → middle relay.
+    ExitMiddle,
+    /// Middle → guard relay.
+    MiddleGuard,
+    /// Guard → client.
+    GuardClient,
+}
+
+impl Segment {
+    /// All four segments in data-flow order.
+    pub const ALL: [Segment; 4] = [
+        Segment::ServerExit,
+        Segment::ExitMiddle,
+        Segment::MiddleGuard,
+        Segment::GuardClient,
+    ];
+
+    /// Human-readable label of the data direction.
+    pub fn data_label(self) -> &'static str {
+        match self {
+            Segment::ServerExit => "server→exit",
+            Segment::ExitMiddle => "exit→middle",
+            Segment::MiddleGuard => "middle→guard",
+            Segment::GuardClient => "guard→client",
+        }
+    }
+
+    /// Human-readable label of the ACK direction.
+    pub fn ack_label(self) -> &'static str {
+        match self {
+            Segment::ServerExit => "exit→server (acks)",
+            Segment::ExitMiddle => "middle→exit (acks)",
+            Segment::MiddleGuard => "guard→middle (acks)",
+            Segment::GuardClient => "client→guard (acks)",
+        }
+    }
+}
+
+/// Configuration for [`CircuitFlow::simulate`].
+#[derive(Clone, Debug)]
+pub struct CircuitFlowConfig {
+    /// TCP parameters of the server→exit segment (file size, loss, …).
+    pub first_hop: TcpConfig,
+    /// One-way latency of each relay hop (exit→middle, middle→guard,
+    /// guard→client).
+    pub hop_delay: [SimDuration; 3],
+    /// Forwarding rate of each relay in bytes/second (relays are the
+    /// usual bottleneck in Tor).
+    pub hop_rate: [u64; 3],
+    /// Tor cell payload size: relays emit data in cell-sized units.
+    pub cell_bytes: u32,
+}
+
+impl Default for CircuitFlowConfig {
+    fn default() -> Self {
+        CircuitFlowConfig {
+            first_hop: TcpConfig::default(),
+            hop_delay: [
+                SimDuration::from_millis(30),
+                SimDuration::from_millis(45),
+                SimDuration::from_millis(25),
+            ],
+            // Relays forward faster than the first-hop TCP bottleneck
+            // (2 MB/s): without modeling Tor's per-hop flow control,
+            // a slower relay would let queues grow unboundedly, which
+            // real Tor prevents by circuit windows.
+            hop_rate: [3_000_000, 2_600_000, 2_800_000],
+            cell_bytes: 498, // 512-byte cell minus header overhead
+        }
+    }
+}
+
+/// The captures of a simulated circuit download.
+#[derive(Clone, Debug)]
+pub struct CircuitFlow {
+    /// Data-direction capture per segment (cumulative bytes sent).
+    pub data: [Capture; 4],
+    /// ACK-direction capture per segment (cumulative bytes acked).
+    pub acks: [Capture; 4],
+    /// When the last byte reached the client.
+    pub completed_at: SimTime,
+}
+
+impl CircuitFlow {
+    /// Run the download and capture all eight segment directions.
+    pub fn simulate(config: &CircuitFlowConfig) -> CircuitFlow {
+        // Segment 1: full TCP simulation server→exit.
+        let trace = TcpSim::new(config.first_hop.clone()).run();
+        let mut data = Vec::with_capacity(4);
+        let mut acks = Vec::with_capacity(4);
+        data.push(Capture::from_data(
+            Segment::ServerExit.data_label(),
+            &trace.data_sent,
+        ));
+        acks.push(Capture::from_acks(
+            Segment::ServerExit.ack_label(),
+            &trace.acks_sent,
+        ));
+
+        // Downstream segments: store-and-forward relays.
+        let mut arrivals: Vec<PacketRecord> = trace.data_received;
+        let mut completed_at = trace.completed_at;
+        for (k, segment) in [
+            Segment::ExitMiddle,
+            Segment::MiddleGuard,
+            Segment::GuardClient,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let (sent, received, hop_acks) = forward_hop(
+                &arrivals,
+                config.hop_delay[k],
+                config.hop_rate[k],
+                config.cell_bytes,
+            );
+            data.push(Capture::from_data(segment.data_label(), &sent));
+            acks.push(Capture::from_acks(segment.ack_label(), &hop_acks));
+            if let Some(last) = received.last() {
+                completed_at = completed_at.max(last.at);
+            }
+            arrivals = received;
+        }
+
+        CircuitFlow {
+            data: [
+                data.remove(0),
+                data.remove(0),
+                data.remove(0),
+                data.remove(0),
+            ],
+            acks: [
+                acks.remove(0),
+                acks.remove(0),
+                acks.remove(0),
+                acks.remove(0),
+            ],
+            completed_at,
+        }
+    }
+
+    /// The capture of one (segment, direction).
+    pub fn capture(&self, segment: Segment, data_dir: bool) -> &Capture {
+        let i = Segment::ALL.iter().position(|&s| s == segment).unwrap();
+        if data_dir {
+            &self.data[i]
+        } else {
+            &self.acks[i]
+        }
+    }
+}
+
+/// Forward a byte-arrival schedule across one relay hop: cell
+/// quantization, rate pacing, store-and-forward delay. Returns
+/// `(sent at relay egress, received downstream, acks sent downstream)`.
+fn forward_hop(
+    arrivals: &[PacketRecord],
+    delay: SimDuration,
+    rate: u64,
+    cell_bytes: u32,
+) -> (Vec<PacketRecord>, Vec<PacketRecord>, Vec<PacketRecord>) {
+    let mut sent = Vec::new();
+    let mut received = Vec::new();
+    let mut acks = Vec::new();
+    let mut egress_free = SimTime::ZERO;
+    let mut buffered: u64 = 0; // bytes awaiting cellization
+    let mut seq = 0u64;
+    let mut acked = 0u64;
+    let cell = u64::from(cell_bytes);
+
+    let mut emit = |at: SimTime,
+                    len: u32,
+                    seq: &mut u64,
+                    acked: &mut u64,
+                    egress_free: &mut SimTime| {
+        let depart = (*egress_free).max(at);
+        let ser = SimDuration((u64::from(len) * 1_000_000) / rate.max(1));
+        *egress_free = depart + ser;
+        sent.push(PacketRecord {
+            at: *egress_free,
+            seq: *seq,
+            len,
+            ack: 0,
+        });
+        let arrive = *egress_free + delay;
+        received.push(PacketRecord {
+            at: arrive,
+            seq: *seq,
+            len,
+            ack: 0,
+        });
+        *seq += u64::from(len);
+        *acked = *seq;
+        // The downstream endpoint acks cumulatively; the ACK passes the
+        // segment in the reverse direction shortly after arrival.
+        acks.push(PacketRecord {
+            at: arrive,
+            seq: 0,
+            len: 0,
+            ack: *acked,
+        });
+    };
+
+    for p in arrivals {
+        buffered += u64::from(p.len);
+        while buffered >= cell {
+            emit(p.at, cell as u32, &mut seq, &mut acked, &mut egress_free);
+            buffered -= cell;
+        }
+    }
+    // Flush the final partial cell.
+    if buffered > 0 {
+        let at = arrivals.last().map_or(SimTime::ZERO, |p| p.at);
+        emit(at, buffered as u32, &mut seq, &mut acked, &mut egress_free);
+    }
+    (sent, received, acks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_flow() -> CircuitFlow {
+        let config = CircuitFlowConfig {
+            first_hop: TcpConfig {
+                transfer_bytes: 2 * 1024 * 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        CircuitFlow::simulate(&config)
+    }
+
+    #[test]
+    fn all_segments_carry_the_full_file() {
+        let f = small_flow();
+        let size = 2 * 1024 * 1024;
+        for (i, c) in f.data.iter().enumerate() {
+            assert_eq!(c.series.total(), size, "segment {i} lost bytes");
+        }
+        for (i, c) in f.acks.iter().enumerate() {
+            assert_eq!(c.series.total(), size, "segment {i} acks incomplete");
+        }
+    }
+
+    #[test]
+    fn bytes_flow_downstream_later() {
+        let f = small_flow();
+        // Each subsequent segment completes no earlier than the previous.
+        let ends: Vec<SimTime> = f
+            .data
+            .iter()
+            .map(|c| c.series.end_time().unwrap())
+            .collect();
+        for w in ends.windows(2) {
+            assert!(w[1] >= w[0], "downstream finished before upstream");
+        }
+        assert!(f.completed_at >= ends[3]);
+    }
+
+    #[test]
+    fn curves_are_nearly_identical_across_segments() {
+        // The Fig-2-right claim: data sent and bytes acked at all
+        // segments track each other closely over time.
+        let f = small_flow();
+        let end = f.completed_at;
+        let reference = &f.data[0].series;
+        for c in f.data.iter().skip(1).chain(f.acks.iter()) {
+            // Compare at 20 sample points: curves within a small offset
+            // of each other (lag ≤ a few hundred ms of transfer).
+            let mut max_rel_gap: f64 = 0.0;
+            for k in 1..=20 {
+                let t = SimTime(end.0 * k / 20);
+                let a = reference.at(t) as f64;
+                let b = c.series.at(t) as f64;
+                let gap = (a - b).abs() / reference.total() as f64;
+                max_rel_gap = max_rel_gap.max(gap);
+            }
+            assert!(
+                max_rel_gap < 0.15,
+                "{}: diverges from server→exit by {max_rel_gap:.3}",
+                c.label
+            );
+        }
+    }
+
+    #[test]
+    fn cell_quantization_shapes_downstream_packets() {
+        let f = small_flow();
+        // Downstream data packets are cell-sized (except the last).
+        let cfg = CircuitFlowConfig::default();
+        let pkts = &f.data[1];
+        let _ = pkts;
+        // Validate via forward_hop directly for precision:
+        let arrivals = vec![
+            PacketRecord {
+                at: SimTime::from_millis(0),
+                seq: 0,
+                len: 1200,
+                ack: 0,
+            },
+            PacketRecord {
+                at: SimTime::from_millis(10),
+                seq: 1200,
+                len: 100,
+                ack: 0,
+            },
+        ];
+        let (sent, received, acks) =
+            forward_hop(&arrivals, SimDuration::from_millis(5), 1_000_000, 498);
+        let lens: Vec<u32> = sent.iter().map(|p| p.len).collect();
+        assert_eq!(lens, vec![498, 498, 304]);
+        assert_eq!(received.len(), 3);
+        // Cumulative acks track delivered bytes.
+        assert_eq!(acks.last().unwrap().ack, 1300);
+        let _ = cfg;
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small_flow();
+        let b = small_flow();
+        assert_eq!(a.data[3], b.data[3]);
+        assert_eq!(a.acks[0], b.acks[0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Traffic generation and (asymmetric) traffic analysis (§3.3, §4).
+//!
+//! The paper's wide-area experiment downloads a large file over Tor and
+//! shows (Fig 2, right) that the bytes *sent* and the bytes
+//! *acknowledged* — recovered purely from cleartext TCP headers — are
+//! nearly identical over time at all four segments of the path. An
+//! AS-level adversary therefore only needs to see **one direction at
+//! each end**, in any combination.
+//!
+//! This crate rebuilds that experiment in simulation:
+//!
+//! * [`TcpSim`] — an event-driven, header-faithful TCP bulk-transfer
+//!   simulator (slow start, AIMD, cumulative ACKs, optional loss) that
+//!   emits timestamped [`PacketRecord`]s.
+//! * [`CircuitFlow`] — a download chained across the four segments of a
+//!   Tor circuit (server→exit→middle→guard→client), with Tor's 512-byte
+//!   cell quantization and per-hop latency, producing captures at every
+//!   segment in both directions.
+//! * [`capture`] — vantage-point views: cumulative bytes *sent* (data
+//!   direction) or *acknowledged* (ACK direction, from TCP header ack
+//!   numbers — the paper's key observation that ACK streams leak the
+//!   transfer profile).
+//! * [`correlate`] — binned increment cross-correlation with lag search,
+//!   and circuit matching among decoys: the deanonymization decision.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+mod circuitflow;
+pub mod correlate;
+mod tcp;
+
+pub use capture::{ByteSeries, Capture, Direction};
+pub use circuitflow::{CircuitFlow, CircuitFlowConfig, Segment};
+pub use tcp::{PacketRecord, TcpConfig, TcpSim};

@@ -1,0 +1,84 @@
+//! The §3.1 temporal-dynamics story: a Tor client keeps the same three
+//! guards for a month, but the *Internet paths* to them keep changing —
+//! every change can put new ASes in a surveillance position, and the
+//! compromise probability only ratchets up.
+//!
+//! ```sh
+//! cargo run --release --example bgp_churn_surveillance [-- --f 0.05]
+//! ```
+
+use quicksand_core::scenario::{Scenario, ScenarioConfig};
+use quicksand_core::temporal;
+use quicksand_net::{Asn, SimDuration};
+use quicksand_tor::{CircuitBuilder, SelectionConfig};
+use std::collections::BTreeSet;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let f: f64 = args
+        .iter()
+        .position(|a| a == "--f")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+
+    let scenario = Scenario::build(ScenarioConfig::small(17));
+    println!(
+        "world: {} ASes, {} relays; churn horizon {}",
+        scenario.topo.graph.len(),
+        scenario.consensus.len(),
+        scenario.config.churn.horizon
+    );
+
+    // The client and its fixed guard set.
+    let client = scenario.topo.stubs[3];
+    let mut builder =
+        CircuitBuilder::new(&scenario.consensus, &SelectionConfig::default());
+    let guard_set = builder.pick_guards(3).expect("guards available");
+    let guard_ases: Vec<Asn> = guard_set
+        .guards
+        .iter()
+        .map(|&g| scenario.consensus.relay(g).host_as)
+        .collect();
+    println!("client {client}; guards hosted in {guard_ases:?}\n");
+
+    // Replay the churn horizon, recording the client→guard paths.
+    let history = scenario.path_history(&[client], &guard_ases);
+    let horizon = scenario.horizon_end();
+
+    println!("exposure growth (distinct ASes ≥5 min on client→guard paths):");
+    println!("  day   x(union)  P(compromise | f={f})");
+    let days = scenario.config.churn.horizon.0 / SimDuration::from_days(1).0;
+    for day in 1..=days {
+        let until = quicksand_net::SimTime::ZERO + SimDuration::from_days(day);
+        let mut union: BTreeSet<Asn> = BTreeSet::new();
+        for ga in &guard_ases {
+            if let Some(tl) = history.get(&(client, *ga)) {
+                // Clip the timeline at `until` by closing durations there.
+                union.extend(tl.distinct_ases(until, SimDuration::from_mins(5)));
+            }
+        }
+        let p = temporal::compromise_probability(f, union.len());
+        println!("  {day:>3}   {:>7}   {p:>8.4}", union.len());
+    }
+
+    // Per-guard detail over the full horizon.
+    println!("\nper-guard exposure over the full horizon:");
+    for ga in &guard_ases {
+        let tl = &history[&(client, *ga)];
+        let distinct = tl.distinct_ases(horizon, SimDuration::from_mins(5));
+        let baseline = tl.baseline();
+        let extra = tl.extra_ases(horizon, SimDuration::from_mins(5));
+        println!(
+            "  guard AS {ga}: baseline path {} ASes, {} distinct over the month (+{} extra), {} path changes",
+            baseline.len(),
+            distinct.len(),
+            extra.len(),
+            tl.path_changes()
+        );
+    }
+    println!(
+        "\nTor's guard design caps relay-level exposure, but the *network* keeps\n\
+         rotating underneath: anonymity degrades on quicksand."
+    );
+}
