@@ -119,7 +119,7 @@ impl PrefixMonitor {
             // More-specific check against every registered covering
             // prefix (registered prefixes themselves are exempt).
             if !self.registered.contains_key(&route.prefix) {
-                for (&covering, _) in &self.registered {
+                for &covering in self.registered.keys() {
                     if route.prefix.is_more_specific_than(&covering) {
                         alarms.push(Alarm {
                             at: r.at,

@@ -14,8 +14,8 @@
 //! decay or availability dies.
 
 use crate::detect::{Alarm, AlarmKind};
-use quicksand_bgp::{UpdateMessage, UpdateRecord};
-use quicksand_net::{Asn, Ipv4Prefix, SimDuration, SimTime};
+use quicksand_bgp::{SessionId, UpdateMessage, UpdateRecord};
+use quicksand_net::{Asn, Ipv4Prefix, QsResult, QuicksandError, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration for [`StreamingMonitor`].
@@ -27,6 +27,10 @@ pub struct MonitorConfig {
     /// How long the monitor learns upstreams before it starts alarming
     /// on new ones (the online training window).
     pub warmup: SimDuration,
+    /// A session that has been silent this long is considered stale:
+    /// it no longer counts toward alarm confidence, and
+    /// [`StreamingMonitor::check_feed`] reports it.
+    pub stale_after: SimDuration,
 }
 
 impl Default for MonitorConfig {
@@ -34,6 +38,7 @@ impl Default for MonitorConfig {
         MonitorConfig {
             advisory_ttl: SimDuration::from_hours(6),
             warmup: SimDuration::from_days(2),
+            stale_after: SimDuration::from_hours(1),
         }
     }
 }
@@ -82,7 +87,20 @@ pub struct StreamingMonitor {
     board: AdvisoryBoard,
     /// All alarms raised, in arrival order.
     alarms: Vec<Alarm>,
+    /// Feed confidence (live sessions / expected sessions) at the time
+    /// each alarm was raised; parallel to `alarms`.
+    alarm_confidence: Vec<f64>,
     started_at: Option<SimTime>,
+    /// Sessions the monitor expects to hear from (registered up front
+    /// or learned from the stream).
+    expected_sessions: BTreeSet<SessionId>,
+    /// Last record time per session.
+    last_seen: BTreeMap<SessionId, SimTime>,
+    /// The latest record timestamp ingested so far.
+    high_water: SimTime,
+    /// Records that arrived with a timestamp before the high-water mark
+    /// (reordered or skewed feeds); processed anyway, but counted.
+    late_records: usize,
 }
 
 impl StreamingMonitor {
@@ -97,8 +115,92 @@ impl StreamingMonitor {
             upstreams: BTreeMap::new(),
             board: AdvisoryBoard::default(),
             alarms: Vec::new(),
+            alarm_confidence: Vec::new(),
             started_at: None,
+            expected_sessions: BTreeSet::new(),
+            last_seen: BTreeMap::new(),
+            high_water: SimTime::ZERO,
+            late_records: 0,
         }
+    }
+
+    /// Declare the sessions the monitor should hear from. Without this,
+    /// sessions are learned from the stream itself (so a session that
+    /// never says anything is invisible to staleness tracking).
+    pub fn register_sessions(&mut self, sessions: impl IntoIterator<Item = SessionId>) {
+        self.expected_sessions.extend(sessions);
+    }
+
+    /// Sessions currently live at `now`: heard from within
+    /// `stale_after`.
+    pub fn live_sessions(&self, now: SimTime) -> usize {
+        self.last_seen
+            .values()
+            .filter(|&&t| now.since(t) <= self.config.stale_after)
+            .count()
+    }
+
+    /// Sessions that have been silent past `stale_after` at `now`
+    /// (including registered sessions never heard from at all).
+    pub fn stale_sessions(&self, now: SimTime) -> Vec<SessionId> {
+        self.expected_sessions
+            .iter()
+            .filter(|s| {
+                self.last_seen
+                    .get(s)
+                    .map_or(true, |&t| now.since(t) > self.config.stale_after)
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Feed confidence at `now`: the fraction of expected sessions that
+    /// are live. With no expected sessions the monitor has no basis for
+    /// doubt and reports 1.0.
+    pub fn confidence(&self, now: SimTime) -> f64 {
+        if self.expected_sessions.is_empty() {
+            return 1.0;
+        }
+        self.live_sessions(now) as f64 / self.expected_sessions.len() as f64
+    }
+
+    /// Typed staleness check: `Err(StaleFeed)` for the longest-silent
+    /// stale session at `now`, `Ok(())` when every expected session is
+    /// live.
+    pub fn check_feed(&self, now: SimTime) -> QsResult<()> {
+        let worst = self
+            .expected_sessions
+            .iter()
+            .map(|s| {
+                let silent = self
+                    .last_seen
+                    .get(s)
+                    .map_or_else(|| now.since(self.started_at.unwrap_or(now)), |&t| now.since(t));
+                (silent, *s)
+            })
+            .filter(|&(silent, _)| silent > self.config.stale_after)
+            .max();
+        match worst {
+            Some((silent_for, session)) => Err(QuicksandError::StaleFeed {
+                session: session.0,
+                silent_for,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Records seen with timestamps behind the stream's high-water mark
+    /// (out-of-order delivery or clock skew). They are processed, not
+    /// dropped — this is a health indicator, not an error.
+    pub fn late_records(&self) -> usize {
+        self.late_records
+    }
+
+    /// Alarms paired with the feed confidence at the moment each was
+    /// raised — an alarm raised while half the sessions were dark
+    /// carries less weight than one raised on a full feed.
+    pub fn alarms_with_confidence(&self) -> impl Iterator<Item = (&Alarm, f64)> {
+        self.alarms.iter().zip(self.alarm_confidence.iter().copied())
     }
 
     /// The advisory board (for clients' relay selection).
@@ -117,8 +219,24 @@ impl StreamingMonitor {
     }
 
     /// Feed one update record; returns the alarm raised, if any.
+    ///
+    /// Degraded feeds are tolerated by design: out-of-order timestamps
+    /// are counted (see [`StreamingMonitor::late_records`]) and
+    /// processed anyway, and per-session arrival times feed the
+    /// staleness/confidence tracking.
     pub fn ingest(&mut self, record: &UpdateRecord) -> Option<Alarm> {
         let started = *self.started_at.get_or_insert(record.at);
+        // Session health bookkeeping (all message kinds count as life).
+        self.expected_sessions.insert(record.session);
+        let seen = self.last_seen.entry(record.session).or_insert(record.at);
+        if record.at > *seen {
+            *seen = record.at;
+        }
+        if record.at < self.high_water {
+            self.late_records += 1;
+        } else {
+            self.high_water = record.at;
+        }
         let in_warmup = record.at.since(started) < self.config.warmup;
         let UpdateMessage::Announce(route) = &record.msg else {
             return None;
@@ -127,7 +245,7 @@ impl StreamingMonitor {
 
         // More-specific check against registered covering prefixes.
         if !self.registered.contains_key(&prefix) {
-            for (&covering, _) in &self.registered {
+            for &covering in self.registered.keys() {
                 if prefix.is_more_specific_than(&covering) {
                     return Some(self.raise(
                         record.at,
@@ -174,6 +292,7 @@ impl StreamingMonitor {
 
     fn raise(&mut self, at: SimTime, prefix: Ipv4Prefix, kind: AlarmKind) -> Alarm {
         let alarm = Alarm { at, prefix, kind };
+        self.alarm_confidence.push(self.confidence(at));
         self.alarms.push(alarm);
         let entry = self
             .board
@@ -226,6 +345,7 @@ mod tests {
             MonitorConfig {
                 warmup: SimDuration::from_days(1),
                 advisory_ttl: SimDuration::from_hours(6),
+                ..Default::default()
             },
         )
     }
@@ -293,6 +413,91 @@ mod tests {
             Some(SimDuration::from_secs(90))
         );
         assert_eq!(m.detection_latency(&p("10.0.0.0/8"), attack_at), None);
+    }
+
+    fn ann_on(at: SimTime, sess: u32, prefix: &str, asns: &[u32]) -> UpdateRecord {
+        UpdateRecord {
+            session: SessionId(sess),
+            ..ann(at, prefix, asns)
+        }
+    }
+
+    #[test]
+    fn advisory_ttl_boundary_is_inclusive() {
+        let mut m = monitor();
+        let t0 = SimTime::from_secs(100);
+        m.ingest(&ann(t0, "78.46.0.0/15", &[1, 666])).unwrap();
+        let prefix = p("78.46.0.0/15");
+        let ttl = SimDuration::from_hours(6);
+        // Exactly at the boundary the advisory still holds...
+        assert!(m.is_flagged(&prefix, t0 + ttl));
+        // ...and one tick past it, it has expired.
+        assert!(!m.is_flagged(&prefix, t0 + ttl + SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn refresh_exactly_at_ttl_boundary_extends_advisory() {
+        let mut m = monitor();
+        let t0 = SimTime::from_secs(100);
+        let ttl = SimDuration::from_hours(6);
+        m.ingest(&ann(t0, "78.46.0.0/15", &[1, 666])).unwrap();
+        // A supporting alarm lands exactly when the advisory would
+        // lapse: the advisory must continue seamlessly, not flap.
+        let t1 = t0 + ttl;
+        m.ingest(&ann(t1, "78.46.0.0/15", &[1, 666])).unwrap();
+        let prefix = p("78.46.0.0/15");
+        assert!(m.is_flagged(&prefix, t1 + ttl));
+        assert!(!m.is_flagged(&prefix, t1 + ttl + SimDuration::from_millis(1)));
+        // Still a single advisory, refreshed rather than re-raised.
+        assert_eq!(m.board().total_raised(), 1);
+    }
+
+    #[test]
+    fn advisory_expires_during_collector_outage() {
+        let mut m = monitor();
+        let t0 = SimTime::from_secs(100);
+        m.ingest(&ann(t0, "78.46.0.0/15", &[1, 666])).unwrap();
+        // The collector goes dark: no refreshing alarms can arrive, so
+        // the advisory decays on schedule (availability over safety).
+        let during_outage = t0 + SimDuration::from_hours(12);
+        let prefix = p("78.46.0.0/15");
+        assert!(!m.is_flagged(&prefix, during_outage));
+        // The feed is also reported stale by then.
+        assert!(matches!(
+            m.check_feed(during_outage),
+            Err(QuicksandError::StaleFeed { session: 0, .. })
+        ));
+        assert_eq!(m.stale_sessions(during_outage), vec![SessionId(0)]);
+    }
+
+    #[test]
+    fn confidence_tracks_live_sessions() {
+        let mut m = monitor();
+        m.register_sessions((0..4).map(SessionId));
+        let t0 = SimTime::from_secs(0);
+        // Only sessions 0 and 1 ever speak.
+        m.ingest(&ann_on(t0, 0, "10.0.0.0/8", &[1, 2]));
+        m.ingest(&ann_on(t0, 1, "10.0.0.0/8", &[1, 2]));
+        assert_eq!(m.confidence(t0), 0.5);
+        // An alarm raised on this half-dark feed records that weight.
+        m.ingest(&ann_on(t0, 0, "78.46.0.0/15", &[1, 666])).unwrap();
+        let (_, conf) = m.alarms_with_confidence().next().unwrap();
+        assert_eq!(conf, 0.5);
+        // Once the silent sessions go stale. confidence stays at 0.5;
+        // when all four go silent past the bound, it reaches zero.
+        let much_later = t0 + SimDuration::from_days(1);
+        assert_eq!(m.confidence(much_later), 0.0);
+    }
+
+    #[test]
+    fn late_records_are_processed_not_dropped() {
+        let mut m = monitor();
+        m.ingest(&ann(SimTime::from_secs(100), "78.46.0.0/15", &[1, 20, 24940]));
+        // A record from the past (reordered feed) still triggers
+        // detection and is merely counted as late.
+        let alarm = m.ingest(&ann(SimTime::from_secs(50), "78.46.0.0/15", &[1, 666]));
+        assert!(alarm.is_some());
+        assert_eq!(m.late_records(), 1);
     }
 
     #[test]

@@ -295,7 +295,8 @@ impl MultiOriginRouting {
         self.entries
             .iter()
             .enumerate()
-            .filter_map(|(i, e)| e.is_none().then(|| graph.asn_of(i)))
+            .filter(|(_, e)| e.is_none())
+            .map(|(i, _)| graph.asn_of(i))
             .collect()
     }
 }

@@ -24,7 +24,7 @@ fn world() -> &'static (Scenario, MonthResult) {
     static WORLD: OnceLock<(Scenario, MonthResult)> = OnceLock::new();
     WORLD.get_or_init(|| {
         let s = Scenario::build(ScenarioConfig::small(0xBE7C));
-        let m = s.run_month();
+        let m = s.run_month().expect("valid collector config");
         (s, m)
     })
 }

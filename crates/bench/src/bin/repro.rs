@@ -4,11 +4,19 @@
 //! ```text
 //! repro [all|table1|fig2-left|fig2-right|fig3-left|fig3-right|model|
 //!        hijack|intercept|convergence|ixp|population|static-vs-dynamic|
-//!        stealth|longterm|countermeasures] [--small]
+//!        stealth|longterm|countermeasures|chaos] [--small]
+//!        [--intensity=<0..1>]
 //! ```
 //!
 //! `--small` runs the test-scale configuration (seconds instead of
 //! minutes); the default full scale is what EXPERIMENTS.md records.
+//!
+//! `chaos` (not part of `all`: it is a robustness diagnostic, not a
+//! paper artifact) replays the §4 pipeline with the collector feed
+//! degraded by [`quicksand_bgp::fault`] — drops, duplicates, reorders,
+//! clock skew, session flaps — and reports how cleaning, session
+//! health, and real-time monitoring hold up. `--intensity=X` pins a
+//! single fault intensity instead of the default sweep.
 
 use quicksand_core::countermeasures::{
     evaluate_circuit_filter, evaluate_guard_strategies, evaluate_monitoring,
@@ -25,6 +33,12 @@ use quicksand_core::ixp::{ixp_experiment, render_ixp, IxpMap};
 use quicksand_core::population::{render_population, run_population_attack, PopulationConfig};
 use quicksand_core::report;
 use quicksand_core::scenario::{MonthResult, Scenario, ScenarioConfig};
+use quicksand_attack::monitord::{MonitorConfig, StreamingMonitor};
+use quicksand_bgp::fault::{FaultInjector, FaultProfile};
+use quicksand_bgp::{
+    clean_session_resets, metrics, CleaningConfig, Route, UpdateMessage, UpdateRecord,
+};
+use quicksand_net::{AsPath, Asn, Ipv4Prefix, SimDuration, SimTime};
 use quicksand_traffic::{CircuitFlowConfig, TcpConfig};
 
 /// The full-scale configuration used for EXPERIMENTS.md.
@@ -59,7 +73,7 @@ impl Ctx {
     fn ensure_month(&mut self) {
         if self.month.is_none() {
             eprintln!("[repro] running churn horizon through the BGP simulator…");
-            let m = self.scenario.run_month();
+            let m = self.scenario.run_month().expect("valid collector config");
             eprintln!(
                 "[repro] update log: {} raw / {} cleaned records, {} duplicates removed, {} reset bursts",
                 m.raw.len(),
@@ -229,6 +243,150 @@ fn main() {
         print!("{}", report::render_realtime_monitoring(&rt));
         let pd = evaluate_published_dynamics(&ctx.scenario, clients, 3, 5);
         print!("{}", render_published_dynamics(&pd));
+        println!();
+    }
+    if which.contains(&"chaos") {
+        ctx.ensure_month();
+        let intensities: Vec<f64> = match args
+            .iter()
+            .find_map(|a| a.strip_prefix("--intensity="))
+        {
+            Some(s) => match s.parse::<f64>() {
+                Ok(x) => vec![x],
+                Err(_) => {
+                    eprintln!("error: --intensity expects a float in [0, 1], got {s:?}");
+                    std::process::exit(2);
+                }
+            },
+            None => vec![0.0, 0.2, 0.5, 1.0],
+        };
+        let month = ctx.month();
+        let n_attacks = if ctx.small { 12 } else { 30 };
+
+        // Attacked guard prefixes: those hosting the highest-bandwidth
+        // guards (the attractive targets §3.2 identifies).
+        let mut guards: Vec<&quicksand_tor::Relay> =
+            ctx.scenario.consensus.guards().collect();
+        guards.sort_by_key(|r| std::cmp::Reverse(r.bandwidth_kbs));
+        let mut attacked: Vec<(Ipv4Prefix, Asn)> = Vec::new();
+        for g in &guards {
+            if attacked.len() >= n_attacks {
+                break;
+            }
+            if let Some((p, o)) = ctx.scenario.plan.table.longest_match(g.addr) {
+                if !attacked.iter().any(|(q, _)| *q == p) {
+                    attacked.push((p, o));
+                }
+            }
+        }
+
+        // Splice announcements enter the *raw* feed, on every session,
+        // before degradation — so drops, flaps, skew, and reordering
+        // genuinely decide whether and when the monitor sees the
+        // attack, and latency responds to the profile.
+        let attack_at = SimTime(month.horizon_end.0 * 7 / 10);
+        let attacker = Asn(0xEEEE);
+        let sessions = month.raw.sessions();
+        let mut attacked_raw = month.raw.clone();
+        for (p, o) in &attacked {
+            for &s in &sessions {
+                let delay = SimDuration::from_secs(30 + 15 * u64::from(s.0));
+                attacked_raw.records.push(UpdateRecord {
+                    at: attack_at + delay,
+                    session: s,
+                    msg: UpdateMessage::Announce(Route {
+                        prefix: *p,
+                        as_path: AsPath::from_asns([Asn(1), attacker, *o]),
+                        communities: Default::default(),
+                    }),
+                });
+            }
+        }
+        attacked_raw.records.sort_by_key(|r| (r.at, r.session));
+
+        for &x in &intensities {
+            let profile = FaultProfile::with_intensity(x, 0xC4A05);
+            let injector = FaultInjector::new(profile).expect("valid fault profile");
+            let (raw, rep) = injector.apply(&attacked_raw);
+            let (cleaned, removed, bursts) =
+                clean_session_resets(&raw, &CleaningConfig::default());
+            println!("== chaos: fault intensity {x:.2} ==");
+            println!(
+                "  injected: {} dropped, {} duplicated, {} reordered, {} outage-dropped, \
+                 {} flaps, {} re-dump records, {} skewed sessions",
+                rep.dropped,
+                rep.duplicated,
+                rep.reordered,
+                rep.outage_dropped,
+                rep.flaps.len(),
+                rep.redump_records,
+                rep.skewed_sessions
+            );
+            println!(
+                "  degraded log: {} raw / {} cleaned ({} duplicates removed, {} reset bursts)",
+                raw.len(),
+                cleaned.len(),
+                removed,
+                bursts
+            );
+            let health = metrics::session_health(
+                &cleaned,
+                SimTime::ZERO,
+                month.horizon_end,
+                SimDuration::from_hours(6),
+            );
+            let mean_cov = health.iter().map(|h| h.coverage).sum::<f64>()
+                / health.len().max(1) as f64;
+            let min_cov = health
+                .iter()
+                .map(|h| h.coverage)
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "  session health: mean coverage {mean_cov:.3}, min {:.3}",
+                if min_cov.is_finite() { min_cov } else { 1.0 }
+            );
+
+            let mut monitor = StreamingMonitor::new(
+                ctx.scenario
+                    .tor_prefixes
+                    .origin_by_prefix
+                    .iter()
+                    .map(|(p, a)| (*p, *a)),
+                MonitorConfig::default(),
+            );
+            monitor.register_sessions(sessions.iter().copied());
+            for r in &cleaned.records {
+                monitor.ingest(r);
+            }
+            let mut latency_sum = SimDuration::ZERO;
+            let mut detected = 0usize;
+            for (p, _) in &attacked {
+                if let Some(lat) = monitor.detection_latency(p, attack_at) {
+                    latency_sum = latency_sum + lat;
+                    detected += 1;
+                }
+            }
+            let mean_conf = {
+                let confs: Vec<f64> = monitor
+                    .alarms_with_confidence()
+                    .filter(|(a, _)| a.at >= attack_at)
+                    .map(|(_, c)| c)
+                    .collect();
+                confs.iter().sum::<f64>() / confs.len().max(1) as f64
+            };
+            println!(
+                "  detection: rate {:.2}, mean latency {:.1}s, mean alarm confidence {:.2}, \
+                 {} late records tolerated",
+                detected as f64 / attacked.len().max(1) as f64,
+                if detected > 0 {
+                    latency_sum.as_secs_f64() / detected as f64
+                } else {
+                    f64::NAN
+                },
+                mean_conf,
+                monitor.late_records()
+            );
+        }
         println!();
     }
 }

@@ -17,7 +17,7 @@
 //! [`clean_session_resets`] is that cleaning pass.
 
 use crate::msg::{Route, UpdateMessage};
-use quicksand_net::{AsPath, Asn, Ipv4Prefix, SimDuration, SimTime};
+use quicksand_net::{AsPath, Asn, Ipv4Prefix, QsResult, QuicksandError, SimDuration, SimTime};
 use quicksand_topology::RouteClass;
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -116,6 +116,10 @@ pub struct CollectorConfig {
     pub horizon: SimDuration,
     /// RNG seed (feed kinds and reset schedule).
     pub seed: u64,
+    /// First retry delay after a session goes down.
+    pub retry_base: SimDuration,
+    /// Cap on the exponential retry backoff.
+    pub retry_cap: SimDuration,
 }
 
 impl Default for CollectorConfig {
@@ -125,6 +129,8 @@ impl Default for CollectorConfig {
             resets_per_session: 1.0,
             horizon: SimDuration::from_days(30),
             seed: 0x4415,
+            retry_base: SimDuration::from_secs(30),
+            retry_cap: SimDuration::from_hours(1),
         }
     }
 }
@@ -149,6 +155,7 @@ pub struct SessionInfo {
 /// appends announcements/withdrawals. Scheduled session resets re-dump
 /// tables, creating the duplicate-update artifacts the cleaning pass
 /// removes.
+#[derive(Debug)]
 pub struct Collector {
     sessions: Vec<SessionInfo>,
     /// Last announced path per (session index, prefix).
@@ -156,12 +163,52 @@ pub struct Collector {
     /// Reset schedule: sorted (time, session index).
     resets: Vec<(SimTime, usize)>,
     next_reset: usize,
+    /// Per-session liveness (parallel to `sessions`).
+    liveness: Vec<SessionState>,
+    retry_base: SimDuration,
+    retry_cap: SimDuration,
+}
+
+/// Liveness of one collector session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SessionState {
+    Up,
+    Down {
+        since: SimTime,
+        attempts: u32,
+        next_retry: SimTime,
+    },
 }
 
 impl Collector {
     /// Build a collector peering with `peers`. Feed kinds and the reset
     /// schedule are drawn deterministically from `config.seed`.
-    pub fn new(peers: &[Asn], config: &CollectorConfig) -> Self {
+    ///
+    /// Returns [`QuicksandError::InvalidConfig`] when `frac_full` is
+    /// outside `[0, 1]`, `resets_per_session` is negative or non-finite,
+    /// or resets are requested over an empty horizon.
+    pub fn new(peers: &[Asn], config: &CollectorConfig) -> QsResult<Self> {
+        if !(0.0..=1.0).contains(&config.frac_full) {
+            return Err(QuicksandError::InvalidConfig {
+                what: "frac_full",
+                detail: format!("must be within [0, 1], got {}", config.frac_full),
+            });
+        }
+        if !(config.resets_per_session >= 0.0 && config.resets_per_session.is_finite()) {
+            return Err(QuicksandError::InvalidConfig {
+                what: "resets_per_session",
+                detail: format!(
+                    "must be finite and >= 0, got {}",
+                    config.resets_per_session
+                ),
+            });
+        }
+        if config.resets_per_session > 0.0 && config.horizon == SimDuration::ZERO {
+            return Err(QuicksandError::InvalidConfig {
+                what: "horizon",
+                detail: "resets requested over an empty horizon".into(),
+            });
+        }
         let mut rng = StdRng::seed_from_u64(config.seed);
         let sessions: Vec<SessionInfo> = peers
             .iter()
@@ -181,7 +228,12 @@ impl Collector {
         let horizon_s = config.horizon.as_secs_f64();
         if config.resets_per_session > 0.0 {
             let mean_gap = horizon_s / config.resets_per_session;
-            let exp = rand_distr::Exp::new(1.0 / mean_gap).expect("valid exp");
+            let exp = rand_distr::Exp::new(1.0 / mean_gap).map_err(|e| {
+                QuicksandError::InvalidConfig {
+                    what: "resets_per_session",
+                    detail: format!("reset rate yields invalid exponential: {e}"),
+                }
+            })?;
             for (i, _) in sessions.iter().enumerate() {
                 let mut t = rand_distr::Distribution::sample(&exp, &mut rng);
                 while t < horizon_s {
@@ -191,17 +243,127 @@ impl Collector {
             }
         }
         resets.sort();
-        Collector {
+        let liveness = vec![SessionState::Up; sessions.len()];
+        Ok(Collector {
             sessions,
             state: BTreeMap::new(),
             resets,
             next_reset: 0,
-        }
+            liveness,
+            retry_base: config.retry_base,
+            retry_cap: config.retry_cap,
+        })
     }
 
     /// The sessions of this collector.
     pub fn sessions(&self) -> &[SessionInfo] {
         &self.sessions
+    }
+
+    fn index_of(&self, id: SessionId) -> QsResult<usize> {
+        let i = id.0 as usize;
+        if i < self.sessions.len() && self.sessions[i].id == id {
+            Ok(i)
+        } else {
+            Err(QuicksandError::UnknownSession(id.0))
+        }
+    }
+
+    /// Is the session currently up?
+    pub fn is_up(&self, id: SessionId) -> QsResult<bool> {
+        Ok(matches!(self.liveness[self.index_of(id)?], SessionState::Up))
+    }
+
+    /// Number of sessions currently up.
+    pub fn live_sessions(&self) -> usize {
+        self.liveness
+            .iter()
+            .filter(|s| matches!(s, SessionState::Up))
+            .count()
+    }
+
+    /// Mark a session down at `at` (peer unreachable, fault-injected
+    /// outage, ...). While down the session records nothing; the
+    /// collector retries with exponential backoff via
+    /// [`Collector::try_reconnect`]. Marking an already-down session is
+    /// a no-op (the original outage start is kept).
+    pub fn session_down(&mut self, id: SessionId, at: SimTime) -> QsResult<()> {
+        let i = self.index_of(id)?;
+        if matches!(self.liveness[i], SessionState::Up) {
+            self.liveness[i] = SessionState::Down {
+                since: at,
+                attempts: 0,
+                next_retry: at + self.retry_base,
+            };
+        }
+        Ok(())
+    }
+
+    /// Attempt to re-establish downed sessions whose retry timer has
+    /// expired by `at`. `link_up` reports whether the underlying fault
+    /// has cleared for a session; a failed attempt doubles the retry
+    /// delay (capped at `retry_cap`). Recovered sessions forget their
+    /// recorded table, so the next [`Collector::observe`] re-dumps it —
+    /// the duplicate-announcement burst a real session re-establishment
+    /// produces. Returns the sessions that came back up.
+    pub fn try_reconnect(
+        &mut self,
+        at: SimTime,
+        link_up: impl Fn(SessionId) -> bool,
+    ) -> Vec<SessionId> {
+        let mut recovered = Vec::new();
+        for i in 0..self.sessions.len() {
+            let SessionState::Down {
+                since,
+                attempts,
+                next_retry,
+            } = self.liveness[i]
+            else {
+                continue;
+            };
+            if next_retry > at {
+                continue;
+            }
+            let id = self.sessions[i].id;
+            if link_up(id) {
+                self.liveness[i] = SessionState::Up;
+                // Forget the session's table: the peer re-dumps on
+                // re-establishment, so the next observe re-announces
+                // every live route.
+                let stale: Vec<(usize, Ipv4Prefix)> = self
+                    .state
+                    .range((i, Ipv4Prefix::from_u32(0, 0))..)
+                    .take_while(|((s, _), _)| *s == i)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for k in stale {
+                    self.state.remove(&k);
+                }
+                recovered.push(id);
+            } else {
+                // First retry comes retry_base after the drop; each
+                // failure doubles the delay up to retry_cap.
+                let backoff_s =
+                    self.retry_base.as_secs_f64() * (2u64 << attempts.min(30)) as f64;
+                let delay = SimDuration::from_secs_f64(
+                    backoff_s.min(self.retry_cap.as_secs_f64()),
+                );
+                self.liveness[i] = SessionState::Down {
+                    since,
+                    attempts: attempts.saturating_add(1),
+                    next_retry: at + delay,
+                };
+            }
+        }
+        recovered
+    }
+
+    /// How long `id` has been down as of `at` (zero when up).
+    pub fn downtime(&self, id: SessionId, at: SimTime) -> QsResult<SimDuration> {
+        Ok(match self.liveness[self.index_of(id)?] {
+            SessionState::Up => SimDuration::ZERO,
+            SessionState::Down { since, .. } => at.since(since),
+        })
     }
 
     /// Observe the current routing state at time `at` and append any
@@ -226,6 +388,11 @@ impl Collector {
         {
             let (rt, si) = self.resets[self.next_reset];
             self.next_reset += 1;
+            // A scheduled reset on a downed session is moot: the session
+            // records nothing, and recovery re-dumps anyway.
+            if !matches!(self.liveness[si], SessionState::Up) {
+                continue;
+            }
             let id = self.sessions[si].id;
             let dump: Vec<(Ipv4Prefix, AsPath)> = self
                 .state
@@ -247,6 +414,10 @@ impl Collector {
         }
 
         for (si, info) in self.sessions.iter().enumerate() {
+            // Downed sessions miss everything until they reconnect.
+            if !matches!(self.liveness[si], SessionState::Up) {
+                continue;
+            }
             for &prefix in prefixes {
                 let now = exported(info.peer, prefix).and_then(|(path, class)| {
                     let visible = match info.kind {
@@ -472,7 +643,7 @@ mod tests {
             resets_per_session: 0.0,
             ..Default::default()
         };
-        let mut coll = Collector::new(&[Asn(10)], &config);
+        let mut coll = Collector::new(&[Asn(10)], &config).unwrap();
         assert_eq!(coll.sessions()[0].kind, FeedKind::Partial);
         let prefix = p("10.0.0.0/8");
         let mut log = UpdateLog::default();
@@ -524,7 +695,7 @@ mod tests {
             resets_per_session: 0.0,
             ..Default::default()
         };
-        let mut coll = Collector::new(&[Asn(10)], &config);
+        let mut coll = Collector::new(&[Asn(10)], &config).unwrap();
         assert_eq!(coll.sessions()[0].kind, FeedKind::Full);
         let mut log = UpdateLog::default();
         coll.observe(
@@ -537,6 +708,114 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_rejected_with_typed_error() {
+        let config = CollectorConfig {
+            frac_full: 1.5,
+            ..Default::default()
+        };
+        let err = Collector::new(&[Asn(10)], &config).unwrap_err();
+        assert!(matches!(
+            err,
+            quicksand_net::QuicksandError::InvalidConfig { what: "frac_full", .. }
+        ));
+        let config = CollectorConfig {
+            resets_per_session: -1.0,
+            ..Default::default()
+        };
+        assert!(Collector::new(&[Asn(10)], &config).is_err());
+        let config = CollectorConfig {
+            resets_per_session: 1.0,
+            horizon: SimDuration::ZERO,
+            ..Default::default()
+        };
+        assert!(Collector::new(&[Asn(10)], &config).is_err());
+    }
+
+    #[test]
+    fn downed_session_records_nothing_and_redumps_on_recovery() {
+        let config = CollectorConfig {
+            frac_full: 1.0,
+            resets_per_session: 0.0,
+            ..Default::default()
+        };
+        let mut coll = Collector::new(&[Asn(10)], &config).unwrap();
+        let prefix = p("10.0.0.0/8");
+        let mut log = UpdateLog::default();
+        let route = |_: Asn, _: Ipv4Prefix| Some((path(&[2, 3]), RouteClass::Customer));
+        coll.observe(SimTime::from_secs(0), &[prefix], route, &mut log);
+        assert_eq!(log.len(), 1);
+
+        // Session drops: nothing is recorded while down.
+        coll.session_down(SessionId(0), SimTime::from_secs(100)).unwrap();
+        assert!(!coll.is_up(SessionId(0)).unwrap());
+        assert_eq!(coll.live_sessions(), 0);
+        coll.observe(
+            SimTime::from_secs(200),
+            &[prefix],
+            |_, _| Some((path(&[9, 3]), RouteClass::Customer)),
+            &mut log,
+        );
+        assert_eq!(log.len(), 1, "downed session must stay silent");
+
+        // First retry fires after retry_base; the link is still dead,
+        // so the delay doubles.
+        let t1 = SimTime::from_secs(100) + config.retry_base;
+        assert!(coll.try_reconnect(t1, |_| false).is_empty());
+        let t2 = t1 + config.retry_base;
+        // Next retry is 2 * retry_base after t1; at t1 + base it is not
+        // due yet.
+        assert!(coll.try_reconnect(t2, |_| true).is_empty());
+        let t3 = t1 + config.retry_base + config.retry_base;
+        let recovered = coll.try_reconnect(t3, |_| true);
+        assert_eq!(recovered, vec![SessionId(0)]);
+        assert!(coll.is_up(SessionId(0)).unwrap());
+        assert_eq!(coll.downtime(SessionId(0), t3).unwrap(), SimDuration::ZERO);
+
+        // Recovery re-dumps: the unchanged route is re-announced (a
+        // duplicate burst the cleaning pass removes).
+        coll.observe(SimTime::from_secs(1000), &[prefix], route, &mut log);
+        assert_eq!(log.len(), 2);
+        let (cleaned, removed, _) =
+            clean_session_resets(&log, &CleaningConfig::default());
+        assert_eq!(removed, 1);
+        assert_eq!(cleaned.len(), 1);
+    }
+
+    #[test]
+    fn unknown_session_is_a_typed_error() {
+        let config = CollectorConfig {
+            resets_per_session: 0.0,
+            ..Default::default()
+        };
+        let mut coll = Collector::new(&[Asn(10)], &config).unwrap();
+        let err = coll.session_down(SessionId(7), SimTime::ZERO).unwrap_err();
+        assert_eq!(err, quicksand_net::QuicksandError::UnknownSession(7));
+        assert!(coll.is_up(SessionId(7)).is_err());
+    }
+
+    #[test]
+    fn backoff_caps_at_retry_cap() {
+        let config = CollectorConfig {
+            resets_per_session: 0.0,
+            retry_base: SimDuration::from_secs(30),
+            retry_cap: SimDuration::from_secs(120),
+            ..Default::default()
+        };
+        let mut coll = Collector::new(&[Asn(10)], &config).unwrap();
+        coll.session_down(SessionId(0), SimTime::ZERO).unwrap();
+        // Fail many retries; the gap between attempts never exceeds the
+        // cap, so a retry must fire within every cap-sized window.
+        let mut t = SimTime::ZERO + config.retry_base;
+        for _ in 0..10 {
+            coll.try_reconnect(t, |_| false);
+            t += config.retry_cap;
+        }
+        // The link heals: the next cap-window retry picks it up.
+        let recovered = coll.try_reconnect(t + config.retry_cap, |_| true);
+        assert_eq!(recovered, vec![SessionId(0)]);
+    }
+
+    #[test]
     fn resets_redump_table_and_cleaning_detects_burst() {
         let config = CollectorConfig {
             frac_full: 1.0,
@@ -545,7 +824,7 @@ mod tests {
             seed: 42,
             ..Default::default()
         };
-        let mut coll = Collector::new(&[Asn(10)], &config);
+        let mut coll = Collector::new(&[Asn(10)], &config).unwrap();
         let prefixes: Vec<Ipv4Prefix> =
             vec![p("10.0.0.0/8"), p("11.0.0.0/8"), p("12.0.0.0/8")];
         let mut log = UpdateLog::default();

@@ -1,0 +1,672 @@
+//! Fault injection for collector feeds.
+//!
+//! The paper's dataset (§4) is whatever four RIPE collectors happened to
+//! record: real feeds drop updates, duplicate them across resets, arrive
+//! out of order, carry skewed timestamps, and go dark when sessions flap
+//! or a whole collector is down for maintenance. This module makes those
+//! degradations first-class and *deterministic*, so the detection
+//! pipeline's behaviour under a degraded feed can be swept and asserted
+//! on:
+//!
+//! * [`FaultProfile`] — the knob set: drop/duplicate/reorder rates,
+//!   per-session clock skew, session flaps (down → table re-dump on
+//!   recovery, the same artifact [`crate::clean_session_resets`]
+//!   removes), and whole-collector outage windows.
+//! * [`FaultInjector`] — applies a profile to an [`UpdateLog`],
+//!   returning the degraded log plus a [`FaultReport`] tally.
+//! * [`FaultedFeed`] — a streaming adapter over any
+//!   `Iterator<Item = UpdateRecord>` applying the record-level faults
+//!   (drop / duplicate / skew / bounded reorder) on the fly.
+//!
+//! Every decision is a pure function of `(seed, session, record index)`
+//! via a splitmix64 hash — no RNG state threads through the stream, so
+//! identical inputs produce identical degraded logs regardless of how
+//! the records are batched.
+
+use crate::collector::{SessionId, UpdateLog, UpdateRecord};
+use crate::msg::{Route, UpdateMessage};
+use quicksand_net::{AsPath, Ipv4Prefix, QsResult, QuicksandError, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// What faults to inject and how hard. All rates are probabilities in
+/// `[0, 1]`; a [`FaultProfile::clean`] profile is the identity.
+#[derive(Clone, Debug)]
+pub struct FaultProfile {
+    /// Per-record probability a record is silently lost.
+    pub drop_rate: f64,
+    /// Per-record probability a record is delivered twice.
+    pub dup_rate: f64,
+    /// Per-record probability a record is delayed (reordered).
+    pub reorder_rate: f64,
+    /// Maximum delay applied to a reordered record.
+    pub max_reorder: SimDuration,
+    /// Maximum per-session clock skew. Each session gets a fixed offset
+    /// drawn uniformly from `[0, clock_skew]` added to its timestamps.
+    pub clock_skew: SimDuration,
+    /// Expected number of session flaps per session over the log's time
+    /// span. During a flap the session is dark; on recovery the peer
+    /// re-dumps its table (duplicate-announcement burst).
+    pub flaps_per_session: f64,
+    /// How long each flap keeps the session dark.
+    pub flap_outage: SimDuration,
+    /// Whole-collector outage windows: nothing is recorded on any
+    /// session inside `[start, start + duration)`; every session
+    /// re-dumps at the window end.
+    pub collector_outages: Vec<(SimTime, SimDuration)>,
+    /// Explicitly scripted per-session outages (in addition to the
+    /// seeded flaps): the session is dark inside `[start, start +
+    /// duration)` and re-dumps at the window end. Lets chaos tests pin
+    /// down exactly which sessions are dark when.
+    pub session_outages: Vec<(SessionId, SimTime, SimDuration)>,
+    /// Seed for all fault decisions.
+    pub seed: u64,
+}
+
+impl FaultProfile {
+    /// The identity profile: no faults injected.
+    pub fn clean(seed: u64) -> Self {
+        FaultProfile {
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            max_reorder: SimDuration::from_secs(30),
+            clock_skew: SimDuration::ZERO,
+            flaps_per_session: 0.0,
+            flap_outage: SimDuration::from_mins(10),
+            collector_outages: Vec::new(),
+            session_outages: Vec::new(),
+            seed,
+        }
+    }
+
+    /// A profile whose rates scale with `intensity` in `[0, 1]`: at
+    /// intensity 1.0, 30% drops, 20% duplicates, 20% reorders, 2 flaps
+    /// per session, and up to a minute of clock skew. Used by the chaos
+    /// sweep.
+    pub fn with_intensity(intensity: f64, seed: u64) -> Self {
+        let x = intensity.clamp(0.0, 1.0);
+        FaultProfile {
+            drop_rate: 0.3 * x,
+            dup_rate: 0.2 * x,
+            reorder_rate: 0.2 * x,
+            max_reorder: SimDuration::from_secs(30),
+            clock_skew: SimDuration::from_secs_f64(60.0 * x),
+            flaps_per_session: 2.0 * x,
+            flap_outage: SimDuration::from_mins(10),
+            collector_outages: Vec::new(),
+            session_outages: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Validate all parameters, returning a typed error for the first
+    /// one out of range.
+    pub fn validate(&self) -> QsResult<()> {
+        for (what, v) in [
+            ("drop_rate", self.drop_rate),
+            ("dup_rate", self.dup_rate),
+            ("reorder_rate", self.reorder_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(QuicksandError::InvalidConfig {
+                    what,
+                    detail: format!("must be within [0, 1], got {v}"),
+                });
+            }
+        }
+        if !(self.flaps_per_session >= 0.0 && self.flaps_per_session.is_finite()) {
+            return Err(QuicksandError::InvalidConfig {
+                what: "flaps_per_session",
+                detail: format!("must be finite and >= 0, got {}", self.flaps_per_session),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What the injector actually did, for reporting alongside results.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Records silently dropped (drop_rate).
+    pub dropped: usize,
+    /// Records delivered twice (dup_rate).
+    pub duplicated: usize,
+    /// Records delayed out of order (reorder_rate).
+    pub reordered: usize,
+    /// Records lost to session flaps or collector outages.
+    pub outage_dropped: usize,
+    /// Flap windows injected, as (session, dark-from).
+    pub flaps: Vec<(SessionId, SimTime)>,
+    /// Re-dump records emitted on flap/outage recovery.
+    pub redump_records: usize,
+    /// Sessions whose clock was skewed (nonzero offset).
+    pub skewed_sessions: usize,
+}
+
+impl FaultReport {
+    /// Total records removed from the feed (drops plus outage losses).
+    pub fn total_lost(&self) -> usize {
+        self.dropped + self.outage_dropped
+    }
+}
+
+/// Splitmix64: the per-decision hash behind all fault draws.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform f64 in [0, 1) from a hash of the given words.
+fn unit(seed: u64, a: u64, b: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(a ^ splitmix64(b)));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Fault decision domains, kept distinct so the draws are independent.
+const DOM_DROP: u64 = 0x01;
+const DOM_DUP: u64 = 0x02;
+const DOM_REORDER: u64 = 0x03;
+const DOM_REORDER_BY: u64 = 0x04;
+const DOM_SKEW: u64 = 0x05;
+const DOM_FLAP: u64 = 0x06;
+
+/// Applies a [`FaultProfile`] to whole logs.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+}
+
+impl FaultInjector {
+    /// Build an injector, validating the profile.
+    pub fn new(profile: FaultProfile) -> QsResult<Self> {
+        profile.validate()?;
+        Ok(FaultInjector { profile })
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// This session's fixed clock-skew offset.
+    fn skew_of(&self, session: SessionId) -> SimDuration {
+        if self.profile.clock_skew == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let u = unit(self.profile.seed, DOM_SKEW, session.0 as u64);
+        SimDuration::from_secs_f64(u * self.profile.clock_skew.as_secs_f64())
+    }
+
+    /// Deterministic flap windows for `session` within `[start, end)`:
+    /// exponential gaps with mean `span / flaps_per_session`, drawn from
+    /// a per-session splitmix stream.
+    fn flap_windows(
+        &self,
+        session: SessionId,
+        start: SimTime,
+        end: SimTime,
+    ) -> Vec<(SimTime, SimTime)> {
+        let span = end.since(start).as_secs_f64();
+        if self.profile.flaps_per_session <= 0.0 || span <= 0.0 {
+            return Vec::new();
+        }
+        let mean_gap = span / self.profile.flaps_per_session;
+        let mut windows = Vec::new();
+        let mut state = splitmix64(self.profile.seed ^ splitmix64(DOM_FLAP ^ session.0 as u64));
+        let mut t = 0.0f64;
+        loop {
+            state = splitmix64(state);
+            let u = (state >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            t += -(1.0 - u).ln() * mean_gap;
+            if t >= span {
+                break;
+            }
+            let from = start + SimDuration::from_secs_f64(t);
+            windows.push((from, from + self.profile.flap_outage));
+            t += self.profile.flap_outage.as_secs_f64();
+        }
+        windows
+    }
+
+    /// Apply the profile to `log`, returning the degraded log and a
+    /// report of what was injected.
+    ///
+    /// Record-level faults (drop, duplicate, reorder) are decided per
+    /// `(session, index-within-session)`, so the outcome is independent
+    /// of how records interleave across sessions. Flap and collector
+    /// outage windows drop everything inside them; at each window's end
+    /// the affected sessions re-dump their last pre-window table — the
+    /// same duplicate-burst artifact real session resets produce, which
+    /// [`crate::clean_session_resets`] is designed to remove.
+    pub fn apply(&self, log: &UpdateLog) -> (UpdateLog, FaultReport) {
+        let mut report = FaultReport::default();
+        if log.is_empty() {
+            return (UpdateLog::default(), report);
+        }
+        let p = &self.profile;
+        let start = log.records.iter().map(|r| r.at).min().unwrap_or(SimTime::ZERO);
+        let end = log.records.iter().map(|r| r.at).max().unwrap_or(SimTime::ZERO);
+
+        // Dark windows per session (flaps), plus collector-wide windows.
+        let sessions = log.sessions();
+        let mut dark: BTreeMap<SessionId, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+        for &s in &sessions {
+            let mut w = self.flap_windows(s, start, end);
+            for &(from, _) in &w {
+                report.flaps.push((s, from));
+            }
+            for &(from, dur) in &p.collector_outages {
+                w.push((from, from + dur));
+            }
+            for &(sid, from, dur) in &p.session_outages {
+                if sid == s {
+                    w.push((from, from + dur));
+                }
+            }
+            w.sort();
+            dark.insert(s, w);
+        }
+
+        // Recovery events: (window end, session) → re-dump.
+        let mut recoveries: Vec<(SimTime, SessionId)> = dark
+            .iter()
+            .flat_map(|(&s, ws)| ws.iter().map(move |&(_, to)| (to, s)))
+            .collect();
+        recoveries.sort();
+        recoveries.dedup();
+
+        let in_dark = |s: SessionId, at: SimTime| -> bool {
+            dark.get(&s)
+                .is_some_and(|ws| ws.iter().any(|&(from, to)| at >= from && at < to))
+        };
+
+        // Pre-fault per-(session, prefix) table, maintained while
+        // scanning so recoveries can re-dump the peer's live routes.
+        let mut table: BTreeMap<(SessionId, Ipv4Prefix), AsPath> = BTreeMap::new();
+        let mut per_session_idx: BTreeMap<SessionId, u64> = BTreeMap::new();
+        let mut out: Vec<UpdateRecord> = Vec::with_capacity(log.len());
+        let mut next_recovery = 0usize;
+
+        let mut skewed = std::collections::BTreeSet::new();
+
+        for r in &log.records {
+            // Flush recoveries due before this record: re-dump the
+            // session's table as duplicate announcements.
+            while next_recovery < recoveries.len() && recoveries[next_recovery].0 <= r.at {
+                let (rt, s) = recoveries[next_recovery];
+                next_recovery += 1;
+                let dump: Vec<(Ipv4Prefix, AsPath)> = table
+                    .range((s, Ipv4Prefix::from_u32(0, 0))..)
+                    .take_while(|((sid, _), _)| *sid == s)
+                    .map(|((_, q), path)| (*q, path.clone()))
+                    .collect();
+                for (prefix, path) in dump {
+                    report.redump_records += 1;
+                    out.push(UpdateRecord {
+                        at: rt + self.skew_of(s),
+                        session: s,
+                        msg: UpdateMessage::Announce(Route {
+                            prefix,
+                            as_path: path,
+                            communities: Default::default(),
+                        }),
+                    });
+                }
+            }
+
+            // Track the peer's table regardless of delivery: the peer
+            // keeps routing while the collector misses updates.
+            match &r.msg {
+                UpdateMessage::Announce(route) => {
+                    table.insert((r.session, route.prefix), route.as_path.clone());
+                }
+                UpdateMessage::Withdraw(q) => {
+                    table.remove(&(r.session, *q));
+                }
+            }
+
+            let idx = per_session_idx.entry(r.session).or_insert(0);
+            let i = *idx;
+            *idx += 1;
+            let skey = r.session.0 as u64;
+
+            if in_dark(r.session, r.at) {
+                report.outage_dropped += 1;
+                continue;
+            }
+            if p.drop_rate > 0.0 && unit(p.seed, DOM_DROP ^ (skey << 32), i) < p.drop_rate {
+                report.dropped += 1;
+                continue;
+            }
+
+            let skew = self.skew_of(r.session);
+            if skew > SimDuration::ZERO {
+                skewed.insert(r.session);
+            }
+            let mut at = r.at + skew;
+            if p.reorder_rate > 0.0
+                && unit(p.seed, DOM_REORDER ^ (skey << 32), i) < p.reorder_rate
+            {
+                let by = unit(p.seed, DOM_REORDER_BY ^ (skey << 32), i)
+                    * p.max_reorder.as_secs_f64();
+                at += SimDuration::from_secs_f64(by);
+                report.reordered += 1;
+            }
+            let rec = UpdateRecord {
+                at,
+                session: r.session,
+                msg: r.msg.clone(),
+            };
+            if p.dup_rate > 0.0 && unit(p.seed, DOM_DUP ^ (skey << 32), i) < p.dup_rate {
+                report.duplicated += 1;
+                out.push(rec.clone());
+            }
+            out.push(rec);
+        }
+
+        // Trailing recoveries (windows ending after the last record).
+        while next_recovery < recoveries.len() {
+            let (rt, s) = recoveries[next_recovery];
+            next_recovery += 1;
+            let dump: Vec<(Ipv4Prefix, AsPath)> = table
+                .range((s, Ipv4Prefix::from_u32(0, 0))..)
+                .take_while(|((sid, _), _)| *sid == s)
+                .map(|((_, q), path)| (*q, path.clone()))
+                .collect();
+            for (prefix, path) in dump {
+                report.redump_records += 1;
+                out.push(UpdateRecord {
+                    at: rt + self.skew_of(s),
+                    session: s,
+                    msg: UpdateMessage::Announce(Route {
+                        prefix,
+                        as_path: path,
+                        communities: Default::default(),
+                    }),
+                });
+            }
+        }
+
+        report.skewed_sessions = skewed.len();
+        // Delivery order is by (arrival time, session); the stable sort
+        // keeps same-instant records in injection order.
+        out.sort_by_key(|r| (r.at, r.session));
+        (UpdateLog { records: out }, report)
+    }
+}
+
+/// A streaming fault adapter: wraps any record stream and applies the
+/// record-level faults (drop, duplicate, clock skew, bounded reorder)
+/// on the fly with an internal buffer of at most
+/// [`FaultedFeed::buffer_len`] delayed records.
+///
+/// Flaps and collector outages need the whole log's time span and a
+/// table re-dump, so they are only available through
+/// [`FaultInjector::apply`]; profiles with those faults are still
+/// accepted here but only their record-level components take effect.
+pub struct FaultedFeed<I: Iterator<Item = UpdateRecord>> {
+    inner: I,
+    injector: FaultInjector,
+    /// Delayed records, kept sorted by release time (ascending).
+    held: Vec<UpdateRecord>,
+    /// Ready-to-emit duplicates.
+    pending: Vec<UpdateRecord>,
+    per_session_idx: BTreeMap<SessionId, u64>,
+    done: bool,
+}
+
+impl<I: Iterator<Item = UpdateRecord>> FaultedFeed<I> {
+    /// Wrap `inner` with the record-level faults of `profile`.
+    pub fn new(inner: I, profile: FaultProfile) -> QsResult<Self> {
+        Ok(FaultedFeed {
+            inner,
+            injector: FaultInjector::new(profile)?,
+            held: Vec::new(),
+            pending: Vec::new(),
+            per_session_idx: BTreeMap::new(),
+            done: false,
+        })
+    }
+
+    /// Number of records currently buffered for reordering.
+    pub fn buffer_len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Release every held record at or before `cutoff`, earliest first.
+    fn release_due(&mut self, cutoff: Option<SimTime>) -> Option<UpdateRecord> {
+        let due = match (self.held.first(), cutoff) {
+            (Some(h), Some(c)) => h.at <= c,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        due.then(|| self.held.remove(0))
+    }
+}
+
+impl<I: Iterator<Item = UpdateRecord>> Iterator for FaultedFeed<I> {
+    type Item = UpdateRecord;
+
+    fn next(&mut self) -> Option<UpdateRecord> {
+        loop {
+            if let Some(r) = self.pending.pop() {
+                return Some(r);
+            }
+            if self.done {
+                return self.release_due(None);
+            }
+            let Some(r) = self.inner.next() else {
+                self.done = true;
+                continue;
+            };
+            let p = self.injector.profile().clone();
+            let idx = self.per_session_idx.entry(r.session).or_insert(0);
+            let i = *idx;
+            *idx += 1;
+            let skey = r.session.0 as u64;
+            if p.drop_rate > 0.0 && unit(p.seed, DOM_DROP ^ (skey << 32), i) < p.drop_rate {
+                continue;
+            }
+            let mut rec = UpdateRecord {
+                at: r.at + self.injector.skew_of(r.session),
+                ..r
+            };
+            let reordered = p.reorder_rate > 0.0
+                && unit(p.seed, DOM_REORDER ^ (skey << 32), i) < p.reorder_rate;
+            if reordered {
+                let by = unit(p.seed, DOM_REORDER_BY ^ (skey << 32), i)
+                    * p.max_reorder.as_secs_f64();
+                rec.at += SimDuration::from_secs_f64(by);
+            }
+            let dup =
+                p.dup_rate > 0.0 && unit(p.seed, DOM_DUP ^ (skey << 32), i) < p.dup_rate;
+            if reordered {
+                // Delayed copies (both, when also duplicated) wait in
+                // the buffer until an on-time record passes them.
+                let pos = self.held.partition_point(|h| h.at <= rec.at);
+                if dup {
+                    self.held.insert(pos, rec.clone());
+                }
+                self.held.insert(pos, rec);
+                if let Some(out) = self.release_due(Some(r.at)) {
+                    return Some(out);
+                }
+                continue;
+            }
+            if dup {
+                self.pending.push(rec.clone());
+            }
+            // An on-time record releases any held records due before it.
+            if let Some(out) = self.release_due(Some(rec.at)) {
+                self.pending.push(rec);
+                return Some(out);
+            }
+            return Some(rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksand_net::Asn;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ann(at_s: u64, sess: u32, prefix: &str, asns: &[u32]) -> UpdateRecord {
+        UpdateRecord {
+            at: SimTime::from_secs(at_s),
+            session: SessionId(sess),
+            msg: UpdateMessage::Announce(Route {
+                prefix: p(prefix),
+                as_path: asns.iter().map(|&a| Asn(a)).collect(),
+                communities: Default::default(),
+            }),
+        }
+    }
+
+    fn sample_log() -> UpdateLog {
+        let mut records = Vec::new();
+        for i in 0..200u64 {
+            records.push(ann(i * 60, (i % 4) as u32, "10.0.0.0/8", &[2, 3]));
+            records.push(ann(i * 60 + 5, (i % 4) as u32, "11.0.0.0/8", &[2, 4]));
+        }
+        UpdateLog { records }
+    }
+
+    #[test]
+    fn clean_profile_is_identity() {
+        let log = sample_log();
+        let inj = FaultInjector::new(FaultProfile::clean(7)).unwrap();
+        let (out, report) = inj.apply(&log);
+        assert_eq!(out.records, log.records);
+        assert_eq!(report, FaultReport::default());
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let log = sample_log();
+        let profile = FaultProfile::with_intensity(0.5, 99);
+        let inj = FaultInjector::new(profile.clone()).unwrap();
+        let (a, ra) = inj.apply(&log);
+        let (b, rb) = FaultInjector::new(profile).unwrap().apply(&log);
+        assert_eq!(a.records, b.records);
+        assert_eq!(ra, rb);
+        // A different seed gives a different degradation.
+        let (c, _) = FaultInjector::new(FaultProfile::with_intensity(0.5, 100))
+            .unwrap()
+            .apply(&log);
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn drops_scale_with_rate() {
+        let log = sample_log();
+        let mut profile = FaultProfile::clean(3);
+        profile.drop_rate = 0.25;
+        let (out, report) = FaultInjector::new(profile).unwrap().apply(&log);
+        assert_eq!(out.len() + report.dropped, log.len());
+        let frac = report.dropped as f64 / log.len() as f64;
+        assert!((0.1..0.4).contains(&frac), "drop fraction {frac}");
+    }
+
+    #[test]
+    fn flaps_create_redump_bursts_that_cleaning_removes() {
+        let log = sample_log();
+        let mut profile = FaultProfile::clean(11);
+        profile.flaps_per_session = 1.0;
+        profile.flap_outage = SimDuration::from_mins(10);
+        let (out, report) = FaultInjector::new(profile).unwrap().apply(&log);
+        assert!(!report.flaps.is_empty(), "expected at least one flap");
+        assert!(report.outage_dropped > 0);
+        assert!(report.redump_records > 0);
+        // The re-dump announcements are duplicates of the session's
+        // last-known routes; the cleaning pass removes them.
+        let (cleaned, removed, _) =
+            crate::clean_session_resets(&out, &crate::CleaningConfig::default());
+        assert!(removed >= report.redump_records);
+        assert!(cleaned.len() <= out.len() - report.redump_records);
+    }
+
+    #[test]
+    fn collector_outage_silences_every_session() {
+        let log = sample_log();
+        let mut profile = FaultProfile::clean(5);
+        let from = SimTime::from_secs(1000);
+        let dur = SimDuration::from_secs(2000);
+        profile.collector_outages = vec![(from, dur)];
+        let (out, report) = FaultInjector::new(profile).unwrap().apply(&log);
+        assert!(report.outage_dropped > 0);
+        // No original-time record inside the window survives (re-dumps
+        // at the window end are the only records at/after it).
+        for r in &out.records {
+            assert!(
+                r.at < from || r.at >= from + dur,
+                "record at {} inside outage window",
+                r.at
+            );
+        }
+    }
+
+    #[test]
+    fn skew_shifts_whole_sessions() {
+        let log = sample_log();
+        let mut profile = FaultProfile::clean(13);
+        profile.clock_skew = SimDuration::from_secs(50);
+        let inj = FaultInjector::new(profile).unwrap();
+        let (out, report) = inj.apply(&log);
+        assert_eq!(out.len(), log.len());
+        assert!(report.skewed_sessions > 0);
+        // Each surviving record is shifted by exactly its session skew.
+        for s in log.sessions() {
+            let skew = inj.skew_of(s);
+            let orig_first = log.records.iter().find(|r| r.session == s).unwrap();
+            let new_first = out.records.iter().filter(|r| r.session == s).min_by_key(|r| r.at).unwrap();
+            assert_eq!(new_first.at, orig_first.at + skew);
+        }
+    }
+
+    #[test]
+    fn invalid_rates_rejected_with_typed_error() {
+        let mut profile = FaultProfile::clean(1);
+        profile.drop_rate = 1.5;
+        let err = FaultInjector::new(profile).unwrap_err();
+        assert!(matches!(
+            err,
+            QuicksandError::InvalidConfig { what: "drop_rate", .. }
+        ));
+    }
+
+    #[test]
+    fn streaming_feed_matches_whole_log_for_record_faults() {
+        let log = sample_log();
+        let mut profile = FaultProfile::with_intensity(0.4, 77);
+        // Restrict to record-level faults so both paths agree.
+        profile.flaps_per_session = 0.0;
+        profile.collector_outages.clear();
+        let (batch, _) = FaultInjector::new(profile.clone()).unwrap().apply(&log);
+        let mut streamed: Vec<UpdateRecord> =
+            FaultedFeed::new(log.records.clone().into_iter(), profile)
+                .unwrap()
+                .collect();
+        streamed.sort_by_key(|r| (r.at, r.session));
+        let mut batch_sorted = batch.records.clone();
+        batch_sorted.sort_by_key(|r| (r.at, r.session));
+        assert_eq!(streamed, batch_sorted);
+    }
+
+    #[test]
+    fn streaming_reorder_buffer_is_bounded_and_drains() {
+        let log = sample_log();
+        let mut profile = FaultProfile::clean(21);
+        profile.reorder_rate = 0.5;
+        profile.max_reorder = SimDuration::from_secs(30);
+        let feed = FaultedFeed::new(log.records.clone().into_iter(), profile).unwrap();
+        let n: usize = feed.count();
+        assert_eq!(n, log.len(), "reordering must not lose records");
+    }
+}

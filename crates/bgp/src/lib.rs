@@ -22,6 +22,9 @@
 //! * [`ChurnGenerator`] — a seeded month of link failures/recoveries with
 //!   heavy-tailed per-link instability (hosting ASes churn more, encoding
 //!   the phenomenon the paper measured).
+//! * [`fault`] — deterministic fault injection over collector feeds
+//!   (drops, duplicates, reordering, clock skew, session flaps, whole-
+//!   collector outages) for degraded-feed robustness studies.
 //! * [`metrics`] — the paper's §4 metrics: per-(session, prefix) path
 //!   changes, median-normalized ratios, and ≥5-minute extra-AS exposure.
 //! * [`mrt`] — a compact MRT-style binary format for persisting logs.
@@ -33,6 +36,7 @@ pub mod churn;
 pub mod collector;
 mod event;
 mod fast;
+pub mod fault;
 pub mod metrics;
 pub mod mrt;
 mod msg;
@@ -45,5 +49,6 @@ pub use collector::{
 };
 pub use event::{EventSim, SimConfig, SimStats};
 pub use fast::FastConverge;
+pub use fault::{FaultInjector, FaultProfile, FaultReport, FaultedFeed};
 pub use msg::{Community, Route, UpdateMessage};
 pub use table::PrefixTable;

@@ -178,6 +178,69 @@ pub fn extra_ases_per_prefix(
     out
 }
 
+/// Health of one collector session's feed over a measurement window,
+/// from the gaps between consecutive records.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionHealth {
+    /// The session.
+    pub session: SessionId,
+    /// Number of records on the session.
+    pub updates: usize,
+    /// The longest silent gap (including from window start to the first
+    /// record and from the last record to window end).
+    pub longest_gap: SimDuration,
+    /// Fraction of the window covered by inter-record gaps no longer
+    /// than `stale_after` — 1.0 for a continuously chatty feed, toward
+    /// 0.0 as outages dominate.
+    pub coverage: f64,
+}
+
+/// Per-session feed health over `[window_start, window_end]`: how
+/// continuously each session actually reported, judged against the
+/// staleness bound `stale_after`. Degraded-feed runs use this to
+/// report which sessions went dark and for how long.
+pub fn session_health(
+    log: &UpdateLog,
+    window_start: SimTime,
+    window_end: SimTime,
+    stale_after: SimDuration,
+) -> Vec<SessionHealth> {
+    let span = window_end.since(window_start);
+    let mut times: BTreeMap<SessionId, Vec<SimTime>> = BTreeMap::new();
+    for r in &log.records {
+        times.entry(r.session).or_default().push(r.at);
+    }
+    times
+        .into_iter()
+        .map(|(session, mut ts)| {
+            ts.sort();
+            let mut longest = SimDuration::ZERO;
+            let mut silent = SimDuration::ZERO;
+            let mut prev = window_start;
+            for &t in ts.iter().chain(std::iter::once(&window_end)) {
+                let t = t.min(window_end).max(window_start);
+                let gap = t.since(prev);
+                longest = longest.max(gap);
+                if gap > stale_after {
+                    silent = silent + gap;
+                }
+                prev = prev.max(t);
+            }
+            let coverage = if span == SimDuration::ZERO {
+                1.0
+            } else {
+                1.0 - silent.as_secs_f64() / span.as_secs_f64()
+            };
+            SessionHealth {
+                session,
+                updates: ts.len(),
+                longest_gap: longest,
+                coverage,
+            }
+        })
+        .collect()
+}
+
 /// A complementary cumulative distribution function over sample values:
 /// `ccdf(x)` = fraction of samples `>= x` evaluated at each distinct
 /// sample value (the form the paper plots in Fig 3).
@@ -388,6 +451,58 @@ mod tests {
             SimDuration::from_mins(5),
         );
         assert_eq!(out[&tor], [Asn(7), Asn(8)].into_iter().collect());
+    }
+}
+
+#[cfg(test)]
+mod health_tests {
+    use super::*;
+    use crate::msg::{Route, UpdateMessage};
+    use crate::UpdateRecord;
+
+    fn ann(at_s: u64, sess: u32) -> UpdateRecord {
+        UpdateRecord {
+            at: SimTime::from_secs(at_s),
+            session: SessionId(sess),
+            msg: UpdateMessage::Announce(Route {
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                as_path: [Asn(1), Asn(2)].into_iter().collect(),
+                communities: Default::default(),
+            }),
+        }
+    }
+
+    #[test]
+    fn continuous_feed_has_full_coverage() {
+        let log = UpdateLog {
+            records: (0..10).map(|i| ann(i * 60, 0)).collect(),
+        };
+        let h = session_health(
+            &log,
+            SimTime::ZERO,
+            SimTime::from_secs(600),
+            SimDuration::from_mins(5),
+        );
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].updates, 10);
+        assert_eq!(h[0].coverage, 1.0);
+        assert_eq!(h[0].longest_gap, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn outage_shows_up_as_gap_and_lost_coverage() {
+        // Records at 0..5 min, then silence until 55 min, then more.
+        let mut records: Vec<UpdateRecord> = (0..6).map(|i| ann(i * 60, 0)).collect();
+        records.extend((55..60).map(|i| ann(i * 60, 0)));
+        let log = UpdateLog { records };
+        let h = session_health(
+            &log,
+            SimTime::ZERO,
+            SimTime::from_secs(3600),
+            SimDuration::from_mins(5),
+        );
+        assert_eq!(h[0].longest_gap, SimDuration::from_mins(50));
+        assert!(h[0].coverage < 0.2, "coverage {}", h[0].coverage);
     }
 }
 

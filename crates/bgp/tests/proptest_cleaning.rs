@@ -1,0 +1,124 @@
+//! Property-based checks of the Zhang-et-al. cleaning pass against the
+//! fault injector: cleaning is idempotent, removes *exactly* the
+//! injected session-reset artifacts (duplicate deliveries and flap
+//! re-dump bursts), and never touches a log that is already clean.
+
+use proptest::prelude::*;
+use quicksand_bgp::fault::{FaultInjector, FaultProfile};
+use quicksand_bgp::{
+    clean_session_resets, CleaningConfig, Route, SessionId, UpdateLog, UpdateMessage,
+    UpdateRecord,
+};
+use quicksand_net::{Asn, AsPath, Ipv4Prefix, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+const PREFIXES: [&str; 3] = ["10.0.0.0/8", "172.16.0.0/12", "192.168.0.0/16"];
+
+/// Build a log with NO cleaning artifacts from a raw op list: the state
+/// machine skips ops that would create a duplicate announce or a no-op
+/// withdraw, so `clean_session_resets` must return it unchanged.
+fn clean_log(ops: &[(u32, usize, u8, u32)]) -> UpdateLog {
+    let mut last: BTreeMap<(SessionId, Ipv4Prefix), Option<AsPath>> = BTreeMap::new();
+    let mut records = Vec::new();
+    for (i, &(sess, pfx_ix, kind, pathseed)) in ops.iter().enumerate() {
+        let session = SessionId(sess % 4);
+        let prefix: Ipv4Prefix = PREFIXES[pfx_ix % PREFIXES.len()].parse().unwrap();
+        let at = SimTime::from_secs(30 * (i as u64 + 1));
+        let key = (session, prefix);
+        let state = last.entry(key).or_insert(None);
+        if kind % 3 == 0 {
+            // Withdraw: only meaningful after an announce.
+            if state.is_none() {
+                continue;
+            }
+            *state = None;
+            records.push(UpdateRecord {
+                at,
+                session,
+                msg: UpdateMessage::Withdraw(prefix),
+            });
+        } else {
+            let path: AsPath = [Asn(session.0 + 1), Asn(10 + pathseed % 8), Asn(99)]
+                .into_iter()
+                .collect();
+            if state.as_ref() == Some(&path) {
+                continue; // would be a duplicate announce
+            }
+            *state = Some(path.clone());
+            records.push(UpdateRecord {
+                at,
+                session,
+                msg: UpdateMessage::Announce(Route {
+                    prefix,
+                    as_path: path,
+                    communities: Default::default(),
+                }),
+            });
+        }
+    }
+    UpdateLog { records }
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<(u32, usize, u8, u32)>> {
+    proptest::collection::vec((0u32..4, 0usize..3, 0u8..3, 0u32..8), 5..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A log with no artifacts passes through cleaning untouched.
+    #[test]
+    fn clean_log_is_a_fixed_point(ops in ops_strategy()) {
+        let base = clean_log(&ops);
+        let (cleaned, removed, bursts) =
+            clean_session_resets(&base, &CleaningConfig::default());
+        prop_assert_eq!(removed, 0);
+        prop_assert_eq!(bursts, 0);
+        prop_assert_eq!(cleaned.records, base.records);
+    }
+
+    /// Cleaning is idempotent even on logs degraded with the full fault
+    /// mix: a second pass changes nothing.
+    #[test]
+    fn cleaning_is_idempotent(ops in ops_strategy(), seed in 0u64..1000, intensity in 0.0f64..1.0) {
+        let base = clean_log(&ops);
+        let profile = FaultProfile::with_intensity(intensity, seed);
+        let (faulted, _) = FaultInjector::new(profile).unwrap().apply(&base);
+        let (once, _, _) = clean_session_resets(&faulted, &CleaningConfig::default());
+        let (twice, removed_again, _) =
+            clean_session_resets(&once, &CleaningConfig::default());
+        prop_assert_eq!(removed_again, 0);
+        prop_assert_eq!(twice.records, once.records);
+    }
+
+    /// Duplicate deliveries are removed *exactly*: cleaning a
+    /// dup-faulted log recovers the original records, and the removal
+    /// count matches the injector's report.
+    #[test]
+    fn duplicates_removed_exactly(ops in ops_strategy(), seed in 0u64..1000, rate in 0.05f64..0.5) {
+        let base = clean_log(&ops);
+        let mut profile = FaultProfile::clean(seed);
+        profile.dup_rate = rate;
+        let (faulted, report) = FaultInjector::new(profile).unwrap().apply(&base);
+        let (cleaned, removed, _) =
+            clean_session_resets(&faulted, &CleaningConfig::default());
+        prop_assert_eq!(removed, report.duplicated);
+        prop_assert_eq!(cleaned.records, base.records);
+    }
+
+    /// Session flaps with an instantaneous outage are pure resets: the
+    /// re-dump burst is removed exactly and the original log recovered.
+    #[test]
+    fn flap_redump_bursts_removed_exactly(ops in ops_strategy(), seed in 0u64..1000, flaps in 0.5f64..3.0) {
+        let base = clean_log(&ops);
+        let mut profile = FaultProfile::clean(seed);
+        profile.flaps_per_session = flaps;
+        profile.flap_outage = SimDuration::ZERO;
+        let (faulted, report) = FaultInjector::new(profile).unwrap().apply(&base);
+        prop_assert_eq!(report.outage_dropped, 0);
+        let (cleaned, removed, _) =
+            clean_session_resets(&faulted, &CleaningConfig::default());
+        prop_assert_eq!(removed, report.redump_records);
+        prop_assert_eq!(cleaned.records, base.records);
+    }
+}

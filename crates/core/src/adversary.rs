@@ -49,6 +49,7 @@ impl SegmentObservers {
     /// (guard, client, destination, exit).
     ///
     /// Returns `None` if any of the four paths is unrouted.
+    #[allow(clippy::too_many_arguments)]
     pub fn compute(
         graph: &AsGraph,
         client_as: Asn,

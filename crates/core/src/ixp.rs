@@ -195,9 +195,9 @@ pub fn ixp_experiment(
             exit_rev: te.path_from(g, dest).expect("routed"),
         };
         n += 1;
-        for k in 0..map.n_ixps {
+        for (k, hits) in ixp_hits.iter_mut().enumerate() {
             if ixp_can_deanonymize(map, IxpId(k as u32), mode, &paths) {
-                ixp_hits[k] += 1;
+                *hits += 1;
             }
         }
         for a in obs.deanonymizing_ases(mode) {
@@ -242,7 +242,7 @@ mod tests {
         let g = &s.topo.graph;
         let map = IxpMap::assign(g, 4, 1);
         // Every map entry is a real peering link.
-        for (&(a, b), _) in &map.link_ixp {
+        for &(a, b) in map.link_ixp.keys() {
             assert_eq!(g.relationship(a, b), Some(Relationship::Peer));
         }
         // Every peering link is mapped.

@@ -52,7 +52,7 @@ pub(crate) mod testworld {
     pub fn get() -> &'static (Scenario, MonthResult) {
         WORLD.get_or_init(|| {
             let s = Scenario::build(ScenarioConfig::small(21));
-            let m = s.run_month();
+            let m = s.run_month().expect("valid collector config");
             (s, m)
         })
     }

@@ -16,9 +16,10 @@
 use quicksand_bgp::metrics::PathTimeline;
 use quicksand_bgp::{
     clean_session_resets, ChurnConfig, ChurnGenerator, CleaningConfig, Collector,
-    CollectorConfig, FastConverge, PrefixTable, UpdateLog,
+    CollectorConfig, FastConverge, FaultInjector, FaultProfile, FaultReport, PrefixTable,
+    UpdateLog,
 };
-use quicksand_net::{Asn, Ipv4Prefix, SimTime};
+use quicksand_net::{Asn, Ipv4Prefix, QsResult, SimTime};
 use quicksand_topology::{GeneratedTopology, TopologyConfig, TopologyGenerator};
 use quicksand_tor::{
     map_tor_prefixes, AddressPlan, AddressPlanConfig, Consensus, ConsensusConfig,
@@ -217,7 +218,10 @@ impl Scenario {
 
     /// Play the churn schedule, recording collector update logs, then
     /// clean session resets. This is the paper's dataset construction.
-    pub fn run_month(&self) -> MonthResult {
+    ///
+    /// Fails with a typed error when the collector configuration is
+    /// invalid (e.g. `frac_full` outside `[0, 1]`).
+    pub fn run_month(&self) -> QsResult<MonthResult> {
         let tracked = self.tracked_prefixes();
         let origins: BTreeSet<Asn> = tracked.values().copied().collect();
         let prefixes_by_origin: BTreeMap<Asn, Vec<Ipv4Prefix>> = {
@@ -230,7 +234,7 @@ impl Scenario {
         let all_prefixes: Vec<Ipv4Prefix> = tracked.keys().copied().collect();
 
         let mut fc = FastConverge::new(self.topo.graph.clone(), origins.iter().copied());
-        let mut collector = Collector::new(&self.session_peers, &self.config.collector);
+        let mut collector = Collector::new(&self.session_peers, &self.config.collector)?;
         let mut log = UpdateLog::default();
         let horizon_end = SimTime::ZERO + self.config.churn.horizon;
 
@@ -296,13 +300,38 @@ impl Scenario {
 
         let (cleaned, removed_duplicates, reset_bursts) =
             clean_session_resets(&log, &CleaningConfig::default());
-        MonthResult {
+        Ok(MonthResult {
             raw: log,
             cleaned,
             removed_duplicates,
             reset_bursts,
             horizon_end,
-        }
+        })
+    }
+
+    /// [`Scenario::run_month`] with a fault profile applied to the raw
+    /// feed before cleaning: the §4 dataset as a degraded collector
+    /// would have recorded it. Returns the month result plus the report
+    /// of injected faults.
+    pub fn run_month_faulted(
+        &self,
+        profile: FaultProfile,
+    ) -> QsResult<(MonthResult, FaultReport)> {
+        let pristine = self.run_month()?;
+        let injector = FaultInjector::new(profile)?;
+        let (raw, report) = injector.apply(&pristine.raw);
+        let (cleaned, removed_duplicates, reset_bursts) =
+            clean_session_resets(&raw, &CleaningConfig::default());
+        Ok((
+            MonthResult {
+                raw,
+                cleaned,
+                removed_duplicates,
+                reset_bursts,
+                horizon_end: pristine.horizon_end,
+            },
+            report,
+        ))
     }
 
     /// Replay the same churn schedule, recording the AS-set timeline of
@@ -442,8 +471,8 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let a = Scenario::build(ScenarioConfig::small(5)).run_month();
-        let b = Scenario::build(ScenarioConfig::small(5)).run_month();
+        let a = Scenario::build(ScenarioConfig::small(5)).run_month().unwrap();
+        let b = Scenario::build(ScenarioConfig::small(5)).run_month().unwrap();
         assert_eq!(a.raw.len(), b.raw.len());
         assert_eq!(a.cleaned.len(), b.cleaned.len());
         assert_eq!(a.removed_duplicates, b.removed_duplicates);

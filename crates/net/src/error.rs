@@ -1,0 +1,88 @@
+//! Typed errors shared across the quicksand pipeline.
+//!
+//! The collector → monitor pipeline originally panicked on invalid
+//! configuration or malformed feeds; under fault injection those
+//! conditions are routine, so the hot paths thread [`QuicksandError`]
+//! through `Result` instead.
+
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Errors raised by the collector → monitor pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuicksandError {
+    /// A configuration parameter was out of its valid range.
+    InvalidConfig {
+        /// The offending parameter.
+        what: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// An operation referenced a session the collector does not have.
+    UnknownSession(u32),
+    /// The session is down (fault-injected or administratively).
+    SessionDown(u32),
+    /// A feed has been silent past its staleness bound.
+    StaleFeed {
+        /// The silent session.
+        session: u32,
+        /// How long it has been silent.
+        silent_for: SimDuration,
+    },
+    /// A record stream jumped backwards in time beyond tolerance.
+    TimeWentBackwards {
+        /// The session whose stream regressed.
+        session: u32,
+        /// The stream's previous high-water timestamp.
+        high_water: SimTime,
+        /// The offending record's timestamp.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for QuicksandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuicksandError::InvalidConfig { what, detail } => {
+                write!(f, "invalid config: {what}: {detail}")
+            }
+            QuicksandError::UnknownSession(s) => write!(f, "unknown session {s}"),
+            QuicksandError::SessionDown(s) => write!(f, "session {s} is down"),
+            QuicksandError::StaleFeed { session, silent_for } => {
+                write!(f, "session {session} feed stale: silent for {silent_for}")
+            }
+            QuicksandError::TimeWentBackwards {
+                session,
+                high_water,
+                at,
+            } => write!(
+                f,
+                "session {session} stream went backwards: {at} after {high_water}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuicksandError {}
+
+/// Result alias for pipeline operations.
+pub type QsResult<T> = Result<T, QuicksandError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QuicksandError::InvalidConfig {
+            what: "frac_full",
+            detail: "must be within [0, 1], got 1.5".into(),
+        };
+        assert!(e.to_string().contains("frac_full"));
+        let e = QuicksandError::StaleFeed {
+            session: 3,
+            silent_for: SimDuration::from_secs(90),
+        };
+        assert!(e.to_string().contains("session 3"));
+    }
+}

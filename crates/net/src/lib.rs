@@ -13,6 +13,8 @@
 //! * [`AsPath`] — a BGP AS-level path with loop detection and the
 //!   distinct-AS queries the paper's metrics are built on.
 //! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time.
+//! * [`QuicksandError`] — the typed error vocabulary of the collector →
+//!   monitor pipeline (invalid config, downed sessions, stale feeds).
 //!
 //! Everything is plain data: `Copy` where cheap, deterministic `Ord`
 //! implementations so collections iterate reproducibly, and `serde`
@@ -24,12 +26,14 @@
 
 mod asn;
 mod aspath;
+mod error;
 mod prefix;
 mod time;
 mod trie;
 
 pub use asn::Asn;
 pub use aspath::AsPath;
+pub use error::{QsResult, QuicksandError};
 pub use prefix::{Ipv4Prefix, PrefixParseError};
 pub use time::{SimDuration, SimTime};
 pub use trie::PrefixTrie;

@@ -94,7 +94,9 @@ impl Ipv4Prefix {
         self.addr
     }
 
-    /// The prefix length in bits.
+    /// The prefix length in bits. (`is_empty` is meaningless for a CIDR
+    /// length — a /0 is the full table, not an empty prefix.)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
+use std::ops::{Add, AddAssign, Mul, Sub};
 
 /// An instant on the simulation clock, measured in microseconds since the
 /// start of the simulation.
@@ -90,8 +90,11 @@ impl SimDuration {
         self.0 as f64 / 1e6
     }
 
-    /// Multiply by an integer factor.
-    pub fn mul(self, k: u64) -> Self {
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, k: u64) -> SimDuration {
         SimDuration(self.0 * k)
     }
 }

@@ -114,7 +114,7 @@ pub fn infer_relationships(
             let (a, b) = (asns[i], asns[i + 1]);
             let key = edge_key(a, b);
             let v = votes.entry(key).or_default();
-            if i + 1 <= top {
+            if i < top {
                 // Edge on the left of (or reaching) the top: a is closer
                 // to the path start; walking start→top is uphill, so `a`
                 // is the customer of `b`.

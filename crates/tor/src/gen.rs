@@ -156,7 +156,7 @@ impl ConsensusGenerator {
         }
 
         let mut relays = Vec::with_capacity(c.n_relays);
-        for id in 0..c.n_relays {
+        for (id, &relay_flags) in flags.iter().enumerate() {
             let host_as = if rng.gen_bool(c.hosting_share) {
                 // Zipf draw over hosting ranks.
                 let mut x = rng.gen_range(0.0..zipf_total);
@@ -180,7 +180,7 @@ impl ConsensusGenerator {
                 addr,
                 host_as,
                 bandwidth_kbs,
-                flags: flags[id],
+                flags: relay_flags,
             });
         }
         Consensus { relays }

@@ -119,12 +119,25 @@ fn stealth_hijack_evades_distant_vantage_points() {
         .next()
         .map(|r| r.host_as)
         .unwrap();
-    let attacker = *s
+    // Pick a stub attacker and a tier-1 vantage that are NOT directly
+    // adjacent: a NO_EXPORT-scoped announcement reaches exactly the
+    // attacker's neighbors, so "distant" must mean non-adjacent rather
+    // than just "some tier-1" (which a stub may well be homed to).
+    let (attacker, vantage) = s
         .topo
         .stubs
         .iter()
-        .find(|&&a| a != victim && g.degree(a) >= 1)
-        .unwrap();
+        .copied()
+        .filter(|&a| a != victim && g.degree(a) >= 1)
+        .find_map(|a| {
+            s.topo
+                .tier1
+                .iter()
+                .copied()
+                .find(|&t| g.relationship(a, t).is_none())
+                .map(|t| (a, t))
+        })
+        .expect("a stub attacker with a non-adjacent tier-1 vantage");
 
     // NO_EXPORT-scoped more-specific: only the attacker's neighbors see
     // it.
@@ -141,8 +154,7 @@ fn stealth_hijack_evades_distant_vantage_points() {
     let unscoped = more_specific_hijack(g, victim, OriginSpec::plain(attacker));
     assert!(scoped.captured.len() < unscoped.captured.len());
     assert_eq!(unscoped.captured.len(), g.len(), "unscoped reaches all");
-    // Distant tier-1 vantage: captured by the unscoped attack only.
-    let vantage = s.topo.tier1[0];
+    // The distant vantage is captured by the unscoped attack only.
     assert!(unscoped.captured.contains(&vantage));
     assert!(!scoped.captured.contains(&vantage));
 

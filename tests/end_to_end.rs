@@ -18,7 +18,7 @@ fn world() -> &'static (Scenario, MonthResult) {
     static W: OnceLock<(Scenario, MonthResult)> = OnceLock::new();
     W.get_or_init(|| {
         let s = Scenario::build(ScenarioConfig::small(4242));
-        let m = s.run_month();
+        let m = s.run_month().expect("valid collector config");
         (s, m)
     })
 }
@@ -200,8 +200,8 @@ fn countermeasures_shape() {
 /// identical logs and figures.
 #[test]
 fn pipeline_is_deterministic() {
-    let a = Scenario::build(ScenarioConfig::small(606)).run_month();
-    let b = Scenario::build(ScenarioConfig::small(606)).run_month();
+    let a = Scenario::build(ScenarioConfig::small(606)).run_month().unwrap();
+    let b = Scenario::build(ScenarioConfig::small(606)).run_month().unwrap();
     assert_eq!(a.raw.len(), b.raw.len());
     assert_eq!(a.cleaned.records, b.cleaned.records);
 }

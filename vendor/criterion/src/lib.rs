@@ -1,0 +1,191 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Implements the API shape the workspace's benches use — `Criterion`,
+//! benchmark groups, `bench_with_input`, `BenchmarkId`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros — with a simple
+//! median-of-samples wall-clock measurement instead of criterion's
+//! statistical machinery. Good enough to run benches offline and eyeball
+//! regressions; not a replacement for real criterion numbers.
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A named benchmark id, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark name (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Passed to bench closures; its [`iter`](Bencher::iter) runs the body.
+pub struct Bencher {
+    samples: usize,
+    /// Median ns/iter of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, reporting the median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = times[times.len() / 2];
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        last_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.last_ns.is_finite() {
+        println!("bench {name:<50} {:>14.0} ns/iter", b.last_ns);
+    } else {
+        println!("bench {name:<50} (no measurement)");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.into_id(), 5, |b| f(b));
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            samples: 5,
+        }
+    }
+
+    /// Accept CLI args (no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.samples, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Define a function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

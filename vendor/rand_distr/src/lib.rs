@@ -1,0 +1,135 @@
+//! Vendored offline stand-in for `rand_distr`.
+//!
+//! Implements the distributions this workspace samples — [`Exp`],
+//! [`Pareto`], and [`Normal`] — by inverse-transform (and Box–Muller)
+//! over the vendored `rand` core. Value streams are not bit-compatible
+//! with upstream `rand_distr`; callers rely only on seeded determinism
+//! and the correct distribution family.
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+
+pub use rand::distributions::Distribution;
+use rand::distributions::unit_f64;
+use rand::RngCore;
+
+/// Parameter error for every distribution in this crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// A new exponential distribution; `lambda` must be finite and > 0.
+    pub fn new(lambda: f64) -> Result<Exp, ParamError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp lambda must be finite and > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1 - u in (0, 1] avoids ln(0).
+        -(1.0 - unit_f64(rng)).ln() / self.lambda
+    }
+}
+
+/// Pareto distribution with minimum `scale` and tail index `shape`.
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// A new Pareto distribution; both parameters must be finite and > 0.
+    pub fn new(scale: f64, shape: f64) -> Result<Pareto, ParamError> {
+        if scale.is_finite() && scale > 0.0 && shape.is_finite() && shape > 0.0 {
+            Ok(Pareto { scale, shape })
+        } else {
+            Err(ParamError("Pareto scale and shape must be finite and > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * (1.0 - unit_f64(rng)).powf(-1.0 / self.shape)
+    }
+}
+
+/// Normal distribution with the given mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A new normal distribution; `std_dev` must be finite and >= 0.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, ParamError> {
+        if mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0 {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(ParamError("Normal std_dev must be finite and >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller.
+        let u1 = (1.0 - unit_f64(rng)).max(f64::MIN_POSITIVE);
+        let u2 = unit_f64(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn exp_mean_close() {
+        let exp = Exp::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let p = Pareto::new(3.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(p.sample(&mut rng) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Pareto::new(-1.0, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! Instead of upstream serde's visitor-based streaming model, this crate
+//! uses a simple **value tree**: [`Serialize`] renders a type into a
+//! [`Value`], [`Deserialize`] rebuilds the type from one. The companion
+//! `serde_json` vendor crate converts between [`Value`] and JSON text.
+//! The derive macros (`#[derive(Serialize, Deserialize)]`, re-exported
+//! from the vendored `serde_derive`) understand the attribute subset the
+//! workspace uses: `#[serde(transparent)]`, `#[serde(skip)]`, and
+//! `#[serde(try_from = "String", into = "String")]`.
+//!
+//! Representation choices mirror serde_json's defaults so persisted
+//! artifacts look conventional: structs are maps keyed by field name,
+//! newtype structs are transparent, unit enum variants are strings, and
+//! data-carrying variants are externally tagged single-entry maps.
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+/// Render `self` as a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `Self` out of `v`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// An error for a missing struct field.
+    pub fn missing_field(name: &str) -> DeError {
+        DeError {
+            msg: format!("missing field `{name}`"),
+        }
+    }
+
+    /// An error for a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError {
+            msg: format!("expected {what}, got {}", got.kind()),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,71 @@
+//! The serialized value tree.
+
+/// A self-describing serialized value (the JSON data model, plus
+/// distinct signed/unsigned integers).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object; insertion-ordered, keys usually `Value::Str`.
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "unsigned integer",
+            Value::I64(_) => "signed integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// The entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a map entry by string key.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.as_map()?.iter().find_map(|(k, v)| match k {
+            Value::Str(s) if s == name => Some(v),
+            _ => None,
+        })
+    }
+}

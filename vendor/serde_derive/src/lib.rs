@@ -1,0 +1,626 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored value-tree serde.
+//!
+//! No `syn`/`quote` (the build environment is fully offline), so the item
+//! is parsed directly from the `proc_macro` token stream. Supported
+//! shapes — exactly what this workspace uses:
+//!
+//! * non-generic structs: named, tuple (newtype included), unit
+//! * non-generic enums: unit, tuple, and struct variants (externally
+//!   tagged, unit variants as plain strings)
+//! * container attrs `#[serde(transparent)]` and
+//!   `#[serde(try_from = "String", into = "String")]`
+//! * the field attr `#[serde(skip)]`
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+/// Derive the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    generate(input, Mode::Ser)
+}
+
+/// Derive the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    generate(input, Mode::De)
+}
+
+// ---- model ---------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from_string: bool,
+    into_string: bool,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<bool /* skip */>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+// ---- token helpers -------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_str(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Parse one `#[...]` attribute group; record serde container/field info.
+fn scan_attr(g: &Group, out: &mut ContainerAttrs, skip: &mut bool) {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() || ident_str(&toks[0]).as_deref() != Some("serde") {
+        return;
+    }
+    let Some(TokenTree::Group(inner)) = toks.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        match ident_str(&inner[i]).as_deref() {
+            Some("transparent") => out.transparent = true,
+            Some("skip") => *skip = true,
+            Some(key @ ("try_from" | "into")) => {
+                // key = "Type"
+                if is_punct(&inner[i + 1], '=') {
+                    let lit = inner[i + 2].to_string();
+                    if lit.trim_matches('"') == "String" {
+                        match key {
+                            "try_from" => out.try_from_string = true,
+                            _ => out.into_string = true,
+                        }
+                    } else {
+                        panic!("serde derive stub: only String conversions supported, got {lit}");
+                    }
+                    i += 2;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+        // skip separating comma if present
+        if i < inner.len() && is_punct(&inner[i], ',') {
+            i += 1;
+        }
+    }
+}
+
+/// Advance past any leading attributes, collecting serde info.
+fn skip_attrs(toks: &[TokenTree], mut i: usize, attrs: &mut ContainerAttrs, skip: &mut bool) -> usize {
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        if let TokenTree::Group(g) = &toks[i + 1] {
+            scan_attr(g, attrs, skip);
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Advance past a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && ident_str(&toks[i]).as_deref() == Some("pub") {
+        i += 1;
+        if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advance past a type, tracking `<`/`>` depth, stopping at a top-level
+/// comma (or end).
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        if is_punct(&toks[i], '<') {
+            depth += 1;
+        } else if is_punct(&toks[i], '>') {
+            depth -= 1;
+        } else if is_punct(&toks[i], ',') && depth == 0 {
+            break;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut dummy = ContainerAttrs::default();
+        let mut skip = false;
+        i = skip_attrs(&toks, i, &mut dummy, &mut skip);
+        i = skip_vis(&toks, i);
+        let Some(name) = toks.get(i).and_then(ident_str) else {
+            break;
+        };
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "serde derive stub: expected `:` after field `{name}`");
+        i = skip_type(&toks, i + 1);
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(g: &Group) -> Vec<bool> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut skips = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut dummy = ContainerAttrs::default();
+        let mut skip = false;
+        i = skip_attrs(&toks, i, &mut dummy, &mut skip);
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_type(&toks, i);
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        skips.push(skip);
+    }
+    skips
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut dummy = ContainerAttrs::default();
+        let mut skip = false;
+        i = skip_attrs(&toks, i, &mut dummy, &mut skip);
+        let Some(name) = toks.get(i).and_then(ident_str) else {
+            break;
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(parse_tuple_fields(vg).len())
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(vg))
+            }
+            _ => VariantKind::Unit,
+        };
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, ContainerAttrs, Item) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut dummy = false;
+    let mut i = skip_attrs(&toks, 0, &mut attrs, &mut dummy);
+    i = skip_vis(&toks, i);
+    let kw = toks
+        .get(i)
+        .and_then(ident_str)
+        .expect("serde derive stub: expected `struct` or `enum`");
+    i += 1;
+    let name = toks
+        .get(i)
+        .and_then(ident_str)
+        .expect("serde derive stub: expected item name");
+    i += 1;
+    if matches!(toks.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("serde derive stub: generic types are not supported (on `{name}`)");
+    }
+    let item = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct(parse_tuple_fields(g))
+            }
+            Some(t) if is_punct(t, ';') => Item::UnitStruct,
+            other => panic!("serde derive stub: unexpected struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(parse_variants(g))
+            }
+            other => panic!("serde derive stub: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde derive stub: unsupported item kind `{other}`"),
+    };
+    (name, attrs, item)
+}
+
+// ---- codegen -------------------------------------------------------------
+
+fn generate(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, attrs, item) = parse_item(input);
+    let body = if attrs.try_from_string || attrs.into_string {
+        gen_string_conv(&name, mode)
+    } else {
+        match &item {
+            Item::NamedStruct(fields) => gen_named_struct(&name, fields, attrs.transparent, mode),
+            Item::TupleStruct(skips) => gen_tuple_struct(&name, skips, mode),
+            Item::UnitStruct => gen_unit_struct(&name, mode),
+            Item::Enum(variants) => gen_enum(&name, variants, mode),
+        }
+    };
+    body.parse().expect("serde derive stub: generated code failed to parse")
+}
+
+fn gen_string_conv(name: &str, mode: Mode) -> String {
+    match mode {
+        Mode::Ser => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{
+                    let __s: String = ::std::convert::Into::into(::std::clone::Clone::clone(self));
+                    ::serde::Value::Str(__s)
+                }}
+            }}"
+        ),
+        Mode::De => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                    let __s = <String as ::serde::Deserialize>::from_value(__v)?;
+                    <Self as ::std::convert::TryFrom<String>>::try_from(__s)
+                        .map_err(|__e| ::serde::DeError::custom(::std::format!(\"{{}}\", __e)))
+                }}
+            }}"
+        ),
+    }
+}
+
+fn gen_named_struct(name: &str, fields: &[Field], transparent: bool, mode: Mode) -> String {
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    if transparent {
+        assert!(
+            live.len() == 1,
+            "serde derive stub: transparent struct `{name}` must have exactly one field"
+        );
+        let f = &live[0].name;
+        return match mode {
+            Mode::Ser => format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Serialize::to_value(&self.{f})
+                    }}
+                }}"
+            ),
+            Mode::De => {
+                let inits = fields
+                    .iter()
+                    .map(|fd| {
+                        if fd.skip {
+                            format!("{}: ::std::default::Default::default(),", fd.name)
+                        } else {
+                            format!("{}: ::serde::Deserialize::from_value(__v)?,", fd.name)
+                        }
+                    })
+                    .collect::<String>();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{
+                        fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                            ::std::result::Result::Ok({name} {{ {inits} }})
+                        }}
+                    }}"
+                )
+            }
+        };
+    }
+    match mode {
+        Mode::Ser => {
+            let pushes = live
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Value::Str(\"{0}\".to_string()), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Map(::std::vec![{pushes}])
+                    }}
+                }}"
+            )
+        }
+        Mode::De => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default(),", f.name)
+                    } else {
+                        format!(
+                            "{0}: match __v.field(\"{0}\") {{
+                                ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,
+                                ::std::option::Option::None =>
+                                    return ::std::result::Result::Err(::serde::DeError::missing_field(\"{0}\")),
+                            }},",
+                            f.name
+                        )
+                    }
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        if __v.as_map().is_none() {{
+                            return ::std::result::Result::Err(::serde::DeError::expected(\"object\", __v));
+                        }}
+                        ::std::result::Result::Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+    }
+}
+
+fn gen_tuple_struct(name: &str, skips: &[bool], mode: Mode) -> String {
+    let arity = skips.len();
+    assert!(
+        !skips.iter().any(|&s| s),
+        "serde derive stub: #[serde(skip)] on tuple struct fields is not supported"
+    );
+    if arity == 1 {
+        // Newtype: transparent, matching upstream serde.
+        return match mode {
+            Mode::Ser => format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Serialize::to_value(&self.0)
+                    }}
+                }}"
+            ),
+            Mode::De => format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))
+                    }}
+                }}"
+            ),
+        };
+    }
+    match mode {
+        Mode::Ser => {
+            let items = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Seq(::std::vec![{items}])
+                    }}
+                }}"
+            )
+        }
+        Mode::De => {
+            let items = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?,"))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", __v))?;
+                        if __s.len() != {arity} {{
+                            return ::std::result::Result::Err(::serde::DeError::custom(
+                                ::std::format!(\"expected array of {arity}, got {{}}\", __s.len())));
+                        }}
+                        ::std::result::Result::Ok({name}({items}))
+                    }}
+                }}"
+            )
+        }
+    }
+}
+
+fn gen_unit_struct(name: &str, mode: Mode) -> String {
+    match mode {
+        Mode::Ser => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}
+            }}"
+        ),
+        Mode::De => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(_: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                    ::std::result::Result::Ok({name})
+                }}
+            }}"
+        ),
+    }
+}
+
+fn gen_enum(name: &str, variants: &[Variant], mode: Mode) -> String {
+    match mode {
+        Mode::Ser => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![
+                                (::serde::Value::Str(\"{vn}\".to_string()), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds = (0..*n).map(|i| format!("__f{i},")).collect::<String>();
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i}),"))
+                                .collect::<String>();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![
+                                    (::serde::Value::Str(\"{vn}\".to_string()),
+                                     ::serde::Value::Seq(::std::vec![{items}]))]),"
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields
+                                .iter()
+                                .map(|f| format!("{},", f.name))
+                                .collect::<String>();
+                            let items = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(::serde::Value::Str(\"{0}\".to_string()), ::serde::Serialize::to_value({0})),",
+                                        f.name
+                                    )
+                                })
+                                .collect::<String>();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![
+                                    (::serde::Value::Str(\"{vn}\".to_string()),
+                                     ::serde::Value::Map(::std::vec![{items}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+        Mode::De => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect::<String>();
+            let data_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(
+                                ::serde::Deserialize::from_value(__val)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?,"))
+                                .collect::<String>();
+                            Some(format!(
+                                "\"{vn}\" => {{
+                                    let __s = __val.as_seq().ok_or_else(||
+                                        ::serde::DeError::expected(\"array\", __val))?;
+                                    if __s.len() != {n} {{
+                                        return ::std::result::Result::Err(::serde::DeError::custom(
+                                            ::std::format!(\"variant {vn}: expected {n} fields, got {{}}\", __s.len())));
+                                    }}
+                                    ::std::result::Result::Ok({name}::{vn}({items}))
+                                }},"
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.skip {
+                                        format!("{}: ::std::default::Default::default(),", f.name)
+                                    } else {
+                                        format!(
+                                            "{0}: match __val.field(\"{0}\") {{
+                                                ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,
+                                                ::std::option::Option::None =>
+                                                    return ::std::result::Result::Err(::serde::DeError::missing_field(\"{0}\")),
+                                            }},",
+                                            f.name
+                                        )
+                                    }
+                                })
+                                .collect::<String>();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        if let ::std::option::Option::Some(__s) = __v.as_str() {{
+                            return match __s {{
+                                {unit_arms}
+                                __other => ::std::result::Result::Err(::serde::DeError::custom(
+                                    ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),
+                            }};
+                        }}
+                        if let ::std::option::Option::Some(__m) = __v.as_map() {{
+                            if __m.len() == 1 {{
+                                let (__k, __val) = &__m[0];
+                                if let ::std::option::Option::Some(__tag) = __k.as_str() {{
+                                    return match __tag {{
+                                        {data_arms}
+                                        __other => ::std::result::Result::Err(::serde::DeError::custom(
+                                            ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),
+                                    }};
+                                }}
+                            }}
+                        }}
+                        ::std::result::Result::Err(::serde::DeError::expected(\"{name} variant\", __v))
+                    }}
+                }}"
+            )
+        }
+    }
+}
