@@ -22,6 +22,7 @@
 
 use quicksand_bgp::{UpdateLog, UpdateMessage};
 use quicksand_net::{Asn, Ipv4Prefix, SimTime};
+use quicksand_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -44,6 +45,18 @@ pub enum AlarmKind {
         /// The unfamiliar origin-adjacent AS.
         upstream: Asn,
     },
+}
+
+impl AlarmKind {
+    /// A stable, machine-readable name for the kind (used in obs events
+    /// and run reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlarmKind::OriginChange { .. } => "origin-change",
+            AlarmKind::MoreSpecific { .. } => "more-specific",
+            AlarmKind::NewUpstream { .. } => "new-upstream",
+        }
+    }
 }
 
 /// One raised alarm.
@@ -111,6 +124,10 @@ impl PrefixMonitor {
 
     /// Scan a log and return all alarms, in log order.
     pub fn scan(&self, log: &UpdateLog) -> Vec<Alarm> {
+        obs::timed("detect", || self.scan_inner(log))
+    }
+
+    fn scan_inner(&self, log: &UpdateLog) -> Vec<Alarm> {
         let mut alarms = Vec::new();
         for r in &log.records {
             let UpdateMessage::Announce(route) = &r.msg else {
@@ -158,6 +175,8 @@ impl PrefixMonitor {
                 }
             }
         }
+        obs::incr("detect", "scans", 1);
+        obs::incr("detect", "scan_alarms", alarms.len() as u64);
         alarms
     }
 }

@@ -18,6 +18,7 @@
 use crate::hijack::{origin_hijack_scoped, HijackOutcome};
 use crate::multi::OriginSpec;
 use quicksand_net::Asn;
+use quicksand_obs as obs;
 use quicksand_topology::AsGraph;
 use std::collections::BTreeSet;
 
@@ -108,6 +109,12 @@ pub fn plan_interception(
         if better {
             best = Some(candidate);
         }
+    }
+    // The inner origin_hijack_scoped calls record the wall time under
+    // the "detect" stage; here only the plan outcome is counted.
+    obs::incr("detect", "intercept_plans", 1);
+    if best.is_some() {
+        obs::incr("detect", "intercepts_found", 1);
     }
     best
 }

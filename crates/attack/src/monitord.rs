@@ -16,6 +16,7 @@
 use crate::detect::{Alarm, AlarmKind};
 use quicksand_bgp::{SessionId, UpdateMessage, UpdateRecord};
 use quicksand_net::{Asn, Ipv4Prefix, QsResult, QuicksandError, SimDuration, SimTime};
+use quicksand_obs as obs;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration for [`StreamingMonitor`].
@@ -168,25 +169,44 @@ impl StreamingMonitor {
     /// stale session at `now`, `Ok(())` when every expected session is
     /// live.
     pub fn check_feed(&self, now: SimTime) -> QsResult<()> {
-        let worst = self
-            .expected_sessions
-            .iter()
-            .map(|s| {
-                let silent = self
-                    .last_seen
-                    .get(s)
-                    .map_or_else(|| now.since(self.started_at.unwrap_or(now)), |&t| now.since(t));
-                (silent, *s)
-            })
-            .filter(|&(silent, _)| silent > self.config.stale_after)
-            .max();
-        match worst {
-            Some((silent_for, session)) => Err(QuicksandError::StaleFeed {
-                session: session.0,
-                silent_for,
-            }),
-            None => Ok(()),
-        }
+        obs::timed("monitor", || {
+            obs::incr("monitor", "feed_checks", 1);
+            let worst = self
+                .expected_sessions
+                .iter()
+                .map(|s| {
+                    let silent = self.last_seen.get(s).map_or_else(
+                        || now.since(self.started_at.unwrap_or(now)),
+                        |&t| now.since(t),
+                    );
+                    (silent, *s)
+                })
+                .filter(|&(silent, _)| silent > self.config.stale_after)
+                .max();
+            match worst {
+                Some((silent_for, session)) => {
+                    obs::incr("monitor", "stale_feed_checks", 1);
+                    if obs::enabled(obs::Level::Warn) {
+                        obs::emit(
+                            obs::Event::new(
+                                obs::Level::Warn,
+                                "monitor",
+                                "stale-feed",
+                                "expected session silent past staleness bound",
+                            )
+                            .with("session", session.0)
+                            .with("silent_s", silent_for.as_secs_f64())
+                            .with("at_s", now.as_secs_f64()),
+                        );
+                    }
+                    Err(QuicksandError::StaleFeed {
+                        session: session.0,
+                        silent_for,
+                    })
+                }
+                None => Ok(()),
+            }
+        })
     }
 
     /// Records seen with timestamps behind the stream's high-water mark
@@ -226,6 +246,7 @@ impl StreamingMonitor {
     /// staleness/confidence tracking.
     pub fn ingest(&mut self, record: &UpdateRecord) -> Option<Alarm> {
         let started = *self.started_at.get_or_insert(record.at);
+        obs::incr("monitor", "records", 1);
         // Session health bookkeeping (all message kinds count as life).
         self.expected_sessions.insert(record.session);
         let seen = self.last_seen.entry(record.session).or_insert(record.at);
@@ -234,6 +255,7 @@ impl StreamingMonitor {
         }
         if record.at < self.high_water {
             self.late_records += 1;
+            obs::incr("monitor", "late_records", 1);
         } else {
             self.high_water = record.at;
         }
@@ -292,7 +314,18 @@ impl StreamingMonitor {
 
     fn raise(&mut self, at: SimTime, prefix: Ipv4Prefix, kind: AlarmKind) -> Alarm {
         let alarm = Alarm { at, prefix, kind };
-        self.alarm_confidence.push(self.confidence(at));
+        let confidence = self.confidence(at);
+        obs::incr("monitor", "alarms", 1);
+        if obs::enabled(obs::Level::Warn) {
+            obs::emit(
+                obs::Event::new(obs::Level::Warn, "monitor", "alarm", "prefix alarm raised")
+                    .with("at_s", at.as_secs_f64())
+                    .with("prefix", prefix.to_string())
+                    .with("kind", kind.label())
+                    .with("confidence", confidence),
+            );
+        }
+        self.alarm_confidence.push(confidence);
         self.alarms.push(alarm);
         let entry = self
             .board
@@ -310,10 +343,15 @@ impl StreamingMonitor {
         prefix: &Ipv4Prefix,
         attack_at: SimTime,
     ) -> Option<SimDuration> {
-        self.alarms
+        let latency = self
+            .alarms
             .iter()
             .find(|a| a.prefix == *prefix && a.at >= attack_at)
-            .map(|a| a.at.since(attack_at))
+            .map(|a| a.at.since(attack_at));
+        if let Some(d) = latency {
+            obs::observe("monitor", "alarm_latency_s", d.as_secs_f64());
+        }
+        latency
     }
 }
 

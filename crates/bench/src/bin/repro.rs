@@ -5,11 +5,21 @@
 //! repro [all|table1|fig2-left|fig2-right|fig3-left|fig3-right|model|
 //!        hijack|intercept|convergence|ixp|population|static-vs-dynamic|
 //!        stealth|longterm|countermeasures|chaos] [--small]
-//!        [--intensity=<0..1>]
+//!        [--intensity=<0..1>] [--obs-out=run.json] [--obs-jsonl=run.jsonl]
+//!        [-v|--verbose] [-q|--quiet]
+//! repro report <run.json> [other.json]
 //! ```
 //!
 //! `--small` runs the test-scale configuration (seconds instead of
 //! minutes); the default full scale is what EXPERIMENTS.md records.
+//!
+//! Observability: progress notes are `quicksand-obs` events rendered to
+//! stderr (`-v` adds span timings, `--quiet` silences both events and
+//! the stdout tables). `--obs-out=PATH` writes the machine-readable
+//! [`RunReport`] at exit; `--obs-jsonl=PATH` streams every event and
+//! span as one JSON object per line. `repro report a.json` pretty-prints
+//! a report and exits non-zero when a required pipeline stage is missing
+//! (the CI schema gate); `repro report a.json b.json` diffs two runs.
 //!
 //! `chaos` (not part of `all`: it is a robustness diagnostic, not a
 //! paper artifact) replays the §4 pipeline with the collector feed
@@ -39,7 +49,9 @@ use quicksand_bgp::{
     clean_session_resets, metrics, CleaningConfig, Route, UpdateMessage, UpdateRecord,
 };
 use quicksand_net::{AsPath, Asn, Ipv4Prefix, SimDuration, SimTime};
+use quicksand_obs::{self as obs, Event, Level, RunReport, Subscriber};
 use quicksand_traffic::{CircuitFlowConfig, TcpConfig};
+use std::sync::Arc;
 
 /// The full-scale configuration used for EXPERIMENTS.md.
 fn full_config() -> ScenarioConfig {
@@ -48,6 +60,28 @@ fn full_config() -> ScenarioConfig {
 
 fn small_config() -> ScenarioConfig {
     ScenarioConfig::small(0xA11)
+}
+
+/// Progress note: an obs event, rendered to stderr by the console
+/// subscriber (silenced by `--quiet`, captured by `--obs-jsonl`).
+fn progress(message: String) {
+    obs::emit(Event::new(Level::Info, "repro", "progress", message));
+}
+
+/// Stdout artifact gate: every table/figure rendering goes through
+/// here so `--quiet` silences them in one place.
+struct Out {
+    quiet: bool,
+}
+
+impl Out {
+    /// Print one artifact block followed by a separating blank line.
+    fn block(&self, text: &str) {
+        if !self.quiet {
+            print!("{text}");
+            println!();
+        }
+    }
 }
 
 struct Ctx {
@@ -59,10 +93,10 @@ struct Ctx {
 impl Ctx {
     fn new(small: bool) -> Ctx {
         let cfg = if small { small_config() } else { full_config() };
-        eprintln!(
-            "[repro] building scenario ({} ASes, {} relays)…",
+        progress(format!(
+            "building scenario ({} ASes, {} relays)…",
             cfg.topology.n_ases, cfg.consensus.n_relays
-        );
+        ));
         Ctx {
             scenario: Scenario::build(cfg),
             month: None,
@@ -72,15 +106,15 @@ impl Ctx {
 
     fn ensure_month(&mut self) {
         if self.month.is_none() {
-            eprintln!("[repro] running churn horizon through the BGP simulator…");
+            progress("running churn horizon through the BGP simulator…".to_string());
             let m = self.scenario.run_month().expect("valid collector config");
-            eprintln!(
-                "[repro] update log: {} raw / {} cleaned records, {} duplicates removed, {} reset bursts",
+            progress(format!(
+                "update log: {} raw / {} cleaned records, {} duplicates removed, {} reset bursts",
                 m.raw.len(),
                 m.cleaned.len(),
                 m.removed_duplicates,
                 m.reset_bursts
-            );
+            ));
             self.month = Some(m);
         }
     }
@@ -90,17 +124,116 @@ impl Ctx {
     }
 }
 
+/// Load a [`RunReport`] written by `--obs-out`.
+fn load_report(path: &str) -> Result<RunReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// `repro report <run.json> [other.json]`: pretty-print one report (exit
+/// 1 when schema validation fails — the CI gate) or diff two runs.
+fn report_command(args: &[String]) -> i32 {
+    let files: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|s| s.as_str())
+        .collect();
+    match files.as_slice() {
+        [one] => {
+            let rep = match load_report(one) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            print!("{}", rep.render());
+            match rep.validate() {
+                Ok(()) => {
+                    println!(
+                        "\nvalidation: ok ({} required stages profiled)",
+                        obs::REQUIRED_STAGES.len()
+                    );
+                    0
+                }
+                Err(problems) => {
+                    println!("\nvalidation: FAILED");
+                    for p in &problems {
+                        println!("  - {p}");
+                    }
+                    1
+                }
+            }
+        }
+        [a, b] => {
+            let (ra, rb) = match (load_report(a), load_report(b)) {
+                (Ok(ra), Ok(rb)) => (ra, rb),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            for (path, rep) in [(a, &ra), (b, &rb)] {
+                if let Err(problems) = rep.validate() {
+                    println!("note: {path} is incomplete ({} problems)", problems.len());
+                }
+            }
+            print!("{}", ra.diff(&rb));
+            0
+        }
+        _ => {
+            eprintln!("usage: repro report <run.json> [other.json]");
+            2
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "report") {
+        std::process::exit(report_command(&args[1..]));
+    }
+
     let small = args.iter().any(|a| a == "--small");
+    let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    let obs_out = args.iter().find_map(|a| a.strip_prefix("--obs-out="));
+    let obs_jsonl = args.iter().find_map(|a| a.strip_prefix("--obs-jsonl="));
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| !a.starts_with('-'))
         .map(|s| s.as_str())
         .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
     let all = which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
+
+    // Event sinks: console for humans (unless --quiet), memory when a
+    // run report is requested (its alarm timeline comes from buffered
+    // events), JSONL when a run log is requested.
+    let memory = Arc::new(obs::MemorySubscriber::new());
+    let mut sinks: Vec<Arc<dyn Subscriber>> = Vec::new();
+    if !quiet {
+        let min = if verbose { Level::Debug } else { Level::Info };
+        sinks.push(Arc::new(obs::ConsoleSubscriber::new(min)));
+    }
+    if obs_out.is_some() {
+        sinks.push(memory.clone());
+    }
+    if let Some(path) = obs_jsonl {
+        match obs::JsonlSubscriber::create(path) {
+            Ok(j) => sinks.push(Arc::new(j)),
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !sinks.is_empty() {
+        obs::set_global_subscriber(Arc::new(obs::FanoutSubscriber::new(sinks)));
+    }
+    let out = Out { quiet };
 
     let mut ctx = Ctx::new(small);
 
@@ -108,13 +241,11 @@ fn main() {
         ctx.ensure_month();
         let month = ctx.month();
         let t = table1(&ctx.scenario, month);
-        print!("{}", report::render_table1(&t));
-        println!();
+        out.block(&report::render_table1(&t));
     }
     if want("fig2-left") {
         let f = fig2_left(&ctx.scenario);
-        print!("{}", report::render_fig2_left(&f));
-        println!();
+        out.block(&report::render_fig2_left(&f));
     }
     if want("fig2-right") {
         // The paper's wget experiment: ~40 MB over ~30 s.
@@ -127,22 +258,19 @@ fn main() {
             ..Default::default()
         };
         let f = fig2_right(&cfg, 30);
-        print!("{}", report::render_fig2_right(&f));
-        println!();
+        out.block(&report::render_fig2_right(&f));
     }
     if want("fig3-left") {
         ctx.ensure_month();
         let month = ctx.month();
         let f = fig3_left(&ctx.scenario, month);
-        print!("{}", report::render_fig3_left(&f));
-        println!();
+        out.block(&report::render_fig3_left(&f));
     }
     if want("fig3-right") {
         ctx.ensure_month();
         let month = ctx.month();
         let f = fig3_right(&ctx.scenario, month);
-        print!("{}", report::render_fig3_right(&f));
-        println!();
+        out.block(&report::render_fig3_right(&f));
     }
     if want("model") {
         let m = model_sweep(
@@ -151,26 +279,22 @@ fn main() {
             &[1, 3],
             if ctx.small { 20_000 } else { 100_000 },
         );
-        print!("{}", report::render_model(&m));
-        println!();
+        out.block(&report::render_model(&m));
     }
     if want("hijack") {
         let samples = if ctx.small { 10 } else { 40 };
         let h = hijack_experiment(&ctx.scenario, samples, 0xA77);
-        print!("{}", report::render_hijack(&h));
-        println!();
+        out.block(&report::render_hijack(&h));
     }
     if want("intercept") {
         let samples = if ctx.small { 30 } else { 120 };
         let i = intercept_experiment(&ctx.scenario, samples, 0xA78);
-        print!("{}", report::render_intercept(&i));
-        println!();
+        out.block(&report::render_intercept(&i));
     }
     if want("convergence") {
         let trials = if ctx.small { 5 } else { 15 };
         let e = convergence_experiment(&ctx.scenario, trials, 0xA79);
-        print!("{}", report::render_convergence(&e));
-        println!();
+        out.block(&report::render_convergence(&e));
     }
     if want("ixp") {
         let n = if ctx.small { 30 } else { 120 };
@@ -182,10 +306,10 @@ fn main() {
             ObservationMode::AnyDirection,
             0xA83,
         );
-        print!("{}", render_ixp(&e));
-        println!();
+        out.block(&render_ixp(&e));
     }
     if want("population") {
+        let mut text = String::new();
         for f in [0.02, 0.05, 0.10] {
             let cfg = PopulationConfig {
                 n_circuits: if ctx.small { 8 } else { 20 },
@@ -193,23 +317,21 @@ fn main() {
                 ..Default::default()
             };
             let o = run_population_attack(&ctx.scenario, &cfg);
-            print!("{}", render_population(&o, &cfg));
+            text.push_str(&render_population(&o, &cfg));
         }
-        println!();
+        out.block(&text);
     }
     if want("static-vs-dynamic") {
         ctx.ensure_month();
         let (nc, ng) = if ctx.small { (5, 8) } else { (12, 16) };
         let month = ctx.month();
         let r = static_vs_dynamic(&ctx.scenario, month, nc, ng, 0.05, 0xA81);
-        print!("{}", report::render_static_vs_dynamic(&r));
-        println!();
+        out.block(&report::render_static_vs_dynamic(&r));
     }
     if want("stealth") {
         let (samples, blocks) = if ctx.small { (6, 5) } else { (20, 12) };
         let e = stealth_experiment(&ctx.scenario, samples, blocks, 0xA80);
-        print!("{}", report::render_stealth(&e));
-        println!();
+        out.block(&report::render_stealth(&e));
     }
     if want("longterm") {
         let cfg = if ctx.small {
@@ -224,26 +346,26 @@ fn main() {
             LongTermConfig::default()
         };
         let r = long_term_study(&ctx.scenario, &cfg);
-        print!("{}", render_long_term(&r));
-        println!();
+        out.block(&render_long_term(&r));
     }
     if want("countermeasures") {
         let (clients, circuits, attacks) =
             if ctx.small { (6, 120, 20) } else { (16, 400, 60) };
+        let mut text = String::new();
         let g =
             evaluate_guard_strategies(&ctx.scenario, clients, 3, &[0.02, 0.05, 0.10], 1);
-        print!("{}", report::render_guard_strategies(&g));
+        text.push_str(&report::render_guard_strategies(&g));
         let c = evaluate_circuit_filter(&ctx.scenario, circuits, 2);
-        print!("{}", report::render_circuit_filter(&c));
+        text.push_str(&report::render_circuit_filter(&c));
         ctx.ensure_month();
         let month = ctx.month();
         let m = evaluate_monitoring(&ctx.scenario, month, attacks, 3);
-        print!("{}", report::render_monitoring(&m));
+        text.push_str(&report::render_monitoring(&m));
         let rt = evaluate_realtime_monitoring(&ctx.scenario, month, attacks.min(30), 4);
-        print!("{}", report::render_realtime_monitoring(&rt));
+        text.push_str(&report::render_realtime_monitoring(&rt));
         let pd = evaluate_published_dynamics(&ctx.scenario, clients, 3, 5);
-        print!("{}", render_published_dynamics(&pd));
-        println!();
+        text.push_str(&render_published_dynamics(&pd));
+        out.block(&text);
     }
     if which.contains(&"chaos") {
         ctx.ensure_month();
@@ -304,16 +426,17 @@ fn main() {
         }
         attacked_raw.records.sort_by_key(|r| (r.at, r.session));
 
+        let mut text = String::new();
         for &x in &intensities {
             let profile = FaultProfile::with_intensity(x, 0xC4A05);
             let injector = FaultInjector::new(profile).expect("valid fault profile");
             let (raw, rep) = injector.apply(&attacked_raw);
             let (cleaned, removed, bursts) =
                 clean_session_resets(&raw, &CleaningConfig::default());
-            println!("== chaos: fault intensity {x:.2} ==");
-            println!(
+            text.push_str(&format!("== chaos: fault intensity {x:.2} ==\n"));
+            text.push_str(&format!(
                 "  injected: {} dropped, {} duplicated, {} reordered, {} outage-dropped, \
-                 {} flaps, {} re-dump records, {} skewed sessions",
+                 {} flaps, {} re-dump records, {} skewed sessions\n",
                 rep.dropped,
                 rep.duplicated,
                 rep.reordered,
@@ -321,15 +444,15 @@ fn main() {
                 rep.flaps.len(),
                 rep.redump_records,
                 rep.skewed_sessions
-            );
-            println!(
-                "  degraded log: {} raw / {} cleaned ({} duplicates removed, {} reset bursts)",
+            ));
+            text.push_str(&format!(
+                "  degraded log: {} raw / {} cleaned ({} duplicates removed, {} reset bursts)\n",
                 raw.len(),
                 cleaned.len(),
                 removed,
                 bursts
-            );
-            let health = metrics::session_health(
+            ));
+            let health = metrics::publish_session_health(
                 &cleaned,
                 SimTime::ZERO,
                 month.horizon_end,
@@ -341,10 +464,10 @@ fn main() {
                 .iter()
                 .map(|h| h.coverage)
                 .fold(f64::INFINITY, f64::min);
-            println!(
-                "  session health: mean coverage {mean_cov:.3}, min {:.3}",
+            text.push_str(&format!(
+                "  session health: mean coverage {mean_cov:.3}, min {:.3}\n",
                 if min_cov.is_finite() { min_cov } else { 1.0 }
-            );
+            ));
 
             let mut monitor = StreamingMonitor::new(
                 ctx.scenario
@@ -358,6 +481,11 @@ fn main() {
             for r in &cleaned.records {
                 monitor.ingest(r);
             }
+            // Feed-liveness probe at end of horizon. The feed is
+            // event-driven, so a binary live/stale verdict is noisy —
+            // report how many sessions have gone quiet instead.
+            let feed_ok = monitor.check_feed(month.horizon_end).is_ok();
+            let stale = monitor.stale_sessions(month.horizon_end).len();
             let mut latency_sum = SimDuration::ZERO;
             let mut detected = 0usize;
             for (p, _) in &attacked {
@@ -374,19 +502,69 @@ fn main() {
                     .collect();
                 confs.iter().sum::<f64>() / confs.len().max(1) as f64
             };
-            println!(
-                "  detection: rate {:.2}, mean latency {:.1}s, mean alarm confidence {:.2}, \
-                 {} late records tolerated",
-                detected as f64 / attacked.len().max(1) as f64,
-                if detected > 0 {
-                    latency_sum.as_secs_f64() / detected as f64
-                } else {
-                    f64::NAN
-                },
-                mean_conf,
-                monitor.late_records()
+            let rate = detected as f64 / attacked.len().max(1) as f64;
+            let mean_latency_s = if detected > 0 {
+                latency_sum.as_secs_f64() / detected as f64
+            } else {
+                f64::NAN
+            };
+            text.push_str(&format!(
+                "  detection: rate {rate:.2}, mean latency {mean_latency_s:.1}s, \
+                 mean alarm confidence {mean_conf:.2}, {} late records tolerated, \
+                 {stale}/{} sessions quiet at horizon end\n",
+                monitor.late_records(),
+                sessions.len()
+            ));
+            // Structured mirror of the summary for JSONL/report tooling.
+            obs::emit(
+                Event::new(
+                    Level::Info,
+                    "repro",
+                    "chaos-summary",
+                    format!("fault intensity {x:.2}"),
+                )
+                .with("intensity", x)
+                .with("flaps", rep.flaps.len() as u64)
+                .with("dropped", rep.dropped)
+                .with("detection_rate", rate)
+                .with("feed_ok", feed_ok)
+                .with("stale_sessions", stale),
             );
         }
-        println!();
+        out.block(&text);
+    }
+
+    obs::flush();
+    if let Some(path) = obs_out {
+        let label = format!(
+            "repro {}{}",
+            which.join(","),
+            if small { " --small" } else { "" }
+        );
+        let snapshot = obs::global_metrics().snapshot();
+        let run_report = RunReport::assemble(label, &snapshot, &memory.events());
+        let json = match serde_json::to_string_pretty(&run_report) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: cannot serialize run report: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        if let Err(problems) = run_report.validate() {
+            for p in &problems {
+                obs::emit(Event::new(
+                    Level::Warn,
+                    "repro",
+                    "report-incomplete",
+                    p.clone(),
+                ));
+            }
+        }
+        progress(format!("wrote run report to {path}"));
+        obs::flush();
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::msg::{Route, UpdateMessage};
 use quicksand_net::{AsPath, Asn, Ipv4Prefix, QsResult, QuicksandError, SimDuration, SimTime};
+use quicksand_obs as obs;
 use quicksand_topology::RouteClass;
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -295,6 +296,8 @@ impl Collector {
                 attempts: 0,
                 next_retry: at + self.retry_base,
             };
+            obs::incr("collector", "session_down", 1);
+            obs::incr_session("collector", "session_down", id.0, 1);
         }
         Ok(())
     }
@@ -325,6 +328,7 @@ impl Collector {
                 continue;
             }
             let id = self.sessions[i].id;
+            obs::incr("collector", "reconnect_attempts", 1);
             if link_up(id) {
                 self.liveness[i] = SessionState::Up;
                 // Forget the session's table: the peer re-dumps on
@@ -339,6 +343,8 @@ impl Collector {
                 for k in stale {
                     self.state.remove(&k);
                 }
+                obs::incr("collector", "reconnects", 1);
+                obs::incr_session("collector", "reconnects", id.0, 1);
                 recovered.push(id);
             } else {
                 // First retry comes retry_base after the drop; each
@@ -383,6 +389,7 @@ impl Collector {
     ) where
         F: Fn(Asn, Ipv4Prefix) -> Option<(AsPath, RouteClass)>,
     {
+        let recorded_before = log.records.len();
         // Emit any resets due before `at`: re-dump the session table.
         while self.next_reset < self.resets.len() && self.resets[self.next_reset].0 <= at
         {
@@ -457,6 +464,12 @@ impl Collector {
                 }
             }
         }
+        obs::incr("collector", "observe_calls", 1);
+        obs::incr(
+            "collector",
+            "records",
+            (log.records.len() - recorded_before) as u64,
+        );
     }
 }
 
@@ -555,6 +568,8 @@ pub fn clean_session_resets(
         }
     }
 
+    obs::incr("collector", "cleaned_duplicates", removed as u64);
+    obs::incr("collector", "cleaned_bursts", bursts as u64);
     (cleaned, removed, bursts)
 }
 

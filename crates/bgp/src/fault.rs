@@ -26,6 +26,7 @@
 use crate::collector::{SessionId, UpdateLog, UpdateRecord};
 use crate::msg::{Route, UpdateMessage};
 use quicksand_net::{AsPath, Ipv4Prefix, QsResult, QuicksandError, SimDuration, SimTime};
+use quicksand_obs as obs;
 use std::collections::BTreeMap;
 
 /// What faults to inject and how hard. All rates are probabilities in
@@ -241,6 +242,10 @@ impl FaultInjector {
     /// same duplicate-burst artifact real session resets produce, which
     /// [`crate::clean_session_resets`] is designed to remove.
     pub fn apply(&self, log: &UpdateLog) -> (UpdateLog, FaultReport) {
+        obs::timed("collector", || self.apply_inner(log))
+    }
+
+    fn apply_inner(&self, log: &UpdateLog) -> (UpdateLog, FaultReport) {
         let mut report = FaultReport::default();
         if log.is_empty() {
             return (UpdateLog::default(), report);
@@ -393,6 +398,27 @@ impl FaultInjector {
         // Delivery order is by (arrival time, session); the stable sort
         // keeps same-instant records in injection order.
         out.sort_by_key(|r| (r.at, r.session));
+
+        // Publish the injector's decisions. Each flap ends in a table
+        // re-dump — a session re-establishment from the collector's
+        // point of view — so it also counts as a per-session reconnect.
+        obs::incr("collector", "fault_dropped", report.dropped as u64);
+        obs::incr("collector", "fault_duplicated", report.duplicated as u64);
+        obs::incr("collector", "fault_reordered", report.reordered as u64);
+        obs::incr(
+            "collector",
+            "fault_outage_dropped",
+            report.outage_dropped as u64,
+        );
+        obs::incr("collector", "fault_flaps", report.flaps.len() as u64);
+        obs::incr(
+            "collector",
+            "fault_redump_records",
+            report.redump_records as u64,
+        );
+        for &(s, _) in &report.flaps {
+            obs::incr_session("collector", "reconnects", s.0, 1);
+        }
         (UpdateLog { records: out }, report)
     }
 }

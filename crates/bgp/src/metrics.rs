@@ -16,6 +16,7 @@
 use crate::collector::{SessionId, UpdateLog};
 use crate::msg::UpdateMessage;
 use quicksand_net::{Asn, Ipv4Prefix, SimDuration, SimTime};
+use quicksand_obs as obs;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A per-(session, prefix) timeline of selected paths, as (start time,
@@ -199,7 +200,44 @@ pub struct SessionHealth {
 /// continuously each session actually reported, judged against the
 /// staleness bound `stale_after`. Degraded-feed runs use this to
 /// report which sessions went dark and for how long.
+///
+/// Thin compatibility wrapper over [`publish_session_health`], which
+/// additionally exports each session's stats through the
+/// `quicksand-obs` metrics registry.
 pub fn session_health(
+    log: &UpdateLog,
+    window_start: SimTime,
+    window_end: SimTime,
+    stale_after: SimDuration,
+) -> Vec<SessionHealth> {
+    publish_session_health(log, window_start, window_end, stale_after)
+}
+
+/// Compute per-session feed health (see [`session_health`]) and export
+/// every session's stats as `(collector, session)`-keyed gauges in the
+/// current `quicksand-obs` registry: `feed_coverage`,
+/// `feed_longest_gap_s`, and `feed_updates`.
+pub fn publish_session_health(
+    log: &UpdateLog,
+    window_start: SimTime,
+    window_end: SimTime,
+    stale_after: SimDuration,
+) -> Vec<SessionHealth> {
+    let health = compute_session_health(log, window_start, window_end, stale_after);
+    for h in &health {
+        obs::gauge_session("collector", "feed_coverage", h.session.0, h.coverage);
+        obs::gauge_session(
+            "collector",
+            "feed_longest_gap_s",
+            h.session.0,
+            h.longest_gap.as_secs_f64(),
+        );
+        obs::gauge_session("collector", "feed_updates", h.session.0, h.updates as f64);
+    }
+    health
+}
+
+fn compute_session_health(
     log: &UpdateLog,
     window_start: SimTime,
     window_end: SimTime,
@@ -487,6 +525,35 @@ mod health_tests {
         assert_eq!(h[0].updates, 10);
         assert_eq!(h[0].coverage, 1.0);
         assert_eq!(h[0].longest_gap, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn publish_exports_per_session_gauges() {
+        let log = UpdateLog {
+            records: (0..10).map(|i| ann(i * 60, 3)).collect(),
+        };
+        let reg = std::sync::Arc::new(obs::Registry::new());
+        let h = obs::with_metrics(reg.clone(), || {
+            publish_session_health(
+                &log,
+                SimTime::ZERO,
+                SimTime::from_secs(600),
+                SimDuration::from_mins(5),
+            )
+        });
+        assert_eq!(h.len(), 1);
+        assert_eq!(
+            reg.gauge_value(obs::Key::session("collector", "feed_coverage", 3)),
+            Some(1.0)
+        );
+        assert_eq!(
+            reg.gauge_value(obs::Key::session("collector", "feed_longest_gap_s", 3)),
+            Some(60.0)
+        );
+        assert_eq!(
+            reg.gauge_value(obs::Key::session("collector", "feed_updates", 3)),
+            Some(10.0)
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use quicksand_attack::detect::{DetectionScore, PrefixMonitor};
 use quicksand_bgp::metrics::PathTimeline;
 use quicksand_bgp::{Route, SessionId, UpdateLog, UpdateMessage, UpdateRecord};
 use quicksand_net::{AsPath, Asn, Ipv4Prefix, SimDuration, SimTime};
+use quicksand_obs as obs;
 use quicksand_topology::RoutingTree;
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -513,8 +514,15 @@ pub fn evaluate_realtime_monitoring(
             .map(|(p, a)| (*p, *a)),
         MonitorConfig::default(),
     );
-    for r in &stream {
-        monitor.ingest(r);
+    obs::timed("monitor", || {
+        for r in &stream {
+            monitor.ingest(r);
+        }
+    });
+    // Liveness probe at end-of-stream; check_feed times itself, so it
+    // stays outside the ingest span to keep monitor wall time additive.
+    if let Some(last) = stream.last() {
+        let _ = monitor.check_feed(last.at);
     }
 
     let mut latency_sum = SimDuration::ZERO;

@@ -20,6 +20,7 @@ use quicksand_bgp::{
     UpdateLog,
 };
 use quicksand_net::{Asn, Ipv4Prefix, QsResult, SimTime};
+use quicksand_obs as obs;
 use quicksand_topology::{GeneratedTopology, TopologyConfig, TopologyGenerator};
 use quicksand_tor::{
     map_tor_prefixes, AddressPlan, AddressPlanConfig, Consensus, ConsensusConfig,
@@ -127,6 +128,10 @@ pub struct MonthResult {
 impl Scenario {
     /// Assemble the world from a configuration.
     pub fn build(config: ScenarioConfig) -> Scenario {
+        obs::timed("topology", || Scenario::build_inner(config))
+    }
+
+    fn build_inner(config: ScenarioConfig) -> Scenario {
         let topo = TopologyGenerator::new(config.topology.clone()).generate();
         let plan = AddressPlan::generate(&topo.graph, &topo.hosting, &config.plan);
         let asns: Vec<Asn> = topo.graph.asns().collect();
@@ -178,6 +183,12 @@ impl Scenario {
         control.shuffle(&mut rng);
         control.truncate(config.n_control_origins);
         control.sort();
+
+        obs::incr("topology", "builds", 1);
+        obs::gauge("topology", "ases", topo.graph.len() as f64);
+        obs::gauge("topology", "relays", consensus.len() as f64);
+        obs::gauge("topology", "tor_prefixes", tor_prefixes.len() as f64);
+        obs::gauge("topology", "sessions", peers.len() as f64);
 
         Scenario {
             config,
@@ -269,23 +280,33 @@ impl Scenario {
             &tracked,
         );
 
-        // Play the schedule.
-        let events = ChurnGenerator::new(self.config.churn.clone())
-            .generate(&self.topo.graph, &self.topo.hosting);
-        for ev in events {
-            let affected = fc.apply(ev.change);
-            if affected.is_empty() {
-                continue;
-            }
-            let mut prefixes: Vec<Ipv4Prefix> = Vec::new();
-            for o in affected {
-                if let Some(ps) = prefixes_by_origin.get(&o) {
-                    prefixes.extend_from_slice(ps);
+        // Play the schedule (generation + replay are one churn span).
+        let replay_started = std::time::Instant::now();
+        let n_events = obs::timed("churn", || {
+            let events = ChurnGenerator::new(self.config.churn.clone())
+                .generate(&self.topo.graph, &self.topo.hosting);
+            let n = events.len();
+            for ev in events {
+                let affected = fc.apply(ev.change);
+                if affected.is_empty() {
+                    continue;
+                }
+                let mut prefixes: Vec<Ipv4Prefix> = Vec::new();
+                for o in affected {
+                    if let Some(ps) = prefixes_by_origin.get(&o) {
+                        prefixes.extend_from_slice(ps);
+                    }
+                }
+                if !prefixes.is_empty() {
+                    observe(&fc, &mut collector, &mut log, ev.at, &prefixes, &tracked);
                 }
             }
-            if !prefixes.is_empty() {
-                observe(&fc, &mut collector, &mut log, ev.at, &prefixes, &tracked);
-            }
+            n
+        });
+        obs::incr("churn", "events", n_events as u64);
+        let replay_s = replay_started.elapsed().as_secs_f64();
+        if replay_s > 0.0 {
+            obs::gauge("churn", "replay_rate", n_events as f64 / replay_s);
         }
 
         // Final observation flushes trailing session resets.
@@ -299,7 +320,9 @@ impl Scenario {
         );
 
         let (cleaned, removed_duplicates, reset_bursts) =
-            clean_session_resets(&log, &CleaningConfig::default());
+            obs::timed("collector", || {
+                clean_session_resets(&log, &CleaningConfig::default())
+            });
         Ok(MonthResult {
             raw: log,
             cleaned,

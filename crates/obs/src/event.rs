@@ -1,0 +1,266 @@
+//! Events: the tracing vocabulary.
+//!
+//! An [`Event`] is one timestamped-by-sequence observation emitted by an
+//! instrumented pipeline stage: a severity [`Level`], the stage it came
+//! from, a human-readable message, and structured [`FieldValue`] fields
+//! carrying the machine-readable payload (simulation times, prefixes,
+//! counts). Subscribers decide what to do with events — drop them,
+//! buffer them, print them, or append them to a JSONL stream.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Fine-grained diagnostics (per-intensity sweeps, per-stage chatter).
+    Debug,
+    /// Run progress and results.
+    Info,
+    /// Degraded-but-continuing conditions (stale feeds, lossy sessions).
+    Warn,
+    /// Failures worth surfacing even in quiet runs.
+    Error,
+}
+
+impl Level {
+    /// The canonical lowercase name (`"debug"`, `"info"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured field value attached to an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, session ids).
+    U64(u64),
+    /// A signed integer (lags, deltas).
+    I64(i64),
+    /// A float (times, rates, scores).
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A string (prefixes, alarm kinds, labels).
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as f64, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::U64(v) => Some(*v as f64),
+            FieldValue::I64(v) => Some(*v as f64),
+            FieldValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when textual.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.3}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// One observation from an instrumented stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// The pipeline stage that emitted the event (one of the span
+    /// taxonomy names, or a tool-specific stage like `"repro"`).
+    pub stage: &'static str,
+    /// Short event name, stable across runs (`"alarm"`, `"stage-done"`).
+    pub name: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured payload, in insertion order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Start building an event.
+    pub fn new(
+        level: Level,
+        stage: &'static str,
+        name: &'static str,
+        message: impl Into<String>,
+    ) -> Event {
+        Event {
+            level,
+            stage,
+            name,
+            message: message.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach a structured field (builder style).
+    pub fn with(mut self, key: &'static str, value: impl Into<FieldValue>) -> Event {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Look up a field by key (first match).
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// One-line rendering: `stage/name: message key=value ...`.
+    pub fn render(&self) -> String {
+        use fmt::Write;
+        let mut out = format!("[{}] {}: {}", self.stage, self.name, self.message);
+        for (k, v) in &self.fields {
+            let _ = write!(out, " {k}={v}");
+        }
+        out
+    }
+}
+
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        let fields = Value::Map(
+            self.fields
+                .iter()
+                .map(|(k, v)| {
+                    let val = match v {
+                        FieldValue::U64(n) => Value::U64(*n),
+                        FieldValue::I64(n) => Value::I64(*n),
+                        FieldValue::F64(x) if x.is_finite() => Value::F64(*x),
+                        // Non-finite floats are not valid JSON; stringify.
+                        FieldValue::F64(x) => Value::Str(x.to_string()),
+                        FieldValue::Bool(b) => Value::Bool(*b),
+                        FieldValue::Str(s) => Value::Str(s.clone()),
+                    };
+                    (Value::Str((*k).to_string()), val)
+                })
+                .collect(),
+        );
+        Value::Map(vec![
+            (
+                Value::Str("level".into()),
+                Value::Str(self.level.as_str().into()),
+            ),
+            (Value::Str("stage".into()), Value::Str(self.stage.into())),
+            (Value::Str("name".into()), Value::Str(self.name.into())),
+            (
+                Value::Str("message".into()),
+                Value::Str(self.message.clone()),
+            ),
+            (Value::Str("fields".into()), fields),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn builder_and_lookup() {
+        let e = Event::new(Level::Info, "monitor", "alarm", "origin change")
+            .with("prefix", "10.0.0.0/8")
+            .with("at_s", 12.5)
+            .with("count", 3usize);
+        assert_eq!(e.field("prefix").unwrap().as_str(), Some("10.0.0.0/8"));
+        assert_eq!(e.field("at_s").unwrap().as_f64(), Some(12.5));
+        assert_eq!(e.field("count").unwrap().as_f64(), Some(3.0));
+        assert!(e.field("missing").is_none());
+        let line = e.render();
+        assert!(line.contains("[monitor] alarm"));
+        assert!(line.contains("prefix=10.0.0.0/8"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let e = Event::new(Level::Warn, "collector", "stale", "feed gap")
+            .with("session", 4u32)
+            .with("nan", f64::NAN);
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"level\":\"warn\""));
+        assert!(json.contains("\"session\":4"));
+        // Non-finite floats degrade to strings rather than breaking JSON.
+        assert!(json.contains("\"nan\":\"NaN\""));
+    }
+}

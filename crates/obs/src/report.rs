@@ -1,0 +1,391 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] is the end-of-run artifact written by
+//! `repro --obs-out=run.json`: per-stage wall time (from the `wall_ms`
+//! profiling histograms recorded by [`crate::timed`]), a full metric
+//! [`Snapshot`], and the alarm timeline extracted from buffered monitor
+//! events. `repro report run.json` pretty-prints one report or diffs
+//! two; [`RunReport::validate`] is the CI schema gate that fails a run
+//! missing any of the six instrumented stages.
+
+use crate::event::Event;
+use crate::metrics::Snapshot;
+use serde::{Deserialize, Serialize};
+
+/// Report schema version, bumped on incompatible changes.
+pub const REPORT_VERSION: u32 = 1;
+
+/// The six pipeline stages every full run must profile. A report
+/// missing wall time or metrics for any of these fails validation.
+pub const REQUIRED_STAGES: [&str; 6] = [
+    "topology",
+    "churn",
+    "collector",
+    "monitor",
+    "detect",
+    "correlate",
+];
+
+/// Wall-time profile of one pipeline stage.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stage name (see [`REQUIRED_STAGES`]).
+    pub stage: String,
+    /// Number of timed spans recorded for the stage.
+    pub calls: u64,
+    /// Total wall time across all spans, milliseconds.
+    pub wall_ms_total: f64,
+    /// Mean span duration, milliseconds.
+    pub wall_ms_mean: f64,
+    /// Estimated p95 span duration, milliseconds.
+    pub wall_ms_p95: f64,
+    /// Longest span, milliseconds.
+    pub wall_ms_max: f64,
+}
+
+/// One monitor alarm, lifted from the event stream into the report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlarmEntry {
+    /// Simulation time of the alarm, seconds.
+    pub at_s: f64,
+    /// The prefix the alarm fired for.
+    pub prefix: String,
+    /// Alarm kind (`"origin-change"`, `"more-specific"`, ...).
+    pub kind: String,
+    /// Monitor confidence in `[0, 1]`, when scored.
+    pub confidence: Option<f64>,
+}
+
+/// The complete machine-readable record of one run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Schema version ([`REPORT_VERSION`]).
+    pub version: u32,
+    /// Caller-supplied label (scenario / figure set / git describe).
+    pub label: String,
+    /// Per-stage wall-time profiles, ordered by stage name.
+    pub stages: Vec<StageReport>,
+    /// Full metric snapshot at end of run.
+    pub metrics: Snapshot,
+    /// Alarm timeline, in emission order.
+    pub alarms: Vec<AlarmEntry>,
+}
+
+impl RunReport {
+    /// Build a report from a metric snapshot and the buffered event
+    /// stream of a run.
+    ///
+    /// Stages come from the stage-level `wall_ms` histograms recorded
+    /// by [`crate::timed`]; alarms from events named `"alarm"` in the
+    /// `"monitor"` stage.
+    pub fn assemble(label: impl Into<String>, metrics: &Snapshot, events: &[Event]) -> RunReport {
+        let stages = metrics
+            .histograms
+            .iter()
+            .filter(|h| h.name == crate::WALL_MS && h.session.is_none())
+            .map(|h| StageReport {
+                stage: h.stage.clone(),
+                calls: h.stats.count,
+                wall_ms_total: h.stats.sum,
+                wall_ms_mean: h.stats.mean,
+                wall_ms_p95: h.stats.p95,
+                wall_ms_max: h.stats.max,
+            })
+            .collect();
+        let alarms = events
+            .iter()
+            .filter(|e| e.stage == "monitor" && e.name == "alarm")
+            .map(|e| AlarmEntry {
+                at_s: e.field("at_s").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                prefix: e
+                    .field("prefix")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string(),
+                kind: e
+                    .field("kind")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string(),
+                confidence: e.field("confidence").and_then(|v| v.as_f64()),
+            })
+            .collect();
+        RunReport {
+            version: REPORT_VERSION,
+            label: label.into(),
+            stages,
+            metrics: metrics.clone(),
+            alarms,
+        }
+    }
+
+    /// The stage profile for `stage`, if recorded.
+    pub fn stage(&self, stage: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// Schema validation: every [required stage](REQUIRED_STAGES) must
+    /// have at least one timed span *and* a non-empty metric snapshot.
+    /// Returns every violation, not just the first.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        if self.version != REPORT_VERSION {
+            problems.push(format!(
+                "report version {} != expected {}",
+                self.version, REPORT_VERSION
+            ));
+        }
+        for stage in REQUIRED_STAGES {
+            match self.stage(stage) {
+                None => problems.push(format!("stage '{stage}': no wall-time profile")),
+                Some(s) if s.calls == 0 => {
+                    problems.push(format!("stage '{stage}': zero timed calls"))
+                }
+                Some(_) => {}
+            }
+            if !self.metrics.has_stage_metrics(stage) {
+                problems.push(format!("stage '{stage}': empty metric snapshot"));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+
+    /// Human-readable rendering for `repro report`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "run report: {} (schema v{})", self.label, self.version);
+        let _ = writeln!(out, "\nstage wall time:");
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "stage", "calls", "total ms", "mean ms", "p95 ms", "max ms"
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>8} {:>12.2} {:>12.3} {:>12.3} {:>12.3}",
+                s.stage, s.calls, s.wall_ms_total, s.wall_ms_mean, s.wall_ms_p95, s.wall_ms_max
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nmetrics: {} counters, {} gauges, {} histograms",
+            self.metrics.counters.len(),
+            self.metrics.gauges.len(),
+            self.metrics.histograms.len()
+        );
+        for c in &self.metrics.counters {
+            match c.session {
+                Some(sid) => {
+                    let _ = writeln!(out, "  {}.{}[s{}] = {}", c.stage, c.name, sid, c.value);
+                }
+                None => {
+                    let _ = writeln!(out, "  {}.{} = {}", c.stage, c.name, c.value);
+                }
+            }
+        }
+        for g in &self.metrics.gauges {
+            match g.session {
+                Some(sid) => {
+                    let _ = writeln!(out, "  {}.{}[s{}] = {:.3}", g.stage, g.name, sid, g.value);
+                }
+                None => {
+                    let _ = writeln!(out, "  {}.{} = {:.3}", g.stage, g.name, g.value);
+                }
+            }
+        }
+        for h in &self.metrics.histograms {
+            if h.name == crate::WALL_MS {
+                continue; // already shown in the stage table
+            }
+            let _ = writeln!(
+                out,
+                "  {}.{}: n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+                h.stage,
+                h.name,
+                h.stats.count,
+                h.stats.mean,
+                h.stats.p50,
+                h.stats.p95,
+                h.stats.p99,
+                h.stats.max
+            );
+        }
+        let _ = writeln!(out, "\nalarms: {}", self.alarms.len());
+        for a in &self.alarms {
+            let conf = a
+                .confidence
+                .map(|c| format!(" confidence={c:.2}"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "  t={:.0}s {} {}{}", a.at_s, a.prefix, a.kind, conf);
+        }
+        out
+    }
+
+    /// Compare two reports: per-stage wall-time deltas, counter deltas,
+    /// and alarm-count change. `self` is the baseline, `other` the new
+    /// run.
+    pub fn diff(&self, other: &RunReport) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "report diff: '{}' -> '{}'", self.label, other.label);
+        let _ = writeln!(out, "\nstage wall time (total ms):");
+        let mut stages: Vec<&str> = self
+            .stages
+            .iter()
+            .chain(other.stages.iter())
+            .map(|s| s.stage.as_str())
+            .collect();
+        stages.sort_unstable();
+        stages.dedup();
+        for stage in stages {
+            let a = self.stage(stage).map(|s| s.wall_ms_total);
+            let b = other.stage(stage).map(|s| s.wall_ms_total);
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    let pct = if a > 0.0 { (b - a) / a * 100.0 } else { 0.0 };
+                    let _ = writeln!(
+                        out,
+                        "  {stage:<12} {a:>12.2} -> {b:>12.2}  ({pct:+.1}%)"
+                    );
+                }
+                (Some(a), None) => {
+                    let _ = writeln!(out, "  {stage:<12} {a:>12.2} -> (absent)");
+                }
+                (None, Some(b)) => {
+                    let _ = writeln!(out, "  {stage:<12}  (absent)  -> {b:>12.2}");
+                }
+                (None, None) => {}
+            }
+        }
+        let _ = writeln!(out, "\ncounter deltas (changed only):");
+        let mut any = false;
+        let lookup = |report: &RunReport, stage: &str, name: &str, session: Option<u32>| {
+            report
+                .metrics
+                .counters
+                .iter()
+                .find(|c| c.stage == stage && c.name == name && c.session == session)
+                .map(|c| c.value)
+        };
+        let mut keys: Vec<(String, String, Option<u32>)> = self
+            .metrics
+            .counters
+            .iter()
+            .chain(other.metrics.counters.iter())
+            .map(|c| (c.stage.clone(), c.name.clone(), c.session))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        for (stage, name, session) in keys {
+            let a = lookup(self, &stage, &name, session).unwrap_or(0);
+            let b = lookup(other, &stage, &name, session).unwrap_or(0);
+            if a != b {
+                any = true;
+                let sid = session.map(|s| format!("[s{s}]")).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "  {stage}.{name}{sid}: {a} -> {b} ({:+})",
+                    b as i64 - a as i64
+                );
+            }
+        }
+        if !any {
+            let _ = writeln!(out, "  (none)");
+        }
+        let _ = writeln!(
+            out,
+            "\nalarms: {} -> {} ({:+})",
+            self.alarms.len(),
+            other.alarms.len(),
+            other.alarms.len() as i64 - self.alarms.len() as i64
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+    use crate::metrics::{Key, Registry};
+
+    fn full_registry() -> Registry {
+        let r = Registry::new();
+        for stage in REQUIRED_STAGES {
+            r.observe(Key::stage(stage, crate::WALL_MS), 5.0);
+            r.incr(
+                Key {
+                    stage,
+                    name: "calls",
+                    session: None,
+                },
+                1,
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn assemble_collects_stages_and_alarms() {
+        let r = full_registry();
+        let events = vec![
+            Event::new(Level::Info, "repro", "start", "x"),
+            Event::new(Level::Warn, "monitor", "alarm", "origin change")
+                .with("at_s", 42.0)
+                .with("prefix", "10.0.0.0/8")
+                .with("kind", "origin-change")
+                .with("confidence", 0.9),
+            Event::new(Level::Warn, "monitor", "stale", "not an alarm"),
+        ];
+        let rep = RunReport::assemble("test", &r.snapshot(), &events);
+        assert_eq!(rep.stages.len(), 6);
+        assert_eq!(rep.alarms.len(), 1);
+        assert_eq!(rep.alarms[0].prefix, "10.0.0.0/8");
+        assert_eq!(rep.alarms[0].confidence, Some(0.9));
+        assert!(rep.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_reports_every_missing_stage() {
+        let r = Registry::new();
+        r.observe(Key::stage("topology", crate::WALL_MS), 1.0);
+        r.incr(Key::stage("topology", "nodes"), 10);
+        let rep = RunReport::assemble("partial", &r.snapshot(), &[]);
+        let errs = rep.validate().unwrap_err();
+        // Five stages missing wall time, five missing metrics.
+        assert_eq!(errs.len(), 10);
+        assert!(errs.iter().any(|e| e.contains("'churn'")));
+        assert!(!errs.iter().any(|e| e.contains("'topology'")));
+    }
+
+    #[test]
+    fn report_roundtrips_and_renders() {
+        let r = full_registry();
+        let rep = RunReport::assemble("round", &r.snapshot(), &[]);
+        let json = serde_json::to_string_pretty(&rep).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+        let text = rep.render();
+        assert!(text.contains("stage wall time"));
+        assert!(text.contains("topology"));
+    }
+
+    #[test]
+    fn diff_surfaces_counter_and_time_changes() {
+        let a = RunReport::assemble("a", &full_registry().snapshot(), &[]);
+        let r2 = full_registry();
+        r2.incr(Key::stage("collector", "reconnects"), 3);
+        r2.observe(Key::stage("churn", crate::WALL_MS), 100.0);
+        let b = RunReport::assemble("b", &r2.snapshot(), &[]);
+        let d = a.diff(&b);
+        assert!(d.contains("collector.reconnects: 0 -> 3 (+3)"));
+        assert!(d.contains("churn"));
+        assert!(d.contains("alarms: 0 -> 0"));
+    }
+}

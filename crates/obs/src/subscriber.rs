@@ -1,0 +1,296 @@
+//! Subscribers: pluggable event sinks.
+//!
+//! Instrumented code calls [`crate::emit`]; the *current* subscriber —
+//! a thread-local override installed by [`crate::with_subscriber`], or
+//! the process-wide default set by [`crate::set_global_subscriber`] —
+//! decides what happens to each [`Event`]. The default is
+//! [`NoopSubscriber`], which reports itself disabled at every level so
+//! call sites can skip even message formatting.
+
+use crate::event::{Event, Level};
+use serde::Serialize;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// An event sink.
+///
+/// Implementations must be cheap to call: `emit` sits on the pipeline's
+/// progress paths (not the per-record hot loops, but still called
+/// thousands of times in a chaos sweep).
+pub trait Subscriber: Send + Sync {
+    /// Would an event at `level` be kept? Call sites use this to skip
+    /// constructing expensive events entirely.
+    fn enabled(&self, level: Level) -> bool {
+        let _ = level;
+        true
+    }
+
+    /// Consume one event.
+    fn event(&self, event: &Event);
+
+    /// A profiled span finished: `stage` ran for `wall_ms`.
+    fn span_end(&self, stage: &'static str, wall_ms: f64) {
+        let _ = (stage, wall_ms);
+    }
+
+    /// Flush any buffered output (end of run).
+    fn flush(&self) {}
+}
+
+/// Discards everything; the default subscriber.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSubscriber;
+
+impl Subscriber for NoopSubscriber {
+    fn enabled(&self, _level: Level) -> bool {
+        false
+    }
+
+    fn event(&self, _event: &Event) {}
+}
+
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Buffers every event in memory; the test subscriber and the source
+/// of the run report's alarm timeline.
+#[derive(Debug, Default)]
+pub struct MemorySubscriber {
+    events: Mutex<Vec<Event>>,
+    spans: Mutex<Vec<(&'static str, f64)>>,
+}
+
+impl MemorySubscriber {
+    /// A fresh, empty buffer.
+    pub fn new() -> MemorySubscriber {
+        MemorySubscriber::default()
+    }
+
+    /// A clone of every buffered event, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        lock_ignoring_poison(&self.events).clone()
+    }
+
+    /// Every `(stage, wall_ms)` span completion, in order.
+    pub fn spans(&self) -> Vec<(&'static str, f64)> {
+        lock_ignoring_poison(&self.spans).clone()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        lock_ignoring_poison(&self.events).len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Subscriber for MemorySubscriber {
+    fn event(&self, event: &Event) {
+        lock_ignoring_poison(&self.events).push(event.clone());
+    }
+
+    fn span_end(&self, stage: &'static str, wall_ms: f64) {
+        lock_ignoring_poison(&self.spans).push((stage, wall_ms));
+    }
+}
+
+/// Appends one JSON object per event (and per span completion) to a
+/// writer — the run-log format consumed by external tooling.
+pub struct JsonlSubscriber<W: Write + Send> {
+    out: Mutex<BufWriter<W>>,
+}
+
+impl JsonlSubscriber<std::fs::File> {
+    /// Create (truncating) `path` and stream events into it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSubscriber::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlSubscriber<W> {
+    /// Wrap an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlSubscriber {
+            out: Mutex::new(BufWriter::new(out)),
+        }
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = lock_ignoring_poison(&self.out);
+        // Best-effort: a full disk must not abort the simulation.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl<W: Write + Send> Subscriber for JsonlSubscriber<W> {
+    fn event(&self, event: &Event) {
+        // Events stringify non-finite floats, so serialization cannot
+        // fail; stay defensive anyway.
+        if let Ok(line) = serde_json::to_string(&event.to_value()) {
+            self.write_line(&line);
+        }
+    }
+
+    fn span_end(&self, stage: &'static str, wall_ms: f64) {
+        let stage_json = serde_json::to_string(&serde::Value::Str(stage.to_string()))
+            .unwrap_or_else(|_| "\"?\"".to_string());
+        let line = format!(
+            "{{\"span\":{stage_json},\"wall_ms\":{}}}",
+            if wall_ms.is_finite() { wall_ms } else { 0.0 }
+        );
+        self.write_line(&line);
+    }
+
+    fn flush(&self) {
+        let _ = lock_ignoring_poison(&self.out).flush();
+    }
+}
+
+/// Renders events at or above a minimum level to stderr — the
+/// replacement for the old scattered `eprintln!` progress chatter.
+#[derive(Clone, Copy, Debug)]
+pub struct ConsoleSubscriber {
+    min_level: Level,
+}
+
+impl ConsoleSubscriber {
+    /// Print events at `min_level` and above.
+    pub fn new(min_level: Level) -> ConsoleSubscriber {
+        ConsoleSubscriber { min_level }
+    }
+}
+
+impl Default for ConsoleSubscriber {
+    fn default() -> Self {
+        ConsoleSubscriber::new(Level::Info)
+    }
+}
+
+impl Subscriber for ConsoleSubscriber {
+    fn enabled(&self, level: Level) -> bool {
+        level >= self.min_level
+    }
+
+    fn event(&self, event: &Event) {
+        if self.enabled(event.level) {
+            eprintln!("{}", event.render());
+        }
+    }
+
+    fn span_end(&self, stage: &'static str, wall_ms: f64) {
+        if self.enabled(Level::Debug) {
+            eprintln!("[{stage}] span: done wall_ms={wall_ms:.1}");
+        }
+    }
+}
+
+/// Broadcasts every call to a set of inner subscribers (e.g. console +
+/// JSONL + memory in a `repro --obs-out` run).
+pub struct FanoutSubscriber {
+    inner: Vec<Arc<dyn Subscriber>>,
+}
+
+impl FanoutSubscriber {
+    /// Fan out to `inner`, in order.
+    pub fn new(inner: Vec<Arc<dyn Subscriber>>) -> FanoutSubscriber {
+        FanoutSubscriber { inner }
+    }
+}
+
+impl Subscriber for FanoutSubscriber {
+    fn enabled(&self, level: Level) -> bool {
+        self.inner.iter().any(|s| s.enabled(level))
+    }
+
+    fn event(&self, event: &Event) {
+        for s in &self.inner {
+            s.event(event);
+        }
+    }
+
+    fn span_end(&self, stage: &'static str, wall_ms: f64) {
+        for s in &self.inner {
+            s.span_end(stage, wall_ms);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.inner {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_at_every_level() {
+        let s = NoopSubscriber;
+        for l in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert!(!s.enabled(l));
+        }
+    }
+
+    #[test]
+    fn memory_buffers_in_order() {
+        let s = MemorySubscriber::new();
+        s.event(&Event::new(Level::Info, "churn", "start", "a"));
+        s.event(&Event::new(Level::Warn, "collector", "stale", "b"));
+        s.span_end("churn", 12.0);
+        let ev = s.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].name, "start");
+        assert_eq!(ev[1].stage, "collector");
+        assert_eq!(s.spans(), vec![("churn", 12.0)]);
+    }
+
+    #[test]
+    fn jsonl_writes_one_object_per_line() {
+        let s = JsonlSubscriber::new(Vec::new());
+        s.event(&Event::new(Level::Info, "monitor", "alarm", "x").with("at_s", 3.0));
+        s.span_end("monitor", 1.5);
+        s.flush();
+        let buf = s.out.into_inner().unwrap().into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"alarm\""));
+        assert!(lines[1].contains("\"span\":\"monitor\""));
+        // Every line parses as standalone JSON.
+        for l in &lines {
+            assert!(serde_json::from_str::<serde::Value>(l).is_ok());
+        }
+    }
+
+    #[test]
+    fn console_filters_by_level() {
+        let s = ConsoleSubscriber::new(Level::Warn);
+        assert!(!s.enabled(Level::Info));
+        assert!(s.enabled(Level::Warn));
+        assert!(s.enabled(Level::Error));
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Arc::new(MemorySubscriber::new());
+        let b = Arc::new(MemorySubscriber::new());
+        let f = FanoutSubscriber::new(vec![a.clone(), b.clone()]);
+        f.event(&Event::new(Level::Info, "detect", "done", "x"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        // Enabled if any inner sink is enabled.
+        let g = FanoutSubscriber::new(vec![
+            Arc::new(NoopSubscriber) as Arc<dyn Subscriber>,
+            Arc::new(ConsoleSubscriber::new(Level::Error)),
+        ]);
+        assert!(!g.enabled(Level::Info));
+        assert!(g.enabled(Level::Error));
+    }
+}

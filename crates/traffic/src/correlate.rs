@@ -16,6 +16,7 @@
 
 use crate::capture::Capture;
 use quicksand_net::{SimDuration, SimTime};
+use quicksand_obs as obs;
 
 /// Parameters of the correlation analysis.
 #[derive(Clone, Debug)]
@@ -80,6 +81,26 @@ pub fn correlate(
     end: SimTime,
     config: &CorrelationConfig,
 ) -> CorrelationResult {
+    obs::timed("correlate", || {
+        let result = correlate_inner(a, b, start, end, config);
+        obs::incr("correlate", "pairs", 1);
+        obs::observe_bounded(
+            "correlate",
+            "coefficient",
+            result.coefficient,
+            &obs::SCORE_BOUNDS,
+        );
+        result
+    })
+}
+
+fn correlate_inner(
+    a: &Capture,
+    b: &Capture,
+    start: SimTime,
+    end: SimTime,
+    config: &CorrelationConfig,
+) -> CorrelationResult {
     let xa = a.series.bin_increments(start, end, config.bin);
     let xb = b.series.bin_increments(start, end, config.bin);
     let mut best = CorrelationResult {
@@ -135,6 +156,7 @@ pub fn match_circuit(
     if candidates.is_empty() {
         return None;
     }
+    obs::incr("correlate", "matches", 1);
     let all: Vec<CorrelationResult> = candidates
         .iter()
         .map(|c| correlate(target, c, start, end, config))

@@ -346,6 +346,90 @@ fn extreme_intensity_never_panics() {
     ));
 }
 
+/// The observability layer accounts for chaos: every session flap the
+/// injector reports ends in a table re-dump — one session
+/// re-establishment — so it must show up in the obs registry as exactly
+/// one per-session collector reconnect increment, and the assembled run
+/// report must carry the same counters.
+#[test]
+fn obs_report_counts_every_injected_flap_as_reconnect() {
+    use quicksand_obs::{self as obs, Key, MemorySubscriber, Registry, RunReport};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    let registry = Arc::new(Registry::new());
+    let subscriber = Arc::new(MemorySubscriber::new());
+    let out = obs::with_metrics(registry.clone(), || {
+        obs::with_subscriber(subscriber.clone(), || {
+            run_pipeline(FaultProfile::with_intensity(0.6, 0xF1A9))
+        })
+    });
+    assert!(
+        !out.report.flaps.is_empty(),
+        "intensity 0.6 must inject session flaps"
+    );
+
+    let mut flaps_by_session: BTreeMap<u32, u64> = BTreeMap::new();
+    for (s, _) in &out.report.flaps {
+        *flaps_by_session.entry(s.0).or_insert(0) += 1;
+    }
+    for (&session, &n) in &flaps_by_session {
+        assert_eq!(
+            registry.counter_value(Key::session("collector", "reconnects", session)),
+            n,
+            "session {session} reconnect count mismatch"
+        );
+    }
+    assert_eq!(
+        registry.counter_sessions_total("collector", "reconnects"),
+        out.report.flaps.len() as u64,
+        "total reconnects must equal injected flaps"
+    );
+
+    // The assembled run report carries the same per-session counters.
+    let report = RunReport::assemble("chaos", &registry.snapshot(), &subscriber.events());
+    for (&session, &n) in &flaps_by_session {
+        let entry = report
+            .metrics
+            .counters
+            .iter()
+            .find(|c| {
+                c.stage == "collector" && c.name == "reconnects" && c.session == Some(session)
+            })
+            .expect("per-session reconnect counter present in run report");
+        assert_eq!(entry.value, n);
+    }
+}
+
+/// Under a fixed fault seed the metric snapshot is deterministic:
+/// counters, gauges, and every simulation-derived histogram repeat
+/// exactly run to run (only wall-clock `wall_ms` timings may differ).
+#[test]
+fn obs_snapshot_is_deterministic_under_fixed_seed() {
+    use quicksand_obs::{self as obs, Registry, Snapshot};
+    use std::sync::Arc;
+
+    let snap = |seed: u64| -> Snapshot {
+        let reg = Arc::new(Registry::new());
+        obs::with_metrics(reg.clone(), || {
+            run_pipeline(FaultProfile::with_intensity(0.5, seed));
+        });
+        reg.snapshot()
+    };
+    let a = snap(42);
+    let b = snap(42);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.gauges, b.gauges);
+    let sim_histograms = |s: &Snapshot| -> Vec<_> {
+        s.histograms
+            .iter()
+            .filter(|h| h.name != quicksand_obs::WALL_MS)
+            .cloned()
+            .collect()
+    };
+    assert_eq!(sim_histograms(&a), sim_histograms(&b));
+}
+
 /// The §4 scenario pipeline runs end to end under a fault profile: the
 /// degraded month stays cleanable and the fault report accounts for
 /// real losses.
