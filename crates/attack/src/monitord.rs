@@ -17,7 +17,7 @@ use crate::detect::{Alarm, AlarmKind};
 use quicksand_bgp::{SessionId, UpdateMessage, UpdateRecord};
 use quicksand_net::{Asn, Ipv4Prefix, QsResult, QuicksandError, SimDuration, SimTime};
 use quicksand_obs as obs;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Configuration for [`StreamingMonitor`].
 #[derive(Clone, Debug)]
@@ -32,6 +32,14 @@ pub struct MonitorConfig {
     /// it no longer counts toward alarm confidence, and
     /// [`StreamingMonitor::check_feed`] reports it.
     pub stale_after: SimDuration,
+    /// How many quarantined records the dead-letter buffer retains
+    /// (oldest evicted first). `0` counts quarantined records without
+    /// retaining them.
+    pub quarantine_capacity: usize,
+    /// Records timestamped strictly after this point are quarantined as
+    /// out-of-horizon (a poisoned or skewed feed claiming to be from
+    /// the future of the replay). `None` disables the check.
+    pub horizon_end: Option<SimTime>,
 }
 
 impl Default for MonitorConfig {
@@ -40,8 +48,42 @@ impl Default for MonitorConfig {
             advisory_ttl: SimDuration::from_hours(6),
             warmup: SimDuration::from_days(2),
             stale_after: SimDuration::from_hours(1),
+            quarantine_capacity: 1024,
+            horizon_end: None,
         }
     }
+}
+
+/// Why [`StreamingMonitor::ingest`] quarantined a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// An announce carrying an empty AS path — malformed by
+    /// construction (no BGP speaker emits one; a fault-injected or
+    /// corrupted feed can).
+    EmptyPath,
+    /// A timestamp past the configured replay horizon
+    /// ([`MonitorConfig::horizon_end`]).
+    OutOfHorizon,
+}
+
+impl QuarantineReason {
+    /// A stable, machine-readable name (used in obs events).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuarantineReason::EmptyPath => "empty-path",
+            QuarantineReason::OutOfHorizon => "out-of-horizon",
+        }
+    }
+}
+
+/// A record the monitor refused to process, kept for post-mortem
+/// instead of being silently dropped or aborting the feed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeadLetter {
+    /// The record as received.
+    pub record: UpdateRecord,
+    /// Why it was quarantined.
+    pub reason: QuarantineReason,
 }
 
 /// The advisory state broadcast to Tor clients: prefixes to avoid.
@@ -102,6 +144,44 @@ pub struct StreamingMonitor {
     /// Records that arrived with a timestamp before the high-water mark
     /// (reordered or skewed feeds); processed anyway, but counted.
     late_records: usize,
+    /// Bounded buffer of quarantined records, oldest first.
+    dead_letters: VecDeque<DeadLetter>,
+    /// Quarantined records evicted from the buffer once it was full.
+    dead_letter_evictions: u64,
+}
+
+/// The mutable mid-run state of a [`StreamingMonitor`], detached from
+/// its configuration and registered-prefix table (which the caller
+/// rebuilds from the same scenario inputs). Produced by
+/// [`StreamingMonitor::export_state`], reapplied by
+/// [`StreamingMonitor::import_state`] — the monitor section of a run
+/// checkpoint.
+///
+/// The dead-letter buffer is deliberately *not* captured: quarantined
+/// records are diagnostic material, not replay state — they influence
+/// no alarm, advisory, or staleness decision, so resume-exactness does
+/// not depend on them (their counters are restored with the rest of the
+/// metrics registry).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MonitorState {
+    /// Learned origin-adjacent ASes per prefix.
+    pub upstreams: Vec<(Ipv4Prefix, Vec<Asn>)>,
+    /// Active advisories: `(prefix, raised at, last refreshed)`.
+    pub advisories: Vec<(Ipv4Prefix, SimTime, SimTime)>,
+    /// All alarms raised, in arrival order.
+    pub alarms: Vec<Alarm>,
+    /// Feed confidence at the time of each alarm; parallel to `alarms`.
+    pub alarm_confidence: Vec<f64>,
+    /// When the first record arrived, if any.
+    pub started_at: Option<SimTime>,
+    /// Sessions the monitor expects to hear from.
+    pub expected_sessions: Vec<SessionId>,
+    /// Last record time per session.
+    pub last_seen: Vec<(SessionId, SimTime)>,
+    /// The latest record timestamp ingested so far.
+    pub high_water: SimTime,
+    /// Out-of-order records seen so far.
+    pub late_records: u64,
 }
 
 impl StreamingMonitor {
@@ -122,7 +202,72 @@ impl StreamingMonitor {
             last_seen: BTreeMap::new(),
             high_water: SimTime::ZERO,
             late_records: 0,
+            dead_letters: VecDeque::new(),
+            dead_letter_evictions: 0,
         }
+    }
+
+    /// Capture the monitor's mutable mid-run state for a checkpoint
+    /// (see [`MonitorState`] for what is and is not included).
+    pub fn export_state(&self) -> MonitorState {
+        MonitorState {
+            upstreams: self
+                .upstreams
+                .iter()
+                .map(|(p, set)| (*p, set.iter().copied().collect()))
+                .collect(),
+            advisories: self
+                .board
+                .active
+                .iter()
+                .map(|(p, &(raised, last))| (*p, raised, last))
+                .collect(),
+            alarms: self.alarms.clone(),
+            alarm_confidence: self.alarm_confidence.clone(),
+            started_at: self.started_at,
+            expected_sessions: self.expected_sessions.iter().copied().collect(),
+            last_seen: self.last_seen.iter().map(|(s, t)| (*s, *t)).collect(),
+            high_water: self.high_water,
+            late_records: self.late_records as u64,
+        }
+    }
+
+    /// Restore state captured by [`StreamingMonitor::export_state`]
+    /// into a freshly built monitor with the same configuration and
+    /// registered prefixes.
+    ///
+    /// Returns [`QuicksandError::ResumeMismatch`] when the state is
+    /// internally inconsistent (alarm/confidence lists of different
+    /// lengths — the symptom of a checkpoint assembled by hand).
+    pub fn import_state(&mut self, state: &MonitorState) -> QsResult<()> {
+        if state.alarm_confidence.len() != state.alarms.len() {
+            return Err(QuicksandError::ResumeMismatch {
+                what: "alarm_confidence",
+                detail: format!(
+                    "{} confidences for {} alarms",
+                    state.alarm_confidence.len(),
+                    state.alarms.len()
+                ),
+            });
+        }
+        self.upstreams = state
+            .upstreams
+            .iter()
+            .map(|(p, asns)| (*p, asns.iter().copied().collect()))
+            .collect();
+        self.board.active = state
+            .advisories
+            .iter()
+            .map(|&(p, raised, last)| (p, (raised, last)))
+            .collect();
+        self.alarms = state.alarms.clone();
+        self.alarm_confidence = state.alarm_confidence.clone();
+        self.started_at = state.started_at;
+        self.expected_sessions = state.expected_sessions.iter().copied().collect();
+        self.last_seen = state.last_seen.iter().copied().collect();
+        self.high_water = state.high_water;
+        self.late_records = state.late_records as usize;
+        Ok(())
     }
 
     /// Declare the sessions the monitor should hear from. Without this,
@@ -245,6 +390,13 @@ impl StreamingMonitor {
     /// processed anyway, and per-session arrival times feed the
     /// staleness/confidence tracking.
     pub fn ingest(&mut self, record: &UpdateRecord) -> Option<Alarm> {
+        // Quarantine gate: poisoned records touch no monitor state (not
+        // even session liveness — a record we cannot trust is not
+        // evidence the session is healthy).
+        if let Some(reason) = self.quarantine_reason(record) {
+            self.quarantine(record, reason);
+            return None;
+        }
         let started = *self.started_at.get_or_insert(record.at);
         obs::incr("monitor", "records", 1);
         // Session health bookkeeping (all message kinds count as life).
@@ -310,6 +462,66 @@ impl StreamingMonitor {
             }
         }
         None
+    }
+
+    /// Does `record` belong in quarantine rather than the pipeline?
+    fn quarantine_reason(&self, record: &UpdateRecord) -> Option<QuarantineReason> {
+        if let UpdateMessage::Announce(route) = &record.msg {
+            if route.as_path.is_empty() {
+                return Some(QuarantineReason::EmptyPath);
+            }
+        }
+        if let Some(end) = self.config.horizon_end {
+            if record.at > end {
+                return Some(QuarantineReason::OutOfHorizon);
+            }
+        }
+        None
+    }
+
+    /// Park `record` in the bounded dead-letter buffer, counting and
+    /// announcing it rather than silently dropping it.
+    fn quarantine(&mut self, record: &UpdateRecord, reason: QuarantineReason) {
+        obs::incr("monitor", "dead_letters", 1);
+        if obs::enabled(obs::Level::Warn) {
+            obs::emit(
+                obs::Event::new(
+                    obs::Level::Warn,
+                    "monitor",
+                    "quarantine",
+                    "record quarantined to dead-letter buffer",
+                )
+                .with("at_s", record.at.as_secs_f64())
+                .with("session", record.session.0)
+                .with("reason", reason.label()),
+            );
+        }
+        if self.config.quarantine_capacity == 0 {
+            self.dead_letter_evictions += 1;
+            obs::incr("monitor", "dead_letter_evictions", 1);
+            return;
+        }
+        if self.dead_letters.len() >= self.config.quarantine_capacity {
+            self.dead_letters.pop_front();
+            self.dead_letter_evictions += 1;
+            obs::incr("monitor", "dead_letter_evictions", 1);
+        }
+        self.dead_letters.push_back(DeadLetter {
+            record: record.clone(),
+            reason,
+        });
+    }
+
+    /// Quarantined records currently retained, oldest first.
+    pub fn dead_letters(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.dead_letters.iter()
+    }
+
+    /// Quarantined records evicted (or never retained) because the
+    /// buffer was full — total quarantined is `dead_letters().count()
+    /// + dead_letter_evictions()`.
+    pub fn dead_letter_evictions(&self) -> u64 {
+        self.dead_letter_evictions
     }
 
     fn raise(&mut self, at: SimTime, prefix: Ipv4Prefix, kind: AlarmKind) -> Alarm {
@@ -536,6 +748,144 @@ mod tests {
         let alarm = m.ingest(&ann(SimTime::from_secs(50), "78.46.0.0/15", &[1, 666]));
         assert!(alarm.is_some());
         assert_eq!(m.late_records(), 1);
+    }
+
+    fn withdraw(at: SimTime, prefix: &str) -> UpdateRecord {
+        UpdateRecord {
+            at,
+            session: SessionId(0),
+            msg: UpdateMessage::Withdraw(p(prefix)),
+        }
+    }
+
+    #[test]
+    fn empty_path_announce_is_quarantined_without_touching_state() {
+        let mut m = monitor();
+        let rec = ann(SimTime::from_secs(10), "78.46.0.0/15", &[]);
+        assert!(m.ingest(&rec).is_none());
+        // No monitor state was touched: the session is unknown, the
+        // stream clock never started, nothing was counted as late.
+        assert_eq!(m.live_sessions(SimTime::from_secs(10)), 0);
+        assert!(m.stale_sessions(SimTime::from_secs(10)).is_empty());
+        assert_eq!(m.alarms().len(), 0);
+        // The record is retained for post-mortem.
+        let dead: Vec<_> = m.dead_letters().collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].reason, QuarantineReason::EmptyPath);
+        assert_eq!(dead[0].record, rec);
+        // A normal record afterwards processes fine.
+        assert!(m
+            .ingest(&ann(SimTime::from_secs(11), "78.46.0.0/15", &[1, 20, 24940]))
+            .is_none());
+        assert_eq!(m.live_sessions(SimTime::from_secs(11)), 1);
+    }
+
+    #[test]
+    fn out_of_horizon_records_are_quarantined() {
+        let mut m = StreamingMonitor::new(
+            [(p("78.46.0.0/15"), Asn(24940))],
+            MonitorConfig {
+                horizon_end: Some(SimTime::from_secs(100)),
+                ..Default::default()
+            },
+        );
+        // In-horizon records (boundary inclusive) process normally.
+        assert!(m
+            .ingest(&ann(SimTime::from_secs(100), "78.46.0.0/15", &[1, 20, 24940]))
+            .is_none());
+        assert_eq!(m.dead_letters().count(), 0);
+        // Past the horizon: quarantined, even a would-be alarm. A
+        // withdraw past the horizon is quarantined too.
+        assert!(m.ingest(&ann(SimTime::from_secs(101), "78.46.0.0/15", &[666])).is_none());
+        assert!(m.ingest(&withdraw(SimTime::from_secs(200), "78.46.0.0/15")).is_none());
+        let dead: Vec<_> = m.dead_letters().collect();
+        assert_eq!(dead.len(), 2);
+        assert!(dead
+            .iter()
+            .all(|d| d.reason == QuarantineReason::OutOfHorizon));
+        assert_eq!(m.alarms().len(), 0);
+    }
+
+    #[test]
+    fn dead_letter_buffer_is_bounded_with_eviction_count() {
+        let mut m = StreamingMonitor::new(
+            [(p("78.46.0.0/15"), Asn(24940))],
+            MonitorConfig {
+                quarantine_capacity: 2,
+                ..Default::default()
+            },
+        );
+        for i in 0..5 {
+            m.ingest(&ann(SimTime::from_secs(i), "10.0.0.0/8", &[]));
+        }
+        assert_eq!(m.dead_letters().count(), 2);
+        assert_eq!(m.dead_letter_evictions(), 3);
+        // Oldest evicted first: seconds 3 and 4 remain.
+        let kept: Vec<u64> = m.dead_letters().map(|d| d.record.at.0).collect();
+        assert_eq!(
+            kept,
+            vec![SimTime::from_secs(3).0, SimTime::from_secs(4).0]
+        );
+    }
+
+    #[test]
+    fn quarantine_is_observable() {
+        use quicksand_obs::metrics::{Key, Registry};
+        let metrics = std::sync::Arc::new(Registry::new());
+        obs::with_metrics(metrics.clone(), || {
+            let mut m = monitor();
+            m.ingest(&ann(SimTime::from_secs(1), "10.0.0.0/8", &[]));
+        });
+        assert_eq!(
+            metrics.counter_value(Key::stage("monitor", "dead_letters")),
+            1
+        );
+    }
+
+    #[test]
+    fn state_roundtrips_through_export_import() {
+        let mut m = monitor();
+        m.register_sessions((0..3).map(SessionId));
+        m.ingest(&ann(SimTime::from_secs(0), "78.46.0.0/15", &[1, 20, 24940]));
+        m.ingest(&ann_on(SimTime::from_secs(50), 1, "10.0.0.0/8", &[1, 2]));
+        m.ingest(&ann(SimTime::from_secs(60), "78.46.0.0/15", &[1, 666]))
+            .expect("origin alarm");
+        // A late record so the counter is non-trivial.
+        m.ingest(&ann(SimTime::from_secs(5), "10.0.0.0/8", &[3, 4]));
+        let state = m.export_state();
+
+        let mut fresh = monitor();
+        fresh.import_state(&state).unwrap();
+        assert_eq!(fresh.export_state(), state);
+        assert_eq!(fresh.alarms(), m.alarms());
+        assert_eq!(fresh.late_records(), m.late_records());
+        assert_eq!(
+            fresh.confidence(SimTime::from_secs(60)),
+            m.confidence(SimTime::from_secs(60))
+        );
+        // The restored monitor continues identically: the same splice
+        // after warmup alarms on both.
+        let later = SimTime::ZERO + SimDuration::from_days(2);
+        let splice = ann(later, "78.46.0.0/15", &[2, 777, 24940]);
+        assert_eq!(m.ingest(&splice), fresh.ingest(&splice));
+        assert_eq!(m.export_state(), fresh.export_state());
+    }
+
+    #[test]
+    fn import_rejects_inconsistent_state() {
+        let mut m = monitor();
+        m.ingest(&ann(SimTime::from_secs(60), "78.46.0.0/15", &[1, 666]))
+            .expect("alarm");
+        let mut state = m.export_state();
+        state.alarm_confidence.push(0.5);
+        let mut fresh = monitor();
+        assert!(matches!(
+            fresh.import_state(&state),
+            Err(QuicksandError::ResumeMismatch {
+                what: "alarm_confidence",
+                ..
+            })
+        ));
     }
 
     #[test]

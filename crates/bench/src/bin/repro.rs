@@ -6,8 +6,9 @@
 //!        hijack|intercept|convergence|ixp|population|static-vs-dynamic|
 //!        stealth|longterm|countermeasures|chaos] [--small]
 //!        [--intensity=<0..1>] [--obs-out=run.json] [--obs-jsonl=run.jsonl]
-//!        [-v|--verbose] [-q|--quiet]
-//! repro report <run.json> [other.json]
+//!        [--checkpoint-every=N] [--checkpoint-dir=DIR] [--resume-from=PATH]
+//!        [--halt-after=K] [-v|--verbose] [-q|--quiet]
+//! repro report [--check] <run.json> [other.json]
 //! ```
 //!
 //! `--small` runs the test-scale configuration (seconds instead of
@@ -19,7 +20,18 @@
 //! [`RunReport`] at exit; `--obs-jsonl=PATH` streams every event and
 //! span as one JSON object per line. `repro report a.json` pretty-prints
 //! a report and exits non-zero when a required pipeline stage is missing
-//! (the CI schema gate); `repro report a.json b.json` diffs two runs.
+//! (the CI schema gate); `repro report a.json b.json` diffs two runs;
+//! `repro report --check a.json b.json` exits 1 unless the two runs are
+//! deterministically identical (wall-clock and checkpoint machinery
+//! excluded — the resume-exactness gate used by CI kill-and-resume).
+//!
+//! Crash recovery: `--checkpoint-every=N` snapshots the month-replay
+//! pipeline every N churn events into `--checkpoint-dir` (crash-safe
+//! writes, bounded retention, corrupt files skipped on load);
+//! `--resume-from=PATH` resumes from a checkpoint file or from the
+//! newest valid checkpoint in a directory. `--halt-after=K` aborts the
+//! process with exit code 3 after the K-th checkpoint save — the crash
+//! half of the CI kill-and-resume smoke test.
 //!
 //! `chaos` (not part of `all`: it is a robustness diagnostic, not a
 //! paper artifact) replays the §4 pipeline with the collector feed
@@ -48,8 +60,11 @@ use quicksand_bgp::fault::{FaultInjector, FaultProfile};
 use quicksand_bgp::{
     clean_session_resets, metrics, CleaningConfig, Route, UpdateMessage, UpdateRecord,
 };
-use quicksand_net::{AsPath, Asn, Ipv4Prefix, SimDuration, SimTime};
+use quicksand_net::{AsPath, Asn, Ipv4Prefix, QuicksandError, SimDuration, SimTime};
 use quicksand_obs::{self as obs, Event, Level, RunReport, Subscriber};
+use quicksand_recover::{
+    load_file, CheckpointStore, HookAction, PipelineSnapshot, DEFAULT_RETAIN,
+};
 use quicksand_traffic::{CircuitFlowConfig, TcpConfig};
 use std::sync::Arc;
 
@@ -84,14 +99,64 @@ impl Out {
     }
 }
 
+/// Crash-recovery options for the month replay (`--checkpoint-every`,
+/// `--checkpoint-dir`, `--resume-from`, `--halt-after`).
+#[derive(Default)]
+struct RecoverOpts {
+    /// Checkpoint every N fully-processed churn events (0 disables).
+    every: u64,
+    /// Where checkpoints are written (required when `every > 0`).
+    dir: Option<String>,
+    /// Checkpoint file, or directory to pick the newest valid one from.
+    resume_from: Option<String>,
+    /// Crash simulation: exit code 3 after this many checkpoint saves.
+    halt_after: Option<u64>,
+}
+
+impl RecoverOpts {
+    /// Load the snapshot named by `--resume-from`: a checkpoint file is
+    /// read directly; a directory goes through [`CheckpointStore`] so
+    /// corrupt files are skipped in favour of the newest valid one.
+    fn load_resume(&self) -> Option<PipelineSnapshot> {
+        let path = self.resume_from.as_deref()?;
+        let result = if std::path::Path::new(path).is_dir() {
+            match CheckpointStore::open(path, DEFAULT_RETAIN) {
+                Ok(store) => store
+                    .load_latest()
+                    .and_then(|found| {
+                        found.ok_or(quicksand_recover::CheckpointError::NoValidCheckpoint)
+                    })
+                    .map(|(snap, _path)| snap),
+                Err(e) => Err(e),
+            }
+        } else {
+            load_file(path)
+        };
+        match result {
+            Ok(snap) => {
+                progress(format!(
+                    "resuming from {path} (cursor {}, seed {:#x})",
+                    snap.cursor, snap.seed
+                ));
+                Some(snap)
+            }
+            Err(e) => {
+                eprintln!("error: cannot resume from {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 struct Ctx {
     scenario: Scenario,
     month: Option<MonthResult>,
     small: bool,
+    recover: RecoverOpts,
 }
 
 impl Ctx {
-    fn new(small: bool) -> Ctx {
+    fn new(small: bool, recover: RecoverOpts) -> Ctx {
         let cfg = if small { small_config() } else { full_config() };
         progress(format!(
             "building scenario ({} ASes, {} relays)…",
@@ -101,22 +166,70 @@ impl Ctx {
             scenario: Scenario::build(cfg),
             month: None,
             small,
+            recover,
         }
     }
 
     fn ensure_month(&mut self) {
-        if self.month.is_none() {
-            progress("running churn horizon through the BGP simulator…".to_string());
-            let m = self.scenario.run_month().expect("valid collector config");
-            progress(format!(
-                "update log: {} raw / {} cleaned records, {} duplicates removed, {} reset bursts",
-                m.raw.len(),
-                m.cleaned.len(),
-                m.removed_duplicates,
-                m.reset_bursts
-            ));
-            self.month = Some(m);
+        if self.month.is_some() {
+            return;
         }
+        progress("running churn horizon through the BGP simulator…".to_string());
+        let resume = self.recover.load_resume();
+        let store = self.recover.dir.as_deref().map(|dir| {
+            match CheckpointStore::open(dir, DEFAULT_RETAIN) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot open checkpoint dir {dir}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        });
+        let mut saves = 0u64;
+        let halt_after = self.recover.halt_after;
+        let result = self.scenario.run_month_checkpointed(
+            resume.as_ref(),
+            self.recover.every,
+            |snap| {
+                if let Some(store) = &store {
+                    if let Err(e) = store.save(snap) {
+                        eprintln!("error: checkpoint save failed: {e}");
+                        std::process::exit(2);
+                    }
+                    saves += 1;
+                }
+                if halt_after.is_some_and(|k| saves >= k) {
+                    HookAction::Stop
+                } else {
+                    HookAction::Continue
+                }
+            },
+        );
+        let m = match result {
+            Ok(m) => m,
+            Err(QuicksandError::Interrupted { events_done }) => {
+                // The --halt-after crash simulation: die before any
+                // artifact or obs-out is written, like a real crash.
+                eprintln!(
+                    "halt-after: interrupted after {events_done} churn events \
+                     ({saves} checkpoints on disk)"
+                );
+                obs::flush();
+                std::process::exit(3);
+            }
+            Err(e) => {
+                eprintln!("error: month replay failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        progress(format!(
+            "update log: {} raw / {} cleaned records, {} duplicates removed, {} reset bursts",
+            m.raw.len(),
+            m.cleaned.len(),
+            m.removed_duplicates,
+            m.reset_bursts
+        ));
+        self.month = Some(m);
     }
 
     fn month(&self) -> &MonthResult {
@@ -131,14 +244,46 @@ fn load_report(path: &str) -> Result<RunReport, String> {
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-/// `repro report <run.json> [other.json]`: pretty-print one report (exit
-/// 1 when schema validation fails — the CI gate) or diff two runs.
+/// `repro report [--check] <run.json> [other.json]`: pretty-print one
+/// report (exit 1 when schema validation fails — the CI gate), diff two
+/// runs, or with `--check` gate on deterministic equality: exit 1
+/// unless [`RunReport::deterministic_deltas`] between the two runs is
+/// empty. `--check` is how CI asserts an interrupted-then-resumed run
+/// is indistinguishable from an uninterrupted one.
 fn report_command(args: &[String]) -> i32 {
+    let check = args.iter().any(|a| a == "--check");
     let files: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with('-'))
         .map(|s| s.as_str())
         .collect();
+    if check {
+        let [a, b] = files.as_slice() else {
+            eprintln!("usage: repro report --check <run.json> <other.json>");
+            return 2;
+        };
+        let (ra, rb) = match (load_report(a), load_report(b)) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let deltas = ra.deterministic_deltas(&rb);
+        return if deltas.is_empty() {
+            println!("deterministic check: ok ({a} == {b})");
+            0
+        } else {
+            println!(
+                "deterministic check: FAILED ({} deltas between {a} and {b})",
+                deltas.len()
+            );
+            for d in &deltas {
+                println!("  - {d}");
+            }
+            1
+        };
+    }
     match files.as_slice() {
         [one] => {
             let rep = match load_report(one) {
@@ -183,7 +328,7 @@ fn report_command(args: &[String]) -> i32 {
             0
         }
         _ => {
-            eprintln!("usage: repro report <run.json> [other.json]");
+            eprintln!("usage: repro report [--check] <run.json> [other.json]");
             2
         }
     }
@@ -200,6 +345,37 @@ fn main() {
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
     let obs_out = args.iter().find_map(|a| a.strip_prefix("--obs-out="));
     let obs_jsonl = args.iter().find_map(|a| a.strip_prefix("--obs-jsonl="));
+    let parse_u64 = |flag: &str| -> Option<u64> {
+        args.iter()
+            .find_map(|a| a.strip_prefix(flag))
+            .map(|s| match s.parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("error: {flag} expects a non-negative integer, got {s:?}");
+                    std::process::exit(2);
+                }
+            })
+    };
+    let recover = RecoverOpts {
+        every: parse_u64("--checkpoint-every=").unwrap_or(0),
+        dir: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--checkpoint-dir="))
+            .map(str::to_owned),
+        resume_from: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--resume-from="))
+            .map(str::to_owned),
+        halt_after: parse_u64("--halt-after="),
+    };
+    if recover.every > 0 && recover.dir.is_none() {
+        eprintln!("error: --checkpoint-every requires --checkpoint-dir");
+        std::process::exit(2);
+    }
+    if recover.halt_after.is_some() && (recover.every == 0 || recover.dir.is_none()) {
+        eprintln!("error: --halt-after requires --checkpoint-every and --checkpoint-dir");
+        std::process::exit(2);
+    }
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with('-'))
@@ -235,7 +411,7 @@ fn main() {
     }
     let out = Out { quiet };
 
-    let mut ctx = Ctx::new(small);
+    let mut ctx = Ctx::new(small, recover);
 
     if want("table1") {
         ctx.ensure_month();

@@ -53,7 +53,7 @@ pub struct UpdateRecord {
 }
 
 /// A time-ordered log of updates across all sessions of all collectors.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct UpdateLog {
     /// The records, sorted by `(at, session)` append order.
     pub records: Vec<UpdateRecord>,
@@ -179,6 +179,39 @@ enum SessionState {
         attempts: u32,
         next_retry: SimTime,
     },
+}
+
+/// Externalized liveness of one session, as captured in a checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionLiveness {
+    /// The session is established and recording.
+    Up,
+    /// The session is down and retrying with backoff.
+    Down {
+        /// When the outage started.
+        since: SimTime,
+        /// Failed reconnect attempts so far.
+        attempts: u32,
+        /// When the next reconnect attempt is due.
+        next_retry: SimTime,
+    },
+}
+
+/// The mutable mid-run state of a [`Collector`], detached from the
+/// statically derivable parts (session roster and reset schedule, which
+/// [`Collector::new`] regenerates from the same configuration seed).
+/// Produced by [`Collector::export_state`], reapplied by
+/// [`Collector::import_state`] — the collector section of a run
+/// checkpoint.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CollectorState {
+    /// Last announced path per live table entry: `(session index,
+    /// prefix, path)`.
+    pub routes: Vec<(u32, Ipv4Prefix, AsPath)>,
+    /// How many scheduled resets have already fired.
+    pub resets_done: u64,
+    /// Per-session liveness, parallel to the session roster.
+    pub liveness: Vec<SessionLiveness>,
 }
 
 impl Collector {
@@ -370,6 +403,98 @@ impl Collector {
             SessionState::Up => SimDuration::ZERO,
             SessionState::Down { since, .. } => at.since(since),
         })
+    }
+
+    /// Capture the collector's mutable mid-run state (recorded tables,
+    /// reset cursor, per-session liveness) for a checkpoint. The
+    /// session roster and reset schedule are not captured: they are
+    /// regenerated deterministically by [`Collector::new`] from the
+    /// same peers and configuration.
+    pub fn export_state(&self) -> CollectorState {
+        CollectorState {
+            routes: self
+                .state
+                .iter()
+                .map(|((si, p), path)| (*si as u32, *p, path.clone()))
+                .collect(),
+            resets_done: self.next_reset as u64,
+            liveness: self
+                .liveness
+                .iter()
+                .map(|s| match *s {
+                    SessionState::Up => SessionLiveness::Up,
+                    SessionState::Down {
+                        since,
+                        attempts,
+                        next_retry,
+                    } => SessionLiveness::Down {
+                        since,
+                        attempts,
+                        next_retry,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Restore state captured by [`Collector::export_state`] into a
+    /// freshly built collector with the same peers and configuration.
+    ///
+    /// Returns [`QuicksandError::ResumeMismatch`] when the state does
+    /// not fit this collector (wrong session count, a route referencing
+    /// an unknown session, or a reset cursor beyond the schedule) —
+    /// the symptom of resuming against a different configuration.
+    pub fn import_state(&mut self, state: &CollectorState) -> QsResult<()> {
+        if state.liveness.len() != self.sessions.len() {
+            return Err(QuicksandError::ResumeMismatch {
+                what: "sessions",
+                detail: format!(
+                    "checkpoint has {} sessions, collector has {}",
+                    state.liveness.len(),
+                    self.sessions.len()
+                ),
+            });
+        }
+        if state.resets_done as usize > self.resets.len() {
+            return Err(QuicksandError::ResumeMismatch {
+                what: "resets_done",
+                detail: format!(
+                    "checkpoint fired {} resets, schedule has {}",
+                    state.resets_done,
+                    self.resets.len()
+                ),
+            });
+        }
+        let mut table: BTreeMap<(usize, Ipv4Prefix), AsPath> = BTreeMap::new();
+        for (si, prefix, path) in &state.routes {
+            let si = *si as usize;
+            if si >= self.sessions.len() {
+                return Err(QuicksandError::ResumeMismatch {
+                    what: "routes",
+                    detail: format!("route on unknown session index {si}"),
+                });
+            }
+            table.insert((si, *prefix), path.clone());
+        }
+        self.state = table;
+        self.next_reset = state.resets_done as usize;
+        self.liveness = state
+            .liveness
+            .iter()
+            .map(|s| match *s {
+                SessionLiveness::Up => SessionState::Up,
+                SessionLiveness::Down {
+                    since,
+                    attempts,
+                    next_retry,
+                } => SessionState::Down {
+                    since,
+                    attempts,
+                    next_retry,
+                },
+            })
+            .collect();
+        Ok(())
     }
 
     /// Observe the current routing state at time `at` and append any

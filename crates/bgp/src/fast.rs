@@ -76,6 +76,16 @@ impl FastConverge {
         self.trees.keys().copied()
     }
 
+    /// The links currently down, as `(lo, hi)` ASN pairs — together
+    /// with the immutable base graph, the complete routing state:
+    /// applying [`LinkChange::down`] for each pair to a fresh
+    /// [`FastConverge`] reproduces identical post-convergence paths
+    /// (trees are exact, cross-validated against full recomputation).
+    /// This is what a run checkpoint records instead of the trees.
+    pub fn down_links(&self) -> Vec<(Asn, Asn)> {
+        self.down.keys().copied().collect()
+    }
+
     /// Apply a link change; returns the tracked origins whose trees
     /// actually changed (some path differs from before the event).
     ///

@@ -44,8 +44,8 @@ mod table;
 
 pub use churn::{ChurnConfig, ChurnEvent, ChurnGenerator, LinkChange};
 pub use collector::{
-    clean_session_resets, CleaningConfig, Collector, CollectorConfig, FeedKind, SessionId,
-    UpdateLog, UpdateRecord,
+    clean_session_resets, CleaningConfig, Collector, CollectorConfig, CollectorState,
+    FeedKind, SessionId, SessionLiveness, UpdateLog, UpdateRecord,
 };
 pub use event::{EventSim, SimConfig, SimStats};
 pub use fast::FastConverge;

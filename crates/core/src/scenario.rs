@@ -16,11 +16,12 @@
 use quicksand_bgp::metrics::PathTimeline;
 use quicksand_bgp::{
     clean_session_resets, ChurnConfig, ChurnGenerator, CleaningConfig, Collector,
-    CollectorConfig, FastConverge, FaultInjector, FaultProfile, FaultReport, PrefixTable,
-    UpdateLog,
+    CollectorConfig, FastConverge, FaultInjector, FaultProfile, FaultReport, LinkChange,
+    PrefixTable, UpdateLog,
 };
-use quicksand_net::{Asn, Ipv4Prefix, QsResult, SimTime};
+use quicksand_net::{Asn, Ipv4Prefix, QsResult, QuicksandError, SimTime};
 use quicksand_obs as obs;
+use quicksand_recover::{config_fingerprint, HookAction, MetricsState, PipelineSnapshot};
 use quicksand_topology::{GeneratedTopology, TopologyConfig, TopologyGenerator};
 use quicksand_tor::{
     map_tor_prefixes, AddressPlan, AddressPlanConfig, Consensus, ConsensusConfig,
@@ -112,6 +113,7 @@ pub struct Scenario {
 }
 
 /// The outcome of a month-long measurement run.
+#[derive(Debug)]
 pub struct MonthResult {
     /// The raw update log (reset artifacts included).
     pub raw: UpdateLog,
@@ -233,6 +235,60 @@ impl Scenario {
     /// Fails with a typed error when the collector configuration is
     /// invalid (e.g. `frac_full` outside `[0, 1]`).
     pub fn run_month(&self) -> QsResult<MonthResult> {
+        self.run_month_checkpointed(None, 0, |_| HookAction::Continue)
+    }
+
+    /// The fingerprint checkpoints of this scenario are stamped with; a
+    /// resume against a snapshot carrying a different fingerprint is
+    /// refused with [`QuicksandError::ResumeMismatch`].
+    pub fn config_hash(&self) -> u64 {
+        config_fingerprint(&self.config)
+    }
+
+    /// Build the pipeline snapshot for a run of this scenario that has
+    /// fully processed `cursor` churn events.
+    fn snapshot_at(
+        &self,
+        cursor: u64,
+        fc: &FastConverge,
+        collector: &Collector,
+        log: &UpdateLog,
+    ) -> PipelineSnapshot {
+        PipelineSnapshot {
+            config_hash: self.config_hash(),
+            seed: self.config.seed,
+            cursor,
+            down_links: fc.down_links(),
+            collector: collector.export_state(),
+            log: log.clone(),
+            monitor: None,
+            metrics: MetricsState::capture(&obs::metrics()),
+        }
+    }
+
+    /// [`Scenario::run_month`] with a checkpoint hook: after every
+    /// `every` fully-processed churn events (0 disables), `hook`
+    /// receives a [`PipelineSnapshot`] it may persist; returning
+    /// [`HookAction::Stop`] aborts the run with
+    /// [`QuicksandError::Interrupted`].
+    ///
+    /// Pass a previously captured snapshot as `resume` to continue an
+    /// interrupted run. The resume contract is *exactness*: an
+    /// interrupted-then-resumed run produces a `MonthResult` (and,
+    /// with metrics restored, a normalized run report) bitwise
+    /// identical to an uninterrupted run of the same scenario. This
+    /// rests on three determinism properties (argued in DESIGN.md §9):
+    /// the churn schedule is a pure function of its seed, so the event
+    /// cursor addresses a unique position; `FastConverge` state is
+    /// fully reconstructible from the set of currently-down links; and
+    /// the collector's roster/reset schedule are regenerated from
+    /// configuration, with only its mutable state carried over.
+    pub fn run_month_checkpointed(
+        &self,
+        resume: Option<&PipelineSnapshot>,
+        every: u64,
+        mut hook: impl FnMut(&PipelineSnapshot) -> HookAction,
+    ) -> QsResult<MonthResult> {
         let tracked = self.tracked_prefixes();
         let origins: BTreeSet<Asn> = tracked.values().copied().collect();
         let prefixes_by_origin: BTreeMap<Asn, Vec<Ipv4Prefix>> = {
@@ -248,6 +304,47 @@ impl Scenario {
         let mut collector = Collector::new(&self.session_peers, &self.config.collector)?;
         let mut log = UpdateLog::default();
         let horizon_end = SimTime::ZERO + self.config.churn.horizon;
+
+        // Restore mid-run state before the first observation: the
+        // snapshot's down links reconstruct the exact routing trees,
+        // the collector resumes its mutable state over a regenerated
+        // roster, the log continues where it stopped, and the metrics
+        // registry is set so final totals match an uninterrupted run.
+        let cursor = match resume {
+            Some(snap) => {
+                let expected = self.config_hash();
+                if snap.config_hash != expected {
+                    return Err(QuicksandError::ResumeMismatch {
+                        what: "config_hash",
+                        detail: format!(
+                            "checkpoint {:#018x}, scenario {:#018x}",
+                            snap.config_hash, expected
+                        ),
+                    });
+                }
+                for &(a, b) in &snap.down_links {
+                    fc.apply(LinkChange::down(a, b));
+                }
+                collector.import_state(&snap.collector)?;
+                log = snap.log.clone();
+                snap.metrics.restore_into(&obs::metrics());
+                obs::incr("recover", "resumes", 1);
+                if obs::enabled(obs::Level::Info) {
+                    obs::emit(
+                        obs::Event::new(
+                            obs::Level::Info,
+                            "recover",
+                            "resumed",
+                            "run resumed from checkpoint",
+                        )
+                        .with("cursor", snap.cursor)
+                        .with("log_records", snap.log.len()),
+                    );
+                }
+                snap.cursor
+            }
+            None => 0,
+        };
 
         let observe =
             |fc: &FastConverge,
@@ -270,39 +367,69 @@ impl Scenario {
                 );
             };
 
-        // Initial table dump at t = 0.
-        observe(
-            &fc,
-            &mut collector,
-            &mut log,
-            SimTime::ZERO,
-            &all_prefixes,
-            &tracked,
-        );
+        // Initial table dump at t = 0 (already in the log on resume).
+        if resume.is_none() {
+            observe(
+                &fc,
+                &mut collector,
+                &mut log,
+                SimTime::ZERO,
+                &all_prefixes,
+                &tracked,
+            );
+        }
 
         // Play the schedule (generation + replay are one churn span).
         let replay_started = std::time::Instant::now();
-        let n_events = obs::timed("churn", || {
+        let n_events = obs::timed("churn", || -> QsResult<usize> {
             let events = ChurnGenerator::new(self.config.churn.clone())
                 .generate(&self.topo.graph, &self.topo.hosting);
             let n = events.len();
-            for ev in events {
-                let affected = fc.apply(ev.change);
-                if affected.is_empty() {
+            if cursor as usize > n {
+                return Err(QuicksandError::ResumeMismatch {
+                    what: "cursor",
+                    detail: format!(
+                        "checkpoint at event {cursor}, schedule has {n}"
+                    ),
+                });
+            }
+            for (i, ev) in events.into_iter().enumerate() {
+                // Events before the cursor were fully processed in the
+                // interrupted run; their routing effect is encoded in
+                // the restored down-link set and their records are in
+                // the restored log.
+                if (i as u64) < cursor {
                     continue;
                 }
-                let mut prefixes: Vec<Ipv4Prefix> = Vec::new();
-                for o in affected {
-                    if let Some(ps) = prefixes_by_origin.get(&o) {
-                        prefixes.extend_from_slice(ps);
+                let affected = fc.apply(ev.change);
+                if !affected.is_empty() {
+                    let mut prefixes: Vec<Ipv4Prefix> = Vec::new();
+                    for o in affected {
+                        if let Some(ps) = prefixes_by_origin.get(&o) {
+                            prefixes.extend_from_slice(ps);
+                        }
+                    }
+                    if !prefixes.is_empty() {
+                        observe(
+                            &fc,
+                            &mut collector,
+                            &mut log,
+                            ev.at,
+                            &prefixes,
+                            &tracked,
+                        );
                     }
                 }
-                if !prefixes.is_empty() {
-                    observe(&fc, &mut collector, &mut log, ev.at, &prefixes, &tracked);
+                let done = i as u64 + 1;
+                if every > 0 && done % every == 0 {
+                    let snap = self.snapshot_at(done, &fc, &collector, &log);
+                    if hook(&snap) == HookAction::Stop {
+                        return Err(QuicksandError::Interrupted { events_done: done });
+                    }
                 }
             }
-            n
-        });
+            Ok(n)
+        })?;
         obs::incr("churn", "events", n_events as u64);
         let replay_s = replay_started.elapsed().as_secs_f64();
         if replay_s > 0.0 {
@@ -340,7 +467,23 @@ impl Scenario {
         &self,
         profile: FaultProfile,
     ) -> QsResult<(MonthResult, FaultReport)> {
-        let pristine = self.run_month()?;
+        self.run_month_faulted_checkpointed(profile, None, 0, |_| HookAction::Continue)
+    }
+
+    /// [`Scenario::run_month_faulted`] with the checkpoint hook of
+    /// [`Scenario::run_month_checkpointed`]. Checkpoints capture the
+    /// pristine replay; fault injection is deterministic
+    /// post-processing (a pure function of the profile and the raw
+    /// log), so it replays identically after a resume without being
+    /// part of the snapshot.
+    pub fn run_month_faulted_checkpointed(
+        &self,
+        profile: FaultProfile,
+        resume: Option<&PipelineSnapshot>,
+        every: u64,
+        hook: impl FnMut(&PipelineSnapshot) -> HookAction,
+    ) -> QsResult<(MonthResult, FaultReport)> {
+        let pristine = self.run_month_checkpointed(resume, every, hook)?;
         let injector = FaultInjector::new(profile)?;
         let (raw, report) = injector.apply(&pristine.raw);
         let (cleaned, removed_duplicates, reset_bursts) =
@@ -499,5 +642,107 @@ mod tests {
         assert_eq!(a.raw.len(), b.raw.len());
         assert_eq!(a.cleaned.len(), b.cleaned.len());
         assert_eq!(a.removed_duplicates, b.removed_duplicates);
+    }
+
+    #[test]
+    fn interrupted_then_resumed_run_is_bitwise_identical() {
+        use quicksand_obs::metrics::Registry;
+        use std::sync::Arc;
+
+        let s = Scenario::build(ScenarioConfig::small(7));
+
+        // Baseline: uninterrupted, in its own registry.
+        let baseline_reg = Arc::new(Registry::new());
+        let full = obs::with_metrics(baseline_reg.clone(), || s.run_month()).unwrap();
+
+        // Crash simulation: stop at the first checkpoint (a separate
+        // registry standing in for the dying process).
+        let mut taken = None;
+        let err = obs::with_metrics(Arc::new(Registry::new()), || {
+            s.run_month_checkpointed(None, 40, |snap| {
+                taken = Some(snap.clone());
+                HookAction::Stop
+            })
+        })
+        .unwrap_err();
+        assert_eq!(err, QuicksandError::Interrupted { events_done: 40 });
+        let snap = taken.expect("hook ran");
+        assert_eq!(snap.cursor, 40);
+
+        // Resume in a third registry (the restarted process).
+        let resumed_reg = Arc::new(Registry::new());
+        let resumed = obs::with_metrics(resumed_reg.clone(), || {
+            s.run_month_checkpointed(Some(&snap), 0, |_| HookAction::Continue)
+        })
+        .unwrap();
+
+        // The MonthResult is bitwise identical, via the binary log
+        // encoding and field-for-field equality.
+        let encode = |log: &UpdateLog| {
+            let mut b = Vec::new();
+            quicksand_bgp::mrt::write_log(log, &mut b).unwrap();
+            b
+        };
+        assert_eq!(encode(&resumed.raw), encode(&full.raw));
+        assert_eq!(encode(&resumed.cleaned), encode(&full.cleaned));
+        assert_eq!(resumed.removed_duplicates, full.removed_duplicates);
+        assert_eq!(resumed.reset_bursts, full.reset_bursts);
+        assert_eq!(resumed.horizon_end, full.horizon_end);
+
+        // Deterministic metrics (counters) also match: the resumed
+        // process is indistinguishable from the uninterrupted one —
+        // apart from the `recover` stage, which describes the recovery
+        // machinery itself and is excluded from resume-exact comparison
+        // (as in `RunReport::normalized`).
+        let pipeline_counters = |r: &Registry| {
+            let mut c = r.snapshot().counters;
+            c.retain(|e| e.stage != "recover");
+            c
+        };
+        assert_eq!(
+            pipeline_counters(&resumed_reg),
+            pipeline_counters(&baseline_reg)
+        );
+    }
+
+    #[test]
+    fn resume_against_different_config_is_refused() {
+        let s7 = Scenario::build(ScenarioConfig::small(7));
+        let s8 = Scenario::build(ScenarioConfig::small(8));
+        let mut taken = None;
+        let _ = s7.run_month_checkpointed(None, 40, |snap| {
+            taken = Some(snap.clone());
+            HookAction::Stop
+        });
+        let snap = taken.unwrap();
+        assert!(matches!(
+            s8.run_month_checkpointed(Some(&snap), 0, |_| HookAction::Continue),
+            Err(QuicksandError::ResumeMismatch {
+                what: "config_hash",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_hook_fires_on_schedule_and_zero_disables() {
+        let s = Scenario::build(ScenarioConfig::small(7));
+        let mut cursors = Vec::new();
+        s.run_month_checkpointed(None, 100, |snap| {
+            cursors.push(snap.cursor);
+            HookAction::Continue
+        })
+        .unwrap();
+        assert!(!cursors.is_empty(), "a week of churn has > 100 events");
+        assert!(cursors.iter().all(|c| c % 100 == 0));
+        assert!(cursors.windows(2).all(|w| w[1] == w[0] + 100));
+
+        let mut fired = false;
+        s.run_month_checkpointed(None, 0, |_| {
+            fired = true;
+            HookAction::Continue
+        })
+        .unwrap();
+        assert!(!fired, "every = 0 disables the hook");
     }
 }

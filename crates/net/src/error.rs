@@ -38,6 +38,20 @@ pub enum QuicksandError {
         /// The offending record's timestamp.
         at: SimTime,
     },
+    /// A checkpointed run was stopped by its checkpoint hook (operator
+    /// interrupt or crash simulation); resume from the latest snapshot.
+    Interrupted {
+        /// Churn events fully processed before the interrupt.
+        events_done: u64,
+    },
+    /// A resume snapshot does not match the run being resumed (wrong
+    /// configuration, seed, or position).
+    ResumeMismatch {
+        /// The mismatched aspect (e.g. `config_hash`, `cursor`).
+        what: &'static str,
+        /// Expected vs found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for QuicksandError {
@@ -59,6 +73,12 @@ impl fmt::Display for QuicksandError {
                 f,
                 "session {session} stream went backwards: {at} after {high_water}"
             ),
+            QuicksandError::Interrupted { events_done } => {
+                write!(f, "run interrupted after {events_done} churn events")
+            }
+            QuicksandError::ResumeMismatch { what, detail } => {
+                write!(f, "resume mismatch: {what}: {detail}")
+            }
         }
     }
 }

@@ -14,8 +14,23 @@
 //! `sum`/`mean` are exact.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
+
+/// Intern a runtime string, yielding a `&'static str` for use in a
+/// [`Key`]. Each distinct string is leaked exactly once and reused on
+/// every later call — needed when metric names come back from a
+/// serialized form (e.g. a checkpoint) rather than source literals.
+pub fn intern(s: &str) -> &'static str {
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = INTERNED.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&existing) = set.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
 
 /// A metric key: the stage that owns the metric, the metric name, and
 /// an optional session dimension for per-feed breakdowns.
@@ -224,6 +239,13 @@ impl Registry {
     /// Add `by` to the counter at `key`.
     pub fn incr(&self, key: Key, by: u64) {
         *self.lock().counters.entry(key).or_insert(0) += by;
+    }
+
+    /// Set the counter at `key` to an absolute value. Only for restore
+    /// paths (checkpoint resume) — live instrumentation must use
+    /// [`Registry::incr`] so concurrent increments are never lost.
+    pub fn set_counter(&self, key: Key, value: u64) {
+        self.lock().counters.insert(key, value);
     }
 
     /// Set the gauge at `key` to `value` (last write wins).

@@ -227,6 +227,107 @@ impl RunReport {
         out
     }
 
+    /// Project the report down to its *deterministic* content: the part
+    /// that must be bitwise-identical between an uninterrupted run and
+    /// an interrupted-then-resumed run of the same scenario.
+    ///
+    /// What goes: everything wall-clock (per-stage `wall_ms` totals in
+    /// the stage table and the histogram snapshot, the `replay_rate`
+    /// gauge) and everything describing the recovery machinery itself
+    /// (`recover`-stage metrics — an uninterrupted baseline has none by
+    /// definition). What stays: stage call counts, every other counter
+    /// and gauge, and the alarm timeline.
+    pub fn normalized(&self) -> RunReport {
+        let mut out = self.clone();
+        for s in &mut out.stages {
+            s.wall_ms_total = 0.0;
+            s.wall_ms_mean = 0.0;
+            s.wall_ms_p95 = 0.0;
+            s.wall_ms_max = 0.0;
+        }
+        out.stages.retain(|s| s.stage != "recover");
+        out.metrics.counters.retain(|c| c.stage != "recover");
+        out.metrics
+            .gauges
+            .retain(|g| g.stage != "recover" && g.name != "replay_rate");
+        out.metrics
+            .histograms
+            .retain(|h| h.stage != "recover" && h.name != crate::WALL_MS);
+        out
+    }
+
+    /// The deterministic differences between two reports: counter
+    /// deltas over the [normalized](RunReport::normalized) projection,
+    /// plus gauge and alarm-count changes. Empty means the runs are
+    /// equivalent wherever runs of the same scenario *can* be equal —
+    /// the resume-exactness gate used by `repro report --check` and the
+    /// kill-and-resume CI job.
+    pub fn deterministic_deltas(&self, other: &RunReport) -> Vec<String> {
+        let a = self.normalized();
+        let b = other.normalized();
+        let mut deltas = Vec::new();
+
+        let mut keys: Vec<(String, String, Option<u32>)> = a
+            .metrics
+            .counters
+            .iter()
+            .chain(b.metrics.counters.iter())
+            .map(|c| (c.stage.clone(), c.name.clone(), c.session))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        let counter = |r: &RunReport, key: &(String, String, Option<u32>)| {
+            r.metrics
+                .counters
+                .iter()
+                .find(|c| c.stage == key.0 && c.name == key.1 && c.session == key.2)
+                .map_or(0, |c| c.value)
+        };
+        for key in &keys {
+            let (va, vb) = (counter(&a, key), counter(&b, key));
+            if va != vb {
+                let sid = key.2.map(|s| format!("[s{s}]")).unwrap_or_default();
+                deltas.push(format!("counter {}.{}{sid}: {va} != {vb}", key.0, key.1));
+            }
+        }
+
+        let mut gkeys: Vec<(String, String, Option<u32>)> = a
+            .metrics
+            .gauges
+            .iter()
+            .chain(b.metrics.gauges.iter())
+            .map(|g| (g.stage.clone(), g.name.clone(), g.session))
+            .collect();
+        gkeys.sort();
+        gkeys.dedup();
+        let gauge = |r: &RunReport, key: &(String, String, Option<u32>)| {
+            r.metrics
+                .gauges
+                .iter()
+                .find(|g| g.stage == key.0 && g.name == key.1 && g.session == key.2)
+                .map(|g| g.value)
+        };
+        for key in &gkeys {
+            let (va, vb) = (gauge(&a, key), gauge(&b, key));
+            // Bit-compare: resume-exactness promises identical floats.
+            if va.map(f64::to_bits) != vb.map(f64::to_bits) {
+                deltas.push(format!(
+                    "gauge {}.{}: {va:?} != {vb:?}",
+                    key.0, key.1
+                ));
+            }
+        }
+
+        if a.alarms != b.alarms {
+            deltas.push(format!(
+                "alarms: {} != {}",
+                a.alarms.len(),
+                b.alarms.len()
+            ));
+        }
+        deltas
+    }
+
     /// Compare two reports: per-stage wall-time deltas, counter deltas,
     /// and alarm-count change. `self` is the baseline, `other` the new
     /// run.
@@ -374,6 +475,60 @@ mod tests {
         let text = rep.render();
         assert!(text.contains("stage wall time"));
         assert!(text.contains("topology"));
+    }
+
+    #[test]
+    fn normalized_strips_wall_clock_and_recover_stage() {
+        let r = full_registry();
+        r.incr(Key::stage("recover", "saves"), 2);
+        r.gauge(Key::stage("churn", "replay_rate"), 1234.5);
+        r.gauge(Key::stage("topology", "ases"), 500.0);
+        let rep = RunReport::assemble("x", &r.snapshot(), &[]);
+        let norm = rep.normalized();
+        assert!(norm.stages.iter().all(|s| s.wall_ms_total == 0.0
+            && s.wall_ms_mean == 0.0
+            && s.wall_ms_p95 == 0.0
+            && s.wall_ms_max == 0.0));
+        // Call counts survive; wall histograms and recover metrics go.
+        assert!(norm.stages.iter().all(|s| s.calls > 0));
+        assert!(norm.metrics.histograms.is_empty());
+        assert!(!norm.metrics.counters.iter().any(|c| c.stage == "recover"));
+        assert!(!norm.metrics.gauges.iter().any(|g| g.name == "replay_rate"));
+        assert!(norm.metrics.gauges.iter().any(|g| g.name == "ases"));
+    }
+
+    #[test]
+    fn deterministic_deltas_ignore_wall_clock_but_catch_counters() {
+        // Two runs differing only in wall time and recover activity
+        // are deterministically equal.
+        let r1 = full_registry();
+        r1.gauge(Key::stage("churn", "replay_rate"), 100.0);
+        let a = RunReport::assemble("full", &r1.snapshot(), &[]);
+        let r2 = full_registry();
+        r2.observe(Key::stage("churn", crate::WALL_MS), 900.0);
+        r2.incr(Key::stage("recover", "saves"), 3);
+        r2.incr(Key::stage("recover", "resumes"), 1);
+        r2.gauge(Key::stage("churn", "replay_rate"), 6400.0);
+        let b = RunReport::assemble("resumed", &r2.snapshot(), &[]);
+        assert_eq!(a.deterministic_deltas(&b), Vec::<String>::new());
+
+        // A real pipeline-counter divergence is caught.
+        r2.incr(Key::stage("collector", "records"), 1);
+        let b = RunReport::assemble("diverged", &r2.snapshot(), &[]);
+        let deltas = a.deterministic_deltas(&b);
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].contains("collector.records"));
+
+        // So is an alarm-timeline divergence.
+        let ev = Event::new(Level::Warn, "monitor", "alarm", "x")
+            .with("at_s", 1.0)
+            .with("prefix", "10.0.0.0/8")
+            .with("kind", "origin-change");
+        let c = RunReport::assemble("alarmed", &r1.snapshot(), &[ev]);
+        assert!(a
+            .deterministic_deltas(&c)
+            .iter()
+            .any(|d| d.contains("alarms")));
     }
 
     #[test]

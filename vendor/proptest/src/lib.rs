@@ -2,9 +2,10 @@
 //!
 //! Implements the subset this workspace uses: the [`Strategy`] trait
 //! with `prop_map`/`prop_flat_map`, range and tuple strategies,
-//! [`collection::vec`], [`sample::Index`], [`Just`], `bool::ANY`,
-//! [`ProptestConfig`], and the [`proptest!`]/[`prop_assert!`]
-//! macros. Cases are generated deterministically from a seed derived
+//! [`collection::vec`], [`collection::btree_set`], [`option::of`],
+//! [`sample::Index`], [`Just`], `bool::ANY`, [`ProptestConfig`], and
+//! the [`proptest!`]/[`prop_assert!`]/[`prop_oneof!`] macros (the
+//! latter choosing uniformly — no weights). Cases are generated deterministically from a seed derived
 //! from the test name, so failures reproduce; there is **no shrinking**
 //! — a failing case asserts directly with its generated inputs.
 // Vendored stand-in: exempt from workspace lint policy.
@@ -139,6 +140,28 @@ impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F
     fn generate(&self, rng: &mut TestRng) -> S2::Value {
         let mid = self.inner.generate(rng);
         (self.f)(mid).generate(rng)
+    }
+}
+
+/// A uniform choice between boxed alternatives — see [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A strategy choosing uniformly among `arms` per generated value.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.below(self.arms.len());
+        self.arms[ix].generate(rng)
     }
 }
 
@@ -326,6 +349,69 @@ pub mod collection {
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `BTreeSet`s of `element` values with *up to* the
+    /// requested number of elements (duplicate draws coalesce, exactly
+    /// as in upstream proptest).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            assert!(self.size.lo < self.size.hi, "empty set size range");
+            let span = self.size.hi - self.size.lo;
+            let len = self.size.lo + if span > 1 { rng.below(span) } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// A strategy yielding `None` for a quarter of cases and `Some` of
+    /// the inner strategy's value for the rest.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
 }
 
 /// Sampling helpers.
@@ -352,13 +438,27 @@ pub mod sample {
 
 /// The usual imports for proptest-based tests.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 
 // ---- macros --------------------------------------------------------------
+
+/// A strategy choosing uniformly among its arms (no `weight =>`
+/// support). Arms may be different strategy types for one value type;
+/// each is boxed behind `dyn Strategy`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(std::boxed::Box::new($arm)
+                as std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
 
 /// Assert inside a proptest case (no shrinking: plain `assert!`).
 #[macro_export]
