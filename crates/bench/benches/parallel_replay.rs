@@ -1,0 +1,34 @@
+//! Serial vs parallel month replay — the scaling counterpart of the
+//! Fig-3 dataset construction (`figures.rs` benches what is *computed*;
+//! this group benches how fast the engine computes it at different
+//! `Parallelism` widths). The speedup of `jobs_4` over `jobs_1` is the
+//! number `repro bench-snapshot` records as the CI baseline; on a
+//! single-core host the sharded engine degrades gracefully to ~serial
+//! wall clock while remaining bitwise-identical (asserted by
+//! `tests/parallel_equivalence.rs`, not here).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quicksand_core::parallel::Parallelism;
+use quicksand_core::scenario::{Scenario, ScenarioConfig};
+use std::hint::black_box;
+
+fn scenario_with_jobs(jobs: usize) -> Scenario {
+    let mut cfg = ScenarioConfig::small(0xF193);
+    cfg.parallelism = Parallelism::with_jobs(jobs);
+    Scenario::build(cfg)
+}
+
+fn bench_month_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("month_replay");
+    g.sample_size(10);
+    for jobs in [1usize, 2, 4] {
+        let s = scenario_with_jobs(jobs);
+        g.bench_function(format!("jobs_{jobs}"), |b| {
+            b.iter(|| black_box(s.run_month().expect("valid collector config")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(parallel_replay, bench_month_replay);
+criterion_main!(parallel_replay);

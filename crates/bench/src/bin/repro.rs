@@ -4,15 +4,21 @@
 //! ```text
 //! repro [all|table1|fig2-left|fig2-right|fig3-left|fig3-right|model|
 //!        hijack|intercept|convergence|ixp|population|static-vs-dynamic|
-//!        stealth|longterm|countermeasures|chaos] [--small]
+//!        stealth|longterm|countermeasures|chaos] [--small] [--jobs=N]
 //!        [--intensity=<0..1>] [--obs-out=run.json] [--obs-jsonl=run.jsonl]
 //!        [--checkpoint-every=N] [--checkpoint-dir=DIR] [--resume-from=PATH]
 //!        [--halt-after=K] [-v|--verbose] [-q|--quiet]
 //! repro report [--check] <run.json> [other.json]
+//! repro bench-snapshot [--small] [--jobs=N] [--bench-out=BENCH_fig3.json]
 //! ```
 //!
 //! `--small` runs the test-scale configuration (seconds instead of
 //! minutes); the default full scale is what EXPERIMENTS.md records.
+//! `--jobs=N` shards the month replay across N worker threads
+//! (DESIGN.md §10) with output bitwise-identical to the serial default;
+//! `bench-snapshot` measures the replay serial *and* sharded, verifies
+//! the two logs are identical, and writes the wall-clock/events-per-sec
+//! numbers as JSON — the scaling baseline CI archives as an artifact.
 //!
 //! Observability: progress notes are `quicksand-obs` events rendered to
 //! stderr (`-v` adds span timings, `--quiet` silences both events and
@@ -53,6 +59,7 @@ use quicksand_core::longterm::{long_term_study, render_long_term, LongTermConfig
 use quicksand_core::adversary::ObservationMode;
 use quicksand_core::ixp::{ixp_experiment, render_ixp, IxpMap};
 use quicksand_core::population::{render_population, run_population_attack, PopulationConfig};
+use quicksand_core::parallel::Parallelism;
 use quicksand_core::report;
 use quicksand_core::scenario::{MonthResult, Scenario, ScenarioConfig};
 use quicksand_attack::monitord::{MonitorConfig, StreamingMonitor};
@@ -156,8 +163,9 @@ struct Ctx {
 }
 
 impl Ctx {
-    fn new(small: bool, recover: RecoverOpts) -> Ctx {
-        let cfg = if small { small_config() } else { full_config() };
+    fn new(small: bool, jobs: usize, recover: RecoverOpts) -> Ctx {
+        let mut cfg = if small { small_config() } else { full_config() };
+        cfg.parallelism = Parallelism::with_jobs(jobs);
         progress(format!(
             "building scenario ({} ASes, {} relays)…",
             cfg.topology.n_ases, cfg.consensus.n_relays
@@ -334,10 +342,103 @@ fn report_command(args: &[String]) -> i32 {
     }
 }
 
+/// `repro bench-snapshot [--small] [--jobs=N] [--bench-out=PATH]`: the
+/// Fig-3 dataset-construction benchmark. Runs the month replay once
+/// serial (the reference) and once sharded across N threads (default
+/// 4), verifies the two runs produce byte-identical update logs (exit 1
+/// otherwise — the differential gate), and writes wall-clock,
+/// events/sec, and speedup as JSON for CI to upload as an artifact.
+/// Each run uses a scoped metrics registry, so the measurement does not
+/// pollute (and is not polluted by) the global registry.
+fn bench_snapshot_command(args: &[String]) -> i32 {
+    let small = args.iter().any(|a| a == "--small");
+    let jobs = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--jobs="))
+        .map(|s| match s.parse::<usize>() {
+            Ok(n) if n >= 2 => n,
+            _ => {
+                eprintln!("error: --jobs expects an integer >= 2, got {s:?}");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(4);
+    let out_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--bench-out="))
+        .unwrap_or("BENCH_fig3.json");
+    let base = if small { small_config() } else { full_config() };
+
+    let timed_run = |n_jobs: usize| -> (MonthResult, f64, u64) {
+        let mut cfg = base.clone();
+        cfg.parallelism = Parallelism::with_jobs(n_jobs);
+        let scenario = Scenario::build(cfg);
+        let registry = Arc::new(obs::Registry::default());
+        obs::with_metrics(registry.clone(), || {
+            let started = std::time::Instant::now();
+            let month = match scenario.run_month() {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("error: month replay failed: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let wall_s = started.elapsed().as_secs_f64();
+            let events = registry
+                .snapshot()
+                .counters
+                .iter()
+                .find(|c| c.stage == "churn" && c.name == "events")
+                .map_or(0, |c| c.value);
+            (month, wall_s, events)
+        })
+    };
+
+    eprintln!(
+        "bench-snapshot: month replay, {} scenario, serial vs --jobs={jobs}",
+        if small { "small" } else { "full" }
+    );
+    let (serial, serial_s, events) = timed_run(1);
+    let (parallel, parallel_s, _) = timed_run(jobs);
+    let identical = serial.raw == parallel.raw
+        && serial.cleaned == parallel.cleaned
+        && serial.removed_duplicates == parallel.removed_duplicates
+        && serial.reset_bursts == parallel.reset_bursts;
+    let rate = |wall_s: f64| events as f64 / wall_s.max(f64::MIN_POSITIVE);
+    let speedup = serial_s / parallel_s.max(f64::MIN_POSITIVE);
+    let json = format!(
+        "{{\n  \"bench\": \"fig3_month_replay\",\n  \"scenario\": \"{}\",\n  \
+         \"jobs\": {jobs},\n  \"events\": {events},\n  \"raw_records\": {},\n  \
+         \"serial\": {{ \"wall_s\": {serial_s:.6}, \"events_per_s\": {:.3} }},\n  \
+         \"parallel\": {{ \"wall_s\": {parallel_s:.6}, \"events_per_s\": {:.3} }},\n  \
+         \"speedup\": {speedup:.4},\n  \"identical\": {identical}\n}}\n",
+        if small { "small" } else { "full" },
+        serial.raw.len(),
+        rate(serial_s),
+        rate(parallel_s),
+    );
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return 2;
+    }
+    eprintln!(
+        "bench-snapshot: {events} events; serial {serial_s:.3}s, \
+         --jobs={jobs} {parallel_s:.3}s (speedup {speedup:.2}x); wrote {out_path}"
+    );
+    if !identical {
+        eprintln!("error: parallel replay diverged from serial (differential gate)");
+        return 1;
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "report") {
         std::process::exit(report_command(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "bench-snapshot") {
+        std::process::exit(bench_snapshot_command(&args[1..]));
     }
 
     let small = args.iter().any(|a| a == "--small");
@@ -376,6 +477,7 @@ fn main() {
         eprintln!("error: --halt-after requires --checkpoint-every and --checkpoint-dir");
         std::process::exit(2);
     }
+    let jobs = parse_u64("--jobs=").map_or(1, |n| n.max(1) as usize);
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with('-'))
@@ -411,7 +513,7 @@ fn main() {
     }
     let out = Out { quiet };
 
-    let mut ctx = Ctx::new(small, recover);
+    let mut ctx = Ctx::new(small, jobs, recover);
 
     if want("table1") {
         ctx.ensure_month();

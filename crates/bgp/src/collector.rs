@@ -52,6 +52,23 @@ pub struct UpdateRecord {
     pub msg: UpdateMessage,
 }
 
+/// The table changes one [`Collector::observe`] computes for one
+/// session before any state is applied: for each prefix whose recorded
+/// entry changes, the new entry — `Some(path)` to insert or replace (an
+/// announcement), `None` to remove (a withdrawal) — in the prefix
+/// iteration order of the observe call.
+///
+/// Produced by [`Collector::diff_session`] against pre-observe state
+/// and consumed by [`Collector::apply_ops`]; the parallel month-replay
+/// engine computes these on worker threads and applies them serially.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionOps {
+    /// Index of the session into the collector's roster.
+    pub session: usize,
+    /// Changed entries as `(prefix, new table entry)`.
+    pub ops: Vec<(Ipv4Prefix, Option<AsPath>)>,
+}
+
 /// A time-ordered log of updates across all sessions of all collectors.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct UpdateLog {
@@ -515,6 +532,22 @@ impl Collector {
         F: Fn(Asn, Ipv4Prefix) -> Option<(AsPath, RouteClass)>,
     {
         let recorded_before = log.records.len();
+        self.emit_due_resets(at, log);
+        let ops: Vec<SessionOps> = self
+            .live_session_indices()
+            .into_iter()
+            .map(|si| self.diff_session(si, prefixes, &exported))
+            .collect();
+        self.apply_ops(at, &ops, log);
+        Self::count_observation(log.records.len() - recorded_before);
+    }
+
+    /// First phase of [`Collector::observe`]: emit every scheduled
+    /// session reset due by `at` (re-dumping the session's recorded
+    /// table into `log` at the reset's scheduled time) and advance the
+    /// reset cursor. Serial by design — resets append in schedule order
+    /// and read table state that subsequent diffing may mutate.
+    pub fn emit_due_resets(&mut self, at: SimTime, log: &mut UpdateLog) {
         // Emit any resets due before `at`: re-dump the session table.
         while self.next_reset < self.resets.len() && self.resets[self.next_reset].0 <= at
         {
@@ -544,57 +577,115 @@ impl Collector {
                 });
             }
         }
+    }
 
-        for (si, info) in self.sessions.iter().enumerate() {
-            // Downed sessions miss everything until they reconnect.
-            if !matches!(self.liveness[si], SessionState::Up) {
-                continue;
-            }
-            for &prefix in prefixes {
-                let now = exported(info.peer, prefix).and_then(|(path, class)| {
-                    let visible = match info.kind {
-                        FeedKind::Full => true,
-                        FeedKind::Partial => {
-                            matches!(class, RouteClass::Origin | RouteClass::Customer)
-                        }
-                    };
-                    visible.then(|| path.prepended(info.peer))
-                });
-                let key = (si, prefix);
-                let prev = self.state.get(&key);
-                match (prev, now) {
-                    (None, None) => {}
-                    (Some(_), None) => {
-                        self.state.remove(&key);
-                        log.records.push(UpdateRecord {
-                            at,
-                            session: info.id,
-                            msg: UpdateMessage::Withdraw(prefix),
-                        });
+    /// Indices of the sessions currently up, ascending — the sessions
+    /// [`Collector::observe`] diffs, in the order it diffs them.
+    pub fn live_session_indices(&self) -> Vec<usize> {
+        (0..self.sessions.len())
+            .filter(|&si| matches!(self.liveness[si], SessionState::Up))
+            .collect()
+    }
+
+    /// Pure per-session half of [`Collector::observe`]: diff the routes
+    /// `exported` yields for `prefixes` against session `si`'s recorded
+    /// table and return the entries that change, mutating nothing.
+    ///
+    /// Reads only session `si`'s slice of the table — the `(si, prefix)`
+    /// keyspaces of distinct sessions are disjoint — so different
+    /// sessions can be diffed concurrently against the same pre-observe
+    /// state, and [`Collector::apply_ops`] applied in ascending session
+    /// order reproduces the serial observe record for record (DESIGN.md
+    /// §10). A prefix listed twice diffs against the pending entry its
+    /// first occurrence produced, exactly as the serial in-place loop
+    /// would.
+    pub fn diff_session<F>(&self, si: usize, prefixes: &[Ipv4Prefix], exported: &F) -> SessionOps
+    where
+        F: Fn(Asn, Ipv4Prefix) -> Option<(AsPath, RouteClass)>,
+    {
+        let info = &self.sessions[si];
+        let mut ops: Vec<(Ipv4Prefix, Option<AsPath>)> = Vec::new();
+        // Overlay of not-yet-applied entries, consulted before the real
+        // table so duplicate prefixes in one call see their own effect.
+        let mut pending: BTreeMap<Ipv4Prefix, Option<AsPath>> = BTreeMap::new();
+        for &prefix in prefixes {
+            let now = exported(info.peer, prefix).and_then(|(path, class)| {
+                let visible = match info.kind {
+                    FeedKind::Full => true,
+                    FeedKind::Partial => {
+                        matches!(class, RouteClass::Origin | RouteClass::Customer)
                     }
-                    (prev, Some(path)) => {
-                        if prev != Some(&path) {
-                            self.state.insert(key, path.clone());
-                            log.records.push(UpdateRecord {
-                                at,
-                                session: info.id,
-                                msg: UpdateMessage::Announce(Route {
-                                    prefix,
-                                    as_path: path,
-                                    communities: Default::default(),
-                                }),
-                            });
-                        }
+                };
+                visible.then(|| path.prepended(info.peer))
+            });
+            let prev = match pending.get(&prefix) {
+                Some(overlaid) => overlaid.as_ref(),
+                None => self.state.get(&(si, prefix)),
+            };
+            match (prev, now) {
+                (None, None) => {}
+                (Some(_), None) => {
+                    pending.insert(prefix, None);
+                    ops.push((prefix, None));
+                }
+                (prev, Some(path)) => {
+                    if prev != Some(&path) {
+                        pending.insert(prefix, Some(path.clone()));
+                        ops.push((prefix, Some(path)));
                     }
                 }
             }
         }
-        obs::incr("collector", "observe_calls", 1);
-        obs::incr(
-            "collector",
-            "records",
-            (log.records.len() - recorded_before) as u64,
+        SessionOps { session: si, ops }
+    }
+
+    /// Final phase of [`Collector::observe`]: apply per-session diffs
+    /// produced by [`Collector::diff_session`] against the current
+    /// (pre-apply) state, mutating the table and appending one record
+    /// per entry at `at`. `ops` must be in ascending session order —
+    /// the order the serial observe emits.
+    pub fn apply_ops(&mut self, at: SimTime, ops: &[SessionOps], log: &mut UpdateLog) {
+        debug_assert!(
+            ops.windows(2).all(|w| w[0].session < w[1].session),
+            "session diffs must apply in ascending session order"
         );
+        for so in ops {
+            let id = self.sessions[so.session].id;
+            for (prefix, entry) in &so.ops {
+                let key = (so.session, *prefix);
+                match entry {
+                    None => {
+                        self.state.remove(&key);
+                        log.records.push(UpdateRecord {
+                            at,
+                            session: id,
+                            msg: UpdateMessage::Withdraw(*prefix),
+                        });
+                    }
+                    Some(path) => {
+                        self.state.insert(key, path.clone());
+                        log.records.push(UpdateRecord {
+                            at,
+                            session: id,
+                            msg: UpdateMessage::Announce(Route {
+                                prefix: *prefix,
+                                as_path: path.clone(),
+                                communities: Default::default(),
+                            }),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record the metrics of one completed observation, where `appended`
+    /// is the number of records it added to the log (resets included).
+    /// Serial and sharded observes both finish through here, so the
+    /// counters are independent of execution width.
+    pub fn count_observation(appended: usize) {
+        obs::incr("collector", "observe_calls", 1);
+        obs::incr("collector", "records", appended as u64);
     }
 }
 

@@ -95,9 +95,38 @@ impl FastConverge {
     /// check at the endpoints for recoveries) skip trees the event
     /// provably cannot touch.
     pub fn apply(&mut self, change: LinkChange) -> Vec<Asn> {
+        self.apply_with(change, |graph, (a, b), trees| {
+            trees
+                .iter_mut()
+                .map(|(_, tree)| tree.reconverge_after_link_event(graph, a, b))
+                .collect()
+        })
+    }
+
+    /// [`FastConverge::apply`] with the per-tree reconvergence delegated
+    /// to `recompute` — the seam the parallel month-replay engine uses
+    /// to shard candidate trees across worker threads (DESIGN.md §10).
+    ///
+    /// The graph mutation and candidate filtering happen here, exactly
+    /// as in the serial path. `recompute` then receives the mutated
+    /// graph, the event endpoints, and the candidate trees in
+    /// **ascending origin order**, and must return one changed flag per
+    /// candidate (same order), each the result of
+    /// [`RoutingTree::reconverge_after_link_event`] on that tree. A
+    /// tree's reconvergence reads only the shared graph and its own
+    /// state, so any execution order — including concurrent — produces
+    /// the flags of the serial loop.
+    ///
+    /// # Panics
+    /// Panics if `recompute` returns a different number of flags than
+    /// it was given trees.
+    pub fn apply_with<F>(&mut self, change: LinkChange, recompute: F) -> Vec<Asn>
+    where
+        F: FnOnce(&AsGraph, (Asn, Asn), &mut [(Asn, RoutingTree)]) -> Vec<bool>,
+    {
         let LinkChange { a, b, up } = change;
         let k = key(a, b);
-        if up {
+        let candidates: Vec<Asn> = if up {
             let Some(rel) = self.down.remove(&k) else {
                 return Vec::new(); // link was not down; nothing to do
             };
@@ -112,35 +141,43 @@ impl FastConverge {
                     self.graph.add_customer_provider(k.0, k.1).unwrap()
                 }
             }
-            let candidates: Vec<Asn> = self
-                .trees
+            self.trees
                 .iter()
                 .filter(|(_, tree)| Self::link_up_matters(&self.graph, tree, a, b))
                 .map(|(o, _)| *o)
-                .collect();
-            self.reconverge(&candidates, a, b)
+                .collect()
         } else {
             let Some(rel) = self.graph.relationship(k.0, k.1) else {
                 return Vec::new(); // already down
             };
             self.down.insert(k, rel);
             self.graph.remove_link(k.0, k.1).unwrap();
-            let candidates: Vec<Asn> = self
-                .trees
+            self.trees
                 .iter()
                 .filter(|(_, tree)| tree.uses_link(&self.graph, a, b))
                 .map(|(o, _)| *o)
-                .collect();
-            self.reconverge(&candidates, a, b)
+                .collect()
+        };
+        if candidates.is_empty() {
+            return Vec::new();
         }
-    }
-
-    fn reconverge(&mut self, origins: &[Asn], a: Asn, b: Asn) -> Vec<Asn> {
+        self.recomputes += candidates.len() as u64;
+        // Move the candidate trees out of the map so `recompute` can
+        // mutate them while reading the graph it was handed.
+        let mut taken: Vec<(Asn, RoutingTree)> = candidates
+            .iter()
+            .map(|o| (*o, self.trees.remove(o).expect("tracked origin")))
+            .collect();
+        let flags = recompute(&self.graph, (a, b), &mut taken);
+        assert_eq!(
+            flags.len(),
+            taken.len(),
+            "recompute must return one changed flag per candidate tree"
+        );
         let mut changed = Vec::new();
-        for &o in origins {
-            self.recomputes += 1;
-            let tree = self.trees.get_mut(&o).expect("tracked origin");
-            if tree.reconverge_after_link_event(&self.graph, a, b) {
+        for ((o, tree), did_change) in taken.into_iter().zip(flags) {
+            self.trees.insert(o, tree);
+            if did_change {
                 changed.push(o);
             }
         }
@@ -320,5 +357,43 @@ mod tests {
             }
         }
         assert!(fc.recomputes > 0);
+    }
+
+    #[test]
+    fn apply_with_matches_apply_for_any_execution_order() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let links: Vec<(Asn, Asn)> = vec![
+            (Asn(1), Asn(2)),
+            (Asn(3), Asn(1)),
+            (Asn(4), Asn(1)),
+            (Asn(5), Asn(2)),
+            (Asn(6), Asn(2)),
+            (Asn(4), Asn(5)),
+            (Asn(7), Asn(3)),
+            (Asn(8), Asn(4)),
+            (Asn(8), Asn(5)),
+        ];
+        let origins: Vec<Asn> = diamond().asns().collect();
+        let mut serial = FastConverge::new(diamond(), origins.clone());
+        let mut hooked = FastConverge::new(diamond(), origins);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..60 {
+            let (a, b) = links[rng.gen_range(0..links.len())];
+            let change = LinkChange { a, b, up: rng.gen_bool(0.5) };
+            let want = serial.apply(change);
+            // Recompute candidates back to front: the changed flags (and
+            // therefore the affected-origin list) must not depend on the
+            // order the hook walks the trees in.
+            let got = hooked.apply_with(change, |graph, (a, b), trees| {
+                let mut flags = vec![false; trees.len()];
+                for i in (0..trees.len()).rev() {
+                    flags[i] = trees[i].1.reconverge_after_link_event(graph, a, b);
+                }
+                flags
+            });
+            assert_eq!(got, want);
+            assert_eq!(hooked.recomputes, serial.recomputes);
+        }
     }
 }

@@ -30,6 +30,7 @@ pub mod consensus_data;
 pub mod countermeasures;
 pub mod ixp;
 pub mod longterm;
+pub mod parallel;
 pub mod population;
 pub mod experiments;
 pub mod report;
@@ -37,6 +38,7 @@ pub mod scenario;
 pub mod temporal;
 
 pub use adversary::{ObservationMode, SegmentObservers};
+pub use parallel::{Parallelism, WorkerPool};
 pub use scenario::{MonthResult, Scenario, ScenarioConfig};
 
 #[cfg(test)]

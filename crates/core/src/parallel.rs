@@ -1,0 +1,336 @@
+//! Deterministic parallel execution for the month-replay engine.
+//!
+//! The month-long churn study (`Scenario::run_month`) spends nearly all
+//! of its wall clock in two per-event loops: recomputing the candidate
+//! routing trees in [`FastConverge`] and diffing exported routes across
+//! collector sessions. Both decompose into *independent shards* — a
+//! tree's reconvergence reads only the shared (immutable during the
+//! region) graph and its own state; a session's diff reads only its own
+//! disjoint `(session, prefix)` slice of the collector table — so this
+//! module fans each region out over a small scoped-thread pool and
+//! merges the shard results back in the serial order.
+//!
+//! Determinism is structural, not coincidental (DESIGN.md §10):
+//!
+//! 1. **Static assignment.** A region's work list is split into at most
+//!    `jobs` contiguous chunks, a pure function of the list length —
+//!    never of thread timing. There is no work stealing.
+//! 2. **Pure shards.** Shards read the shared pre-region state and
+//!    write only their own preallocated output slot.
+//! 3. **Canonical merge.** Outputs are concatenated in chunk order,
+//!    which — because chunks are contiguous over a list the serial
+//!    engine iterates in order (ascending origin ASN for trees,
+//!    ascending session index for collector diffs) — *is* the serial
+//!    order. State mutation and log appends then happen serially on the
+//!    caller thread, records keyed `(time, session, prefix)` exactly as
+//!    the serial engine appends them.
+//!
+//! Hence the parallel engine is bitwise-identical to the serial one at
+//! any jobs count, which the differential harness
+//! (`tests/parallel_equivalence.rs`) enforces. Serial remains the
+//! default and the reference; [`Parallelism`] is deliberately excluded
+//! from scenario identity so checkpoints written at one `--jobs` value
+//! resume under any other.
+
+use quicksand_bgp::{Collector, FastConverge, LinkChange, SessionOps, UpdateLog};
+use quicksand_net::{AsPath, Asn, Ipv4Prefix, SimTime};
+use quicksand_obs as obs;
+use quicksand_topology::RouteClass;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Parallelize a tree-recompute region only when it has at least this
+/// many candidate trees; below it the dispatch costs more than it
+/// saves. Output is identical either way.
+const MIN_TREES_PER_REGION: usize = 2;
+
+/// Parallelize a collector-diff region only when live-sessions ×
+/// prefixes reaches this; below it the region stays on the caller
+/// thread. Output is identical either way.
+const MIN_DIFF_WORK: usize = 64;
+
+/// Execution-width configuration for month replays.
+///
+/// `serial()` (jobs = 1, the default) runs the reference in-place
+/// engine; `with_jobs(n)` shards per-event work across `n` threads with
+/// bitwise-identical output. Not part of scenario identity:
+/// [`crate::ScenarioConfig::config_hash`] normalizes it away, so
+/// checkpoints are portable across jobs counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    jobs: usize,
+}
+
+impl Parallelism {
+    /// The serial reference engine (jobs = 1).
+    pub fn serial() -> Self {
+        Parallelism { jobs: 1 }
+    }
+
+    /// Shard across `jobs` threads (clamped to at least 1).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Parallelism { jobs: jobs.max(1) }
+    }
+
+    /// Number of worker threads (1 = serial).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// True when this is the serial reference configuration.
+    pub fn is_serial(&self) -> bool {
+        self.jobs == 1
+    }
+
+    /// The pool this configuration calls for: `None` for serial.
+    pub fn pool(&self) -> Option<WorkerPool> {
+        (!self.is_serial()).then(|| WorkerPool::new(self.jobs))
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::serial()
+    }
+}
+
+/// A deterministic fan-out helper over [`std::thread::scope`].
+///
+/// Not a work-stealing pool: callers hand it one closure per statically
+/// assigned shard, so the shard→thread mapping is fixed before any
+/// thread runs. Threads are scoped per region (std only, no unsafe, no
+/// lifetime erasure); each installs the metrics registry captured at
+/// pool creation, so shard work records into the same registry as the
+/// caller even though `quicksand-obs`'s thread-local override does not
+/// propagate to new threads on its own.
+pub struct WorkerPool {
+    jobs: usize,
+    registry: Arc<obs::Registry>,
+}
+
+impl WorkerPool {
+    /// A pool that runs regions as up to `jobs` concurrent shards
+    /// (clamped to at least 1), recording shard metrics into the
+    /// currently active registry.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let pool = WorkerPool {
+            jobs,
+            registry: obs::metrics(),
+        };
+        obs::gauge("parallel", "jobs", jobs as f64);
+        pool
+    }
+
+    /// Shard-count budget for a region.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run one parallel region: every task beyond the first on its own
+    /// scoped thread, the first on the caller thread (a pool is never
+    /// idle while its caller waits). Returns once every task has
+    /// finished; a panicking task propagates to the caller after the
+    /// region joins. Records region fan-out (`region_tasks`, the queue
+    /// depth handed to the scheduler) and per-shard busy time under the
+    /// `parallel` stage.
+    pub fn run_region(&self, tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        obs::incr("parallel", "regions", 1);
+        obs::incr("parallel", "tasks", tasks.len() as u64);
+        obs::observe("parallel", "region_tasks", tasks.len() as f64);
+        std::thread::scope(|scope| {
+            let mut tasks = tasks.into_iter();
+            let first = tasks.next().expect("region has tasks");
+            for task in tasks {
+                let registry = Arc::clone(&self.registry);
+                scope.spawn(move || obs::with_metrics(registry, || run_shard(task)));
+            }
+            run_shard(first);
+        });
+    }
+}
+
+fn run_shard(task: Box<dyn FnOnce() + Send + '_>) {
+    let start = Instant::now();
+    task();
+    obs::observe("parallel", "shard_busy_ms", start.elapsed().as_secs_f64() * 1e3);
+}
+
+/// [`FastConverge::apply`] with candidate-tree reconvergence sharded
+/// across `pool`: contiguous chunks of the ascending-origin candidate
+/// list, changed flags concatenated in chunk order (= serial order).
+/// Bitwise-identical result and `recomputes` count at any jobs value.
+pub fn apply_event_sharded(
+    fc: &mut FastConverge,
+    change: LinkChange,
+    pool: &WorkerPool,
+) -> Vec<Asn> {
+    fc.apply_with(change, |graph, (a, b), trees| {
+        let shards = pool.jobs().min(trees.len());
+        if trees.len() < MIN_TREES_PER_REGION || shards < 2 {
+            return trees
+                .iter_mut()
+                .map(|(_, tree)| tree.reconverge_after_link_event(graph, a, b))
+                .collect();
+        }
+        let chunk = trees.len().div_ceil(shards);
+        let mut flags: Vec<Vec<bool>> = Vec::new();
+        flags.resize_with(shards, Vec::new);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for (shard, out) in trees.chunks_mut(chunk).zip(flags.iter_mut()) {
+            tasks.push(Box::new(move || {
+                *out = shard
+                    .iter_mut()
+                    .map(|(_, tree)| tree.reconverge_after_link_event(graph, a, b))
+                    .collect();
+            }));
+        }
+        pool.run_region(tasks);
+        flags.concat()
+    })
+}
+
+/// The serial [`Collector::observe`] with per-session diffing sharded
+/// across `pool`. Resets are emitted serially first (schedule order),
+/// live sessions are diffed against the shared pre-observe state in
+/// contiguous chunks of the ascending session-index list, and the
+/// per-session diffs are applied serially in that same order — so the
+/// log grows record-for-record as the serial engine's would.
+pub fn observe_sharded<F>(
+    collector: &mut Collector,
+    at: SimTime,
+    prefixes: &[Ipv4Prefix],
+    exported: &F,
+    log: &mut UpdateLog,
+    pool: &WorkerPool,
+) where
+    F: Fn(Asn, Ipv4Prefix) -> Option<(AsPath, RouteClass)> + Sync,
+{
+    let recorded_before = log.len();
+    collector.emit_due_resets(at, log);
+    let live = collector.live_session_indices();
+    let shards = pool.jobs().min(live.len());
+    let ops: Vec<SessionOps> = if shards < 2 || live.len() * prefixes.len() < MIN_DIFF_WORK {
+        live.iter()
+            .map(|&si| collector.diff_session(si, prefixes, exported))
+            .collect()
+    } else {
+        let snapshot: &Collector = collector;
+        let chunk = live.len().div_ceil(shards);
+        let mut diffs: Vec<Vec<SessionOps>> = Vec::new();
+        diffs.resize_with(shards, Vec::new);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for (sessions, out) in live.chunks(chunk).zip(diffs.iter_mut()) {
+            tasks.push(Box::new(move || {
+                *out = sessions
+                    .iter()
+                    .map(|&si| snapshot.diff_session(si, prefixes, exported))
+                    .collect();
+            }));
+        }
+        pool.run_region(tasks);
+        diffs.concat()
+    };
+    collector.apply_ops(at, &ops, log);
+    Collector::count_observation(log.len() - recorded_before);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallelism_defaults_to_serial() {
+        assert!(Parallelism::default().is_serial());
+        assert_eq!(Parallelism::default(), Parallelism::serial());
+        assert!(Parallelism::default().pool().is_none());
+        assert_eq!(Parallelism::with_jobs(0).jobs(), 1);
+        let p = Parallelism::with_jobs(4);
+        assert!(!p.is_serial());
+        assert_eq!(p.pool().map(|pool| pool.jobs()), Some(4));
+    }
+
+    #[test]
+    fn run_region_runs_every_task_exactly_once() {
+        let registry = Arc::new(obs::Registry::default());
+        obs::with_metrics(registry.clone(), || {
+            let pool = WorkerPool::new(3);
+            let ran = AtomicUsize::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..7)
+                .map(|_| {
+                    Box::new(|| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_region(tasks);
+            assert_eq!(ran.load(Ordering::SeqCst), 7);
+            pool.run_region(Vec::new()); // empty region is a no-op
+        });
+        let snap = registry.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.stage == "parallel" && c.name == name)
+                .map(|c| c.value)
+        };
+        assert_eq!(counter("regions"), Some(1));
+        assert_eq!(counter("tasks"), Some(7));
+        // One busy-time sample per shard, recorded from worker threads
+        // into the registry captured at pool creation.
+        let busy = snap
+            .histograms
+            .iter()
+            .find(|h| h.stage == "parallel" && h.name == "shard_busy_ms")
+            .expect("shard busy histogram");
+        assert_eq!(busy.stats.count, 7);
+    }
+
+    #[test]
+    fn worker_shard_metrics_land_in_the_creating_registry() {
+        // Even though obs's thread-local override does not propagate to
+        // spawned threads, shards must not leak metrics to the global
+        // registry: the pool re-installs its creation-time registry.
+        let registry = Arc::new(obs::Registry::default());
+        let global_before = obs::global_metrics().snapshot().counters.len();
+        obs::with_metrics(registry.clone(), || {
+            let pool = WorkerPool::new(4);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    Box::new(move || obs::incr("parallel", "probe", i as u64 + 1))
+                        as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_region(tasks);
+        });
+        let snap = registry.snapshot();
+        let probe = snap
+            .counters
+            .iter()
+            .find(|c| c.stage == "parallel" && c.name == "probe")
+            .expect("probe counter in scoped registry");
+        assert_eq!(probe.value, 1 + 2 + 3 + 4);
+        assert_eq!(
+            obs::global_metrics().snapshot().counters.len(),
+            global_before,
+            "no shard metric may leak into the global registry"
+        );
+    }
+
+    #[test]
+    fn region_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let pool = WorkerPool::new(2);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+                Box::new(|| {}),
+                Box::new(|| panic!("shard failure")),
+            ];
+            pool.run_region(tasks);
+        });
+        assert!(result.is_err(), "a panicking shard must fail the region");
+    }
+}

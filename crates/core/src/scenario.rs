@@ -21,6 +21,7 @@ use quicksand_bgp::{
 };
 use quicksand_net::{Asn, Ipv4Prefix, QsResult, QuicksandError, SimTime};
 use quicksand_obs as obs;
+use crate::parallel::{self, Parallelism};
 use quicksand_recover::{config_fingerprint, HookAction, MetricsState, PipelineSnapshot};
 use quicksand_topology::{GeneratedTopology, TopologyConfig, TopologyGenerator};
 use quicksand_tor::{
@@ -52,6 +53,12 @@ pub struct ScenarioConfig {
     pub n_control_origins: usize,
     /// Master seed for vantage/control sampling.
     pub seed: u64,
+    /// Execution width for the month replay. Serial by default (the
+    /// reference engine); any other value must — and, per the
+    /// differential harness, does — produce bitwise-identical output.
+    /// Excluded from [`ScenarioConfig::config_hash`], so checkpoints
+    /// are portable across jobs counts.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ScenarioConfig {
@@ -65,6 +72,7 @@ impl Default for ScenarioConfig {
             n_sessions: 70,
             n_control_origins: 300,
             seed: 0x5CEA,
+            parallelism: Parallelism::serial(),
         }
     }
 }
@@ -241,8 +249,15 @@ impl Scenario {
     /// The fingerprint checkpoints of this scenario are stamped with; a
     /// resume against a snapshot carrying a different fingerprint is
     /// refused with [`QuicksandError::ResumeMismatch`].
+    ///
+    /// Execution width is not scenario identity — output is bitwise
+    /// identical at any jobs count — so `parallelism` is normalized
+    /// away before fingerprinting: a checkpoint taken at one `--jobs`
+    /// value resumes under any other.
     pub fn config_hash(&self) -> u64 {
-        config_fingerprint(&self.config)
+        let mut identity = self.config.clone();
+        identity.parallelism = Parallelism::default();
+        config_fingerprint(&identity)
     }
 
     /// Build the pipeline snapshot for a run of this scenario that has
@@ -346,6 +361,11 @@ impl Scenario {
             None => 0,
         };
 
+        // Sharded engine, engaged only off the serial default. Both
+        // event application and collector observation route through
+        // `parallel` drivers proven (tests/parallel_equivalence.rs)
+        // bitwise-identical to the serial reference below.
+        let pool = self.config.parallelism.pool();
         let observe =
             |fc: &FastConverge,
              collector: &mut Collector,
@@ -353,18 +373,19 @@ impl Scenario {
              at: SimTime,
              prefixes: &[Ipv4Prefix],
              tracked: &BTreeMap<Ipv4Prefix, Asn>| {
-                collector.observe(
-                    at,
-                    prefixes,
-                    |peer, prefix| {
-                        let origin = *tracked.get(&prefix)?;
-                        let tree = fc.tree(origin)?;
-                        let path = tree.as_path_at(fc.graph(), peer)?;
-                        let class = tree.class_of(fc.graph(), peer)?;
-                        Some((path, class))
-                    },
-                    log,
-                );
+                let exported = |peer: Asn, prefix: Ipv4Prefix| {
+                    let origin = *tracked.get(&prefix)?;
+                    let tree = fc.tree(origin)?;
+                    let path = tree.as_path_at(fc.graph(), peer)?;
+                    let class = tree.class_of(fc.graph(), peer)?;
+                    Some((path, class))
+                };
+                match &pool {
+                    Some(pool) => parallel::observe_sharded(
+                        collector, at, prefixes, &exported, log, pool,
+                    ),
+                    None => collector.observe(at, prefixes, exported, log),
+                }
             };
 
         // Initial table dump at t = 0 (already in the log on resume).
@@ -401,7 +422,10 @@ impl Scenario {
                 if (i as u64) < cursor {
                     continue;
                 }
-                let affected = fc.apply(ev.change);
+                let affected = match &pool {
+                    Some(pool) => parallel::apply_event_sharded(&mut fc, ev.change, pool),
+                    None => fc.apply(ev.change),
+                };
                 if !affected.is_empty() {
                     let mut prefixes: Vec<Ipv4Prefix> = Vec::new();
                     for o in affected {

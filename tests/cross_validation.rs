@@ -4,8 +4,8 @@
 //! month-scale experiments (DESIGN.md §3).
 
 use quicksand_attack::{MultiOriginRouting, OriginSpec};
-use quicksand_bgp::{EventSim, FastConverge, LinkChange, Route, SimConfig};
-use quicksand_net::{Asn, Ipv4Prefix};
+use quicksand_bgp::{ChurnConfig, ChurnGenerator, EventSim, FastConverge, LinkChange, Route, SimConfig};
+use quicksand_net::{Asn, Ipv4Prefix, SimDuration};
 use quicksand_topology::{RoutingTree, TopologyConfig, TopologyGenerator};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -96,6 +96,62 @@ fn fast_converge_equals_event_sim_after_churn() {
                 want,
                 "eventsim diverged at {src} (step {step})"
             );
+        }
+    }
+}
+
+/// The engines agree *under generated churn*: the exact event sequence
+/// the month replay would play (a `ChurnGenerator` schedule, not
+/// hand-picked flips) drives both `FastConverge` and the message-level
+/// `EventSim`, and after every event all stable paths for several
+/// tracked origins are identical. This is the oracle that lets the
+/// parallel replay engine treat `FastConverge` as ground truth.
+#[test]
+fn fast_converge_equals_event_sim_under_generated_churn() {
+    let t = TopologyGenerator::new(TopologyConfig::small(505)).generate();
+    let asns: Vec<Asn> = t.graph.asns().collect();
+    // A few tracked origins spread across the AS space, like the month
+    // replay's mix of Tor-hosting and control origins.
+    let origins: Vec<Asn> = asns.iter().copied().step_by(asns.len() / 3).take(3).collect();
+    let pfx = |i: usize| -> Ipv4Prefix {
+        format!("198.{}.0.0/16", 51 + i).parse().unwrap()
+    };
+
+    let mut events = ChurnGenerator::new(ChurnConfig {
+        horizon: SimDuration::from_days(2),
+        seed: 1717,
+        ..Default::default()
+    })
+    .generate(&t.graph, &t.hosting);
+    assert!(events.len() > 40, "churn schedule unexpectedly sparse");
+    // The full schedule would make quiescence-per-event slow; a prefix
+    // of it still exercises downs, recoveries, and overlapping outages.
+    events.truncate(40);
+
+    let mut fc = FastConverge::new(t.graph.clone(), origins.iter().copied());
+    let mut sim = EventSim::new(&t.graph, SimConfig::default());
+    for (i, &o) in origins.iter().enumerate() {
+        sim.originate(o, Route::originate(pfx(i), o), None);
+    }
+    sim.run_to_quiescence();
+
+    for (step, ev) in events.iter().enumerate() {
+        fc.apply(ev.change);
+        if ev.change.up {
+            sim.link_up(ev.change.a, ev.change.b);
+        } else {
+            sim.link_down(ev.change.a, ev.change.b);
+        }
+        sim.run_to_quiescence();
+        for (i, &o) in origins.iter().enumerate() {
+            for &src in asns.iter().step_by(7) {
+                assert_eq!(
+                    fc.tree(o).unwrap().as_path_at(fc.graph(), src),
+                    sim.path_at(src, &pfx(i)),
+                    "engines diverged at {src} → {o} (event {step}, {:?})",
+                    ev.change
+                );
+            }
         }
     }
 }
