@@ -64,7 +64,7 @@ pub fn plan_interception(
     assert_ne!(victim, attacker, "attacker cannot be the victim");
     // Candidate egresses in deterministic order: providers, then peers,
     // then customers (ascending ASN within each class).
-    let mut candidates: Vec<Asn> = graph.providers(attacker);
+    let mut candidates: Vec<Asn> = graph.providers(attacker).collect();
     candidates.extend(graph.peers(attacker));
     candidates.extend(graph.customers(attacker));
 
@@ -72,7 +72,6 @@ pub fn plan_interception(
     for egress in candidates {
         let announce_to: Vec<Asn> = graph
             .providers(attacker)
-            .into_iter()
             .chain(graph.peers(attacker))
             .chain(graph.customers(attacker))
             .filter(|&n| n != egress)

@@ -62,7 +62,7 @@ fn bench_fast_converge(c: &mut Criterion) {
     let origins: Vec<Asn> = t.stubs.iter().copied().take(50).collect();
     // A link on many trees: a tier-1's first customer link.
     let t1 = t.tier1[0];
-    let customer = t.graph.customers(t1)[0];
+    let customer = t.graph.customers(t1).next().unwrap();
     c.bench_function("fast_converge_flap_50_origins", |b| {
         b.iter(|| {
             let mut fc = FastConverge::new(t.graph.clone(), origins.iter().copied());

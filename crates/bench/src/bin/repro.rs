@@ -9,7 +9,8 @@
 //!        [--checkpoint-every=N] [--checkpoint-dir=DIR] [--resume-from=PATH]
 //!        [--halt-after=K] [-v|--verbose] [-q|--quiet]
 //! repro report [--check] <run.json> [other.json]
-//! repro bench-snapshot [--small] [--jobs=N] [--bench-out=BENCH_fig3.json]
+//! repro bench-snapshot [--small|--medium] [--jobs=N]
+//!        [--bench-out=BENCH_monthreplay.json] [--baseline=PATH]
 //! ```
 //!
 //! `--small` runs the test-scale configuration (seconds instead of
@@ -74,6 +75,54 @@ use quicksand_recover::{
 };
 use quicksand_traffic::{CircuitFlowConfig, TcpConfig};
 use std::sync::Arc;
+
+/// Counting wrapper over the system allocator, installed only in this
+/// binary: `bench-snapshot` reads the counters around the month replay
+/// to report allocations/bytes per churn event — the zero-allocation
+/// hot-path metric tracked in `BENCH_monthreplay.json`.
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates every operation to `System`; the counters are
+    // lock-free atomics, safe in any allocation context.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(new_size as u64, Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+
+    /// Current (allocations, bytes) totals since process start.
+    pub fn snapshot() -> (u64, u64) {
+        (ALLOCS.load(Relaxed), BYTES.load(Relaxed))
+    }
+}
+
+#[global_allocator]
+static GLOBAL: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
 
 /// The full-scale configuration used for EXPERIMENTS.md.
 fn full_config() -> ScenarioConfig {
@@ -342,16 +391,46 @@ fn report_command(args: &[String]) -> i32 {
     }
 }
 
-/// `repro bench-snapshot [--small] [--jobs=N] [--bench-out=PATH]`: the
-/// Fig-3 dataset-construction benchmark. Runs the month replay once
-/// serial (the reference) and once sharded across N threads (default
-/// 4), verifies the two runs produce byte-identical update logs (exit 1
-/// otherwise — the differential gate), and writes wall-clock,
-/// events/sec, and speedup as JSON for CI to upload as an artifact.
-/// Each run uses a scoped metrics registry, so the measurement does not
-/// pollute (and is not polluted by) the global registry.
+/// FNV-1a over a byte slice: the digest `bench-snapshot` stamps on the
+/// MRT-encoded raw log, so before/after benchmark runs can prove the
+/// replay output stayed bitwise-identical across a refactor.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything `bench-snapshot` measures about one month replay.
+struct BenchRun {
+    month: MonthResult,
+    wall_s: f64,
+    events: u64,
+    /// Events/sec over the replay loop alone (the `churn.replay_rate`
+    /// gauge), excluding scenario build and cleaning.
+    replay_events_per_s: f64,
+    recomputes: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+/// `repro bench-snapshot [--small|--medium] [--jobs=N] [--bench-out=PATH]
+/// [--baseline=PATH]`: the month-replay hot-path benchmark. Runs the
+/// replay once serial (the reference) and once sharded across N threads
+/// (default 4), verifies the two runs produce byte-identical update
+/// logs (exit 1 otherwise — the differential gate), and writes
+/// wall-clock, replay events/sec, tree recomputes, and counting-
+/// allocator totals as JSON (`BENCH_monthreplay.json`) for CI to upload
+/// as an artifact. `--baseline=PATH` embeds a previously captured
+/// snapshot verbatim under `"baseline"`, recording a before/after pair
+/// from the same container. Each run uses a scoped metrics registry, so
+/// the measurement does not pollute (and is not polluted by) the global
+/// registry.
 fn bench_snapshot_command(args: &[String]) -> i32 {
     let small = args.iter().any(|a| a == "--small");
+    let medium = args.iter().any(|a| a == "--medium");
     let jobs = args
         .iter()
         .find_map(|a| a.strip_prefix("--jobs="))
@@ -366,15 +445,23 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
     let out_path = args
         .iter()
         .find_map(|a| a.strip_prefix("--bench-out="))
-        .unwrap_or("BENCH_fig3.json");
-    let base = if small { small_config() } else { full_config() };
+        .unwrap_or("BENCH_monthreplay.json");
+    let baseline = args.iter().find_map(|a| a.strip_prefix("--baseline="));
+    let (scenario_name, base) = if small {
+        ("small", small_config())
+    } else if medium {
+        ("medium", ScenarioConfig::medium(0xA11))
+    } else {
+        ("full", full_config())
+    };
 
-    let timed_run = |n_jobs: usize| -> (MonthResult, f64, u64) {
+    let timed_run = |n_jobs: usize| -> BenchRun {
         let mut cfg = base.clone();
         cfg.parallelism = Parallelism::with_jobs(n_jobs);
         let scenario = Scenario::build(cfg);
         let registry = Arc::new(obs::Registry::default());
         obs::with_metrics(registry.clone(), || {
+            let (allocs0, bytes0) = alloc_counter::snapshot();
             let started = std::time::Instant::now();
             let month = match scenario.run_month() {
                 Ok(m) => m,
@@ -384,46 +471,96 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
                 }
             };
             let wall_s = started.elapsed().as_secs_f64();
-            let events = registry
-                .snapshot()
-                .counters
+            let (allocs1, bytes1) = alloc_counter::snapshot();
+            let snap = registry.snapshot();
+            let counter = |stage: &str, name: &str| {
+                snap.counters
+                    .iter()
+                    .find(|c| c.stage == stage && c.name == name)
+                    .map_or(0, |c| c.value)
+            };
+            let events = counter("churn", "events");
+            let replay_events_per_s = snap
+                .gauges
                 .iter()
-                .find(|c| c.stage == "churn" && c.name == "events")
-                .map_or(0, |c| c.value);
-            (month, wall_s, events)
+                .find(|g| g.stage == "churn" && g.name == "replay_rate")
+                .map_or(events as f64 / wall_s.max(f64::MIN_POSITIVE), |g| g.value);
+            BenchRun {
+                month,
+                wall_s,
+                events,
+                replay_events_per_s,
+                recomputes: counter("routing", "tree_recomputes"),
+                allocs: allocs1 - allocs0,
+                alloc_bytes: bytes1 - bytes0,
+            }
         })
     };
 
     eprintln!(
-        "bench-snapshot: month replay, {} scenario, serial vs --jobs={jobs}",
-        if small { "small" } else { "full" }
+        "bench-snapshot: month replay, {scenario_name} scenario, serial vs --jobs={jobs}"
     );
-    let (serial, serial_s, events) = timed_run(1);
-    let (parallel, parallel_s, _) = timed_run(jobs);
-    let identical = serial.raw == parallel.raw
-        && serial.cleaned == parallel.cleaned
-        && serial.removed_duplicates == parallel.removed_duplicates
-        && serial.reset_bursts == parallel.reset_bursts;
-    let rate = |wall_s: f64| events as f64 / wall_s.max(f64::MIN_POSITIVE);
-    let speedup = serial_s / parallel_s.max(f64::MIN_POSITIVE);
+    let serial = timed_run(1);
+    let parallel = timed_run(jobs);
+    let identical = serial.month.raw == parallel.month.raw
+        && serial.month.cleaned == parallel.month.cleaned
+        && serial.month.removed_duplicates == parallel.month.removed_duplicates
+        && serial.month.reset_bursts == parallel.month.reset_bursts;
+    let mut raw_bytes = Vec::new();
+    quicksand_bgp::mrt::write_log(&serial.month.raw, &mut raw_bytes)
+        .expect("writing to a Vec cannot fail");
+    let raw_log_fnv = fnv64(&raw_bytes);
+    let speedup = serial.wall_s / parallel.wall_s.max(f64::MIN_POSITIVE);
+    let events = serial.events;
+    let per_event = |x: u64| x as f64 / (events.max(1)) as f64;
+    let run_json = |r: &BenchRun| {
+        format!(
+            "{{ \"wall_s\": {:.6}, \"events_per_s\": {:.3}, \"recomputes\": {}, \
+             \"allocs\": {}, \"alloc_bytes\": {}, \"allocs_per_event\": {:.2}, \
+             \"bytes_per_event\": {:.1} }}",
+            r.wall_s,
+            r.replay_events_per_s,
+            r.recomputes,
+            r.allocs,
+            r.alloc_bytes,
+            per_event(r.allocs),
+            per_event(r.alloc_bytes),
+        )
+    };
+    let baseline_json = match baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text.trim().to_string(),
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                return 2;
+            }
+        },
+        None => "null".to_string(),
+    };
     let json = format!(
-        "{{\n  \"bench\": \"fig3_month_replay\",\n  \"scenario\": \"{}\",\n  \
+        "{{\n  \"bench\": \"month_replay\",\n  \"scenario\": \"{scenario_name}\",\n  \
          \"jobs\": {jobs},\n  \"events\": {events},\n  \"raw_records\": {},\n  \
-         \"serial\": {{ \"wall_s\": {serial_s:.6}, \"events_per_s\": {:.3} }},\n  \
-         \"parallel\": {{ \"wall_s\": {parallel_s:.6}, \"events_per_s\": {:.3} }},\n  \
-         \"speedup\": {speedup:.4},\n  \"identical\": {identical}\n}}\n",
-        if small { "small" } else { "full" },
-        serial.raw.len(),
-        rate(serial_s),
-        rate(parallel_s),
+         \"raw_log_fnv\": \"{raw_log_fnv:#018x}\",\n  \
+         \"serial\": {},\n  \
+         \"parallel\": {},\n  \
+         \"speedup\": {speedup:.4},\n  \"identical\": {identical},\n  \
+         \"baseline\": {baseline_json}\n}}\n",
+        serial.month.raw.len(),
+        run_json(&serial),
+        run_json(&parallel),
     );
     if let Err(e) = std::fs::write(out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");
         return 2;
     }
     eprintln!(
-        "bench-snapshot: {events} events; serial {serial_s:.3}s, \
-         --jobs={jobs} {parallel_s:.3}s (speedup {speedup:.2}x); wrote {out_path}"
+        "bench-snapshot: {events} events; serial {:.3}s ({:.0} ev/s replay, \
+         {:.0} allocs/event), --jobs={jobs} {:.3}s (speedup {speedup:.2}x); \
+         raw log fnv {raw_log_fnv:#018x}; wrote {out_path}",
+        serial.wall_s,
+        serial.replay_events_per_s,
+        per_event(serial.allocs),
+        parallel.wall_s,
     );
     if !identical {
         eprintln!("error: parallel replay diverged from serial (differential gate)");

@@ -17,9 +17,10 @@
 //! [`clean_session_resets`] is that cleaning pass.
 
 use crate::msg::{Route, UpdateMessage};
+use crate::paths::{ExportCache, PathArena, PathId};
 use quicksand_net::{AsPath, Asn, Ipv4Prefix, QsResult, QuicksandError, SimDuration, SimTime};
 use quicksand_obs as obs;
-use quicksand_topology::RouteClass;
+use quicksand_topology::{AsGraph, RouteClass, RoutingTree};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -54,9 +55,10 @@ pub struct UpdateRecord {
 
 /// The table changes one [`Collector::observe`] computes for one
 /// session before any state is applied: for each prefix whose recorded
-/// entry changes, the new entry — `Some(path)` to insert or replace (an
+/// entry changes, the new entry — `Some(id)` to insert or replace (an
 /// announcement), `None` to remove (a withdrawal) — in the prefix
-/// iteration order of the observe call.
+/// iteration order of the observe call. Paths are interned
+/// [`PathId`]s into the collector's [`PathArena`].
 ///
 /// Produced by [`Collector::diff_session`] against pre-observe state
 /// and consumed by [`Collector::apply_ops`]; the parallel month-replay
@@ -65,8 +67,8 @@ pub struct UpdateRecord {
 pub struct SessionOps {
     /// Index of the session into the collector's roster.
     pub session: usize,
-    /// Changed entries as `(prefix, new table entry)`.
-    pub ops: Vec<(Ipv4Prefix, Option<AsPath>)>,
+    /// Changed entries as `(prefix, new interned table entry)`.
+    pub ops: Vec<(Ipv4Prefix, Option<PathId>)>,
 }
 
 /// A time-ordered log of updates across all sessions of all collectors.
@@ -176,8 +178,21 @@ pub struct SessionInfo {
 #[derive(Debug)]
 pub struct Collector {
     sessions: Vec<SessionInfo>,
-    /// Last announced path per (session index, prefix).
-    state: BTreeMap<(usize, Ipv4Prefix), AsPath>,
+    /// Last announced path per prefix, interned, one sorted table per
+    /// session (parallel to `sessions`). Per-session maps keep the
+    /// hot-path lookup short — the diff probes its own session's table
+    /// millions of times per replay — while iteration stays in the
+    /// ascending (session, prefix) order the log format relies on.
+    state: Vec<BTreeMap<Ipv4Prefix, PathId>>,
+    /// Arena of every distinct recorded path; `state` and [`SessionOps`]
+    /// refer into it, and records resolve through it on append.
+    arena: PathArena,
+    /// Per-session peer graph indices, memoized on the first
+    /// [`Collector::refresh_exports`] call (parallel to `sessions`;
+    /// empty until then). Node indices are stable for a graph's
+    /// lifetime — link churn never renumbers nodes — so one resolution
+    /// serves the whole replay.
+    peer_idx: Vec<Option<usize>>,
     /// Reset schedule: sorted (time, session index).
     resets: Vec<(SimTime, usize)>,
     next_reset: usize,
@@ -295,9 +310,12 @@ impl Collector {
         }
         resets.sort();
         let liveness = vec![SessionState::Up; sessions.len()];
+        let state = vec![BTreeMap::new(); sessions.len()];
         Ok(Collector {
             sessions,
-            state: BTreeMap::new(),
+            state,
+            arena: PathArena::new(),
+            peer_idx: Vec::new(),
             resets,
             next_reset: 0,
             liveness,
@@ -309,6 +327,40 @@ impl Collector {
     /// The sessions of this collector.
     pub fn sessions(&self) -> &[SessionInfo] {
         &self.sessions
+    }
+
+    /// The arena holding every distinct recorded path seen so far.
+    pub fn arena(&self) -> &PathArena {
+        &self.arena
+    }
+
+    /// Bring `cache` up to date for `tree`'s origin at every session
+    /// peer of this collector, interning newly seen recorded paths into
+    /// this collector's arena. The replay loop calls this for each
+    /// origin whose tree changed before observing; epoch-unchanged
+    /// entries return immediately.
+    pub fn refresh_exports(
+        &mut self,
+        graph: &AsGraph,
+        tree: &RoutingTree,
+        cache: &mut ExportCache,
+    ) {
+        if self.peer_idx.len() != self.sessions.len() {
+            self.peer_idx = self
+                .sessions
+                .iter()
+                .map(|s| graph.index_of(s.peer))
+                .collect();
+        }
+        for i in 0..self.sessions.len() {
+            cache.refresh_at(
+                graph,
+                tree,
+                self.sessions[i].peer,
+                self.peer_idx[i],
+                &mut self.arena,
+            );
+        }
     }
 
     fn index_of(&self, id: SessionId) -> QsResult<usize> {
@@ -384,15 +436,7 @@ impl Collector {
                 // Forget the session's table: the peer re-dumps on
                 // re-establishment, so the next observe re-announces
                 // every live route.
-                let stale: Vec<(usize, Ipv4Prefix)> = self
-                    .state
-                    .range((i, Ipv4Prefix::from_u32(0, 0))..)
-                    .take_while(|((s, _), _)| *s == i)
-                    .map(|(k, _)| *k)
-                    .collect();
-                for k in stale {
-                    self.state.remove(&k);
-                }
+                self.state[i].clear();
                 obs::incr("collector", "reconnects", 1);
                 obs::incr_session("collector", "reconnects", id.0, 1);
                 recovered.push(id);
@@ -428,12 +472,14 @@ impl Collector {
     /// regenerated deterministically by [`Collector::new`] from the
     /// same peers and configuration.
     pub fn export_state(&self) -> CollectorState {
+        let mut routes = Vec::new();
+        for (si, table) in self.state.iter().enumerate() {
+            for (p, id) in table {
+                routes.push((si as u32, *p, self.arena.resolve(*id).clone()));
+            }
+        }
         CollectorState {
-            routes: self
-                .state
-                .iter()
-                .map(|((si, p), path)| (*si as u32, *p, path.clone()))
-                .collect(),
+            routes,
             resets_done: self.next_reset as u64,
             liveness: self
                 .liveness
@@ -482,7 +528,8 @@ impl Collector {
                 ),
             });
         }
-        let mut table: BTreeMap<(usize, Ipv4Prefix), AsPath> = BTreeMap::new();
+        let mut table: Vec<BTreeMap<Ipv4Prefix, PathId>> =
+            vec![BTreeMap::new(); self.sessions.len()];
         for (si, prefix, path) in &state.routes {
             let si = *si as usize;
             if si >= self.sessions.len() {
@@ -491,7 +538,7 @@ impl Collector {
                     detail: format!("route on unknown session index {si}"),
                 });
             }
-            table.insert((si, *prefix), path.clone());
+            table[si].insert(*prefix, self.arena.intern(path.clone()));
         }
         self.state = table;
         self.next_reset = state.resets_done as usize;
@@ -531,12 +578,59 @@ impl Collector {
     ) where
         F: Fn(Asn, Ipv4Prefix) -> Option<(AsPath, RouteClass)>,
     {
+        // Convenience form: pre-intern the recorded (peer-prepended)
+        // path for every queried (peer, prefix) pair, then run the
+        // interned observe against the resulting table. The replay hot
+        // path skips this and calls [`Collector::observe_interned`]
+        // with an [`ExportCache`]-backed closure directly.
+        let peers: Vec<Asn> = self
+            .live_session_indices()
+            .into_iter()
+            .map(|si| self.sessions[si].peer)
+            .collect();
+        let arena = &mut self.arena;
+        let mut table: BTreeMap<(Asn, Ipv4Prefix), Option<(PathId, RouteClass)>> =
+            BTreeMap::new();
+        for &peer in &peers {
+            for &prefix in prefixes {
+                table.entry((peer, prefix)).or_insert_with(|| {
+                    exported(peer, prefix)
+                        .map(|(path, class)| (arena.intern(path.prepended(peer)), class))
+                });
+            }
+        }
+        self.observe_interned(
+            at,
+            prefixes,
+            &|peer, pi| table.get(&(peer, prefixes[pi])).copied().flatten(),
+            log,
+        );
+    }
+
+    /// [`Collector::observe`] over pre-interned exports: `exported`
+    /// yields, for a peer and an index into `prefixes`, the interned id
+    /// of the *recorded* path (the peer-prepended path the session would
+    /// log — the full peer→origin walk) plus the peer's route class,
+    /// typically straight out of an [`ExportCache`]. Passing the index
+    /// rather than the prefix lets callers answer from a slice aligned
+    /// with `prefixes` instead of a per-query map lookup. This is the
+    /// month-replay hot path: diffing compares path ids and touches no
+    /// allocator.
+    pub fn observe_interned<F>(
+        &mut self,
+        at: SimTime,
+        prefixes: &[Ipv4Prefix],
+        exported: &F,
+        log: &mut UpdateLog,
+    ) where
+        F: Fn(Asn, usize) -> Option<(PathId, RouteClass)>,
+    {
         let recorded_before = log.records.len();
         self.emit_due_resets(at, log);
         let ops: Vec<SessionOps> = self
             .live_session_indices()
             .into_iter()
-            .map(|si| self.diff_session(si, prefixes, &exported))
+            .map(|si| self.diff_session(si, prefixes, exported))
             .collect();
         self.apply_ops(at, &ops, log);
         Self::count_observation(log.records.len() - recorded_before);
@@ -559,19 +653,13 @@ impl Collector {
                 continue;
             }
             let id = self.sessions[si].id;
-            let dump: Vec<(Ipv4Prefix, AsPath)> = self
-                .state
-                .range((si, Ipv4Prefix::from_u32(0, 0))..)
-                .take_while(|((s, _), _)| *s == si)
-                .map(|((_, p), path)| (*p, path.clone()))
-                .collect();
-            for (prefix, path) in dump {
+            for (&prefix, &pid) in &self.state[si] {
                 log.records.push(UpdateRecord {
                     at: rt,
                     session: id,
                     msg: UpdateMessage::Announce(Route {
                         prefix,
-                        as_path: path,
+                        as_path: self.arena.resolve(pid).clone(),
                         communities: Default::default(),
                     }),
                 });
@@ -587,9 +675,12 @@ impl Collector {
             .collect()
     }
 
-    /// Pure per-session half of [`Collector::observe`]: diff the routes
-    /// `exported` yields for `prefixes` against session `si`'s recorded
-    /// table and return the entries that change, mutating nothing.
+    /// Pure per-session half of [`Collector::observe`]: diff the
+    /// interned exports `exported` yields for `prefixes` against session
+    /// `si`'s recorded table and return the entries that change,
+    /// mutating nothing. `exported` must yield the *recorded* path id
+    /// (peer-prepended, as [`Collector::observe_interned`] documents);
+    /// the per-session feed filter is applied here.
     ///
     /// Reads only session `si`'s slice of the table — the `(si, prefix)`
     /// keyspaces of distinct sessions are disjoint — so different
@@ -601,37 +692,35 @@ impl Collector {
     /// would.
     pub fn diff_session<F>(&self, si: usize, prefixes: &[Ipv4Prefix], exported: &F) -> SessionOps
     where
-        F: Fn(Asn, Ipv4Prefix) -> Option<(AsPath, RouteClass)>,
+        F: Fn(Asn, usize) -> Option<(PathId, RouteClass)>,
     {
         let info = &self.sessions[si];
-        let mut ops: Vec<(Ipv4Prefix, Option<AsPath>)> = Vec::new();
-        // Overlay of not-yet-applied entries, consulted before the real
-        // table so duplicate prefixes in one call see their own effect.
-        let mut pending: BTreeMap<Ipv4Prefix, Option<AsPath>> = BTreeMap::new();
-        for &prefix in prefixes {
-            let now = exported(info.peer, prefix).and_then(|(path, class)| {
+        let mut ops: Vec<(Ipv4Prefix, Option<PathId>)> = Vec::new();
+        for (pi, &prefix) in prefixes.iter().enumerate() {
+            let now = exported(info.peer, pi).and_then(|(id, class)| {
                 let visible = match info.kind {
                     FeedKind::Full => true,
                     FeedKind::Partial => {
                         matches!(class, RouteClass::Origin | RouteClass::Customer)
                     }
                 };
-                visible.then(|| path.prepended(info.peer))
+                visible.then_some(id)
             });
-            let prev = match pending.get(&prefix) {
-                Some(overlaid) => overlaid.as_ref(),
-                None => self.state.get(&(si, prefix)),
+            // Duplicate prefixes in one call must see their own effect:
+            // the latest not-yet-applied op for this prefix overlays the
+            // table. `ops` mirrors the pending set exactly — an op is
+            // pushed iff the entry changes — so a reverse scan replaces
+            // the allocating overlay map the untuned diff kept.
+            let prev = match ops.iter().rev().find(|&&(p, _)| p == prefix) {
+                Some(&(_, overlaid)) => overlaid,
+                None => self.state[si].get(&prefix).copied(),
             };
             match (prev, now) {
                 (None, None) => {}
-                (Some(_), None) => {
-                    pending.insert(prefix, None);
-                    ops.push((prefix, None));
-                }
-                (prev, Some(path)) => {
-                    if prev != Some(&path) {
-                        pending.insert(prefix, Some(path.clone()));
-                        ops.push((prefix, Some(path)));
+                (Some(_), None) => ops.push((prefix, None)),
+                (prev, Some(id)) => {
+                    if prev != Some(id) {
+                        ops.push((prefix, Some(id)));
                     }
                 }
             }
@@ -650,26 +739,25 @@ impl Collector {
             "session diffs must apply in ascending session order"
         );
         for so in ops {
-            let id = self.sessions[so.session].id;
+            let sid = self.sessions[so.session].id;
             for (prefix, entry) in &so.ops {
-                let key = (so.session, *prefix);
                 match entry {
                     None => {
-                        self.state.remove(&key);
+                        self.state[so.session].remove(prefix);
                         log.records.push(UpdateRecord {
                             at,
-                            session: id,
+                            session: sid,
                             msg: UpdateMessage::Withdraw(*prefix),
                         });
                     }
-                    Some(path) => {
-                        self.state.insert(key, path.clone());
+                    Some(id) => {
+                        self.state[so.session].insert(*prefix, *id);
                         log.records.push(UpdateRecord {
                             at,
-                            session: id,
+                            session: sid,
                             msg: UpdateMessage::Announce(Route {
                                 prefix: *prefix,
-                                as_path: path.clone(),
+                                as_path: self.arena.resolve(*id).clone(),
                                 communities: Default::default(),
                             }),
                         });

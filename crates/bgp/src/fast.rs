@@ -17,7 +17,8 @@
 
 use crate::churn::LinkChange;
 use quicksand_net::Asn;
-use quicksand_topology::{AsGraph, Relationship, RouteClass, RoutingTree};
+use quicksand_obs as obs;
+use quicksand_topology::{AsGraph, ReconvergeScratch, Relationship, RouteClass, RoutingTree};
 use std::collections::BTreeMap;
 
 /// Incrementally maintained routing trees for tracked origins.
@@ -30,6 +31,9 @@ pub struct FastConverge {
     down: BTreeMap<(Asn, Asn), Relationship>,
     /// Count of tree recomputations (for benchmarks/diagnostics).
     pub recomputes: u64,
+    /// Worklist scratch reused across every event and candidate tree,
+    /// so serial [`FastConverge::apply`] allocates nothing per event.
+    scratch: ReconvergeScratch,
 }
 
 fn key(a: Asn, b: Asn) -> (Asn, Asn) {
@@ -58,6 +62,7 @@ impl FastConverge {
             trees,
             down: BTreeMap::new(),
             recomputes: 0,
+            scratch: ReconvergeScratch::new(),
         }
     }
 
@@ -95,12 +100,17 @@ impl FastConverge {
     /// check at the endpoints for recoveries) skip trees the event
     /// provably cannot touch.
     pub fn apply(&mut self, change: LinkChange) -> Vec<Asn> {
-        self.apply_with(change, |graph, (a, b), trees| {
+        // Lend out the owned scratch for the duration of the closure
+        // (it cannot borrow `self` while `apply_with` holds `&mut self`).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let changed = self.apply_with(change, |graph, (a, b), trees| {
             trees
                 .iter_mut()
-                .map(|(_, tree)| tree.reconverge_after_link_event(graph, a, b))
+                .map(|(_, tree)| tree.reconverge_with(graph, a, b, &mut scratch))
                 .collect()
-        })
+        });
+        self.scratch = scratch;
+        changed
     }
 
     /// [`FastConverge::apply`] with the per-tree reconvergence delegated
@@ -162,6 +172,7 @@ impl FastConverge {
             return Vec::new();
         }
         self.recomputes += candidates.len() as u64;
+        obs::incr("routing", "tree_recomputes", candidates.len() as u64);
         // Move the candidate trees out of the map so `recompute` can
         // mutate them while reading the graph it was handed.
         let mut taken: Vec<(Asn, RoutingTree)> = candidates

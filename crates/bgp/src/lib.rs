@@ -40,6 +40,7 @@ pub mod fault;
 pub mod metrics;
 pub mod mrt;
 mod msg;
+pub mod paths;
 mod table;
 
 pub use churn::{ChurnConfig, ChurnEvent, ChurnGenerator, LinkChange};
@@ -51,4 +52,5 @@ pub use event::{EventSim, SimConfig, SimStats};
 pub use fast::FastConverge;
 pub use fault::{FaultInjector, FaultProfile, FaultReport, FaultedFeed};
 pub use msg::{Community, Route, UpdateMessage};
+pub use paths::{ExportCache, PathArena, PathId};
 pub use table::PrefixTable;

@@ -1,0 +1,317 @@
+//! Interned AS-path observation: the month-replay hot path's arena.
+//!
+//! A month replay observes the same few thousand *distinct* AS paths
+//! millions of times: every churn event re-reads each affected origin's
+//! route at every collector peer, and the untuned pipeline rebuilt a
+//! heap-backed [`AsPath`] per (session, prefix) query — twice, once in
+//! the export closure and once more when the diff prepended the peer.
+//! This module removes those allocations (DESIGN.md §11):
+//!
+//! * [`PathArena`] deduplicates paths. Interning an already-seen path is
+//!   a hash plus a slice compare — no allocation — and yields a compact
+//!   [`PathId`] the collector stores in its table and diffs by integer
+//!   equality instead of hop-by-hop path comparison.
+//! * [`ExportCache`] memoizes, per `(origin, peer)`, the interned
+//!   *recorded* path (peer-prepended, exactly what the session logs) and
+//!   the peer's route class, keyed on the origin tree's
+//!   [`RoutingTree::epoch`]. A session diff then costs one table lookup;
+//!   the path walk and intern happen once per tree *change*, not once
+//!   per (session, prefix) query.
+//!
+//! Determinism note: both maps are `HashMap`s but are never iterated —
+//! all iteration-order-sensitive state lives in sorted structures — and
+//! recorded output resolves ids back to paths, so results are
+//! independent of hash seeding and of the order ids were assigned.
+
+use quicksand_net::{AsPath, Asn};
+use quicksand_topology::{AsGraph, RouteClass, RoutingTree};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Compact handle to a path interned in a [`PathArena`]. Two ids from
+/// the same arena are equal iff the paths are equal hop for hop.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PathId(u32);
+
+/// A multiply-rotate hasher (the rustc "Fx" construction) for the `u64`
+/// keys below. Both maps sit on the per-event hot path, where SipHash's
+/// keyed setup costs more than the lookup itself; neither map is
+/// exposed to untrusted keys, so HashDoS resistance buys nothing here.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type FxMap<V> = HashMap<u64, V, BuildHasherDefault<FxHasher>>;
+
+/// FNV-1a over the path's ASN sequence. Collisions are tolerated (the
+/// arena compares slices within a bucket); this only spreads buckets.
+fn fnv64_asns(asns: &[Asn]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for a in asns {
+        for b in a.0.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// A deduplicating arena of AS paths.
+///
+/// [`PathArena::intern_slice`] is the hot entry point: on a hit (the
+/// overwhelmingly common case after warmup) it allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct PathArena {
+    paths: Vec<AsPath>,
+    /// Hash → ids of paths with that hash (almost always one).
+    buckets: FxMap<Vec<PathId>>,
+}
+
+impl PathArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct paths interned.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Intern the path given as an ASN slice (first hop first, origin
+    /// last). Allocation-free when the path is already interned.
+    pub fn intern_slice(&mut self, asns: &[Asn]) -> PathId {
+        let bucket = self.buckets.entry(fnv64_asns(asns)).or_default();
+        for &id in bucket.iter() {
+            if self.paths[id.0 as usize].asns() == asns {
+                return id;
+            }
+        }
+        let id = PathId(
+            u32::try_from(self.paths.len()).expect("fewer than 2^32 distinct paths"),
+        );
+        self.paths.push(AsPath::from_asns(asns.iter().copied()));
+        bucket.push(id);
+        id
+    }
+
+    /// Intern an owned path (reusing an existing entry when equal).
+    pub fn intern(&mut self, path: AsPath) -> PathId {
+        let bucket = self.buckets.entry(fnv64_asns(path.asns())).or_default();
+        for &id in bucket.iter() {
+            if self.paths[id.0 as usize] == path {
+                return id;
+            }
+        }
+        let id = PathId(
+            u32::try_from(self.paths.len()).expect("fewer than 2^32 distinct paths"),
+        );
+        self.paths.push(path);
+        bucket.push(id);
+        id
+    }
+
+    /// The path behind an id issued by this arena.
+    pub fn resolve(&self, id: PathId) -> &AsPath {
+        &self.paths[id.0 as usize]
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CachedExport {
+    /// [`RoutingTree::epoch`] the entry was computed at; `u64::MAX` is
+    /// the never-computed sentinel (trees start at epoch 0).
+    epoch: u64,
+    /// The interned recorded path and the peer's route class, `None`
+    /// when the peer has no route to the origin.
+    export: Option<(PathId, RouteClass)>,
+}
+
+/// Per-`(origin, peer)` memo of what a collector session would record,
+/// invalidated by [`RoutingTree::epoch`] advances.
+///
+/// The replay loop calls [`ExportCache::refresh`] for every (changed
+/// tree, session peer) pair before observing; the observe closure then
+/// answers every (session, prefix) query with [`ExportCache::get`] —
+/// no path walk, no allocation.
+#[derive(Clone, Debug, Default)]
+pub struct ExportCache {
+    /// Keyed by `(origin << 32) | peer` — see [`pair_key`].
+    entries: FxMap<CachedExport>,
+    /// Reusable hop buffer for [`RoutingTree::path_from_into`].
+    scratch: Vec<Asn>,
+}
+
+/// One-word key for an `(origin, peer)` pair; ASNs are 32-bit so the
+/// packing is injective.
+fn pair_key(origin: Asn, peer: Asn) -> u64 {
+    (u64::from(origin.0) << 32) | u64::from(peer.0)
+}
+
+impl ExportCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bring the `(tree.dest(), peer)` entry up to date: if the tree's
+    /// epoch moved since the entry was computed (or the pair was never
+    /// seen), walk the peer's path once, intern it into `arena`, and
+    /// store the `(id, class)` export. No-op when the epoch matches.
+    ///
+    /// The cached path is the *recorded* path — the peer-prepended form
+    /// a session logs, i.e. the full `peer → … → origin` walk.
+    pub fn refresh(
+        &mut self,
+        graph: &AsGraph,
+        tree: &RoutingTree,
+        peer: Asn,
+        arena: &mut PathArena,
+    ) {
+        self.refresh_at(graph, tree, peer, graph.index_of(peer), arena);
+    }
+
+    /// [`ExportCache::refresh`] with the peer's dense node index already
+    /// resolved (`None` when the peer is not in the graph — it then has
+    /// no route by definition). The per-event hot loop refreshes every
+    /// (changed origin, session peer) pair, so the caller amortizes the
+    /// ASN→index map walk across the whole run instead of paying it
+    /// twice per refresh.
+    pub fn refresh_at(
+        &mut self,
+        graph: &AsGraph,
+        tree: &RoutingTree,
+        peer: Asn,
+        peer_idx: Option<usize>,
+        arena: &mut PathArena,
+    ) {
+        let Self { entries, scratch } = self;
+        let entry = entries
+            .entry(pair_key(tree.dest(), peer))
+            .or_insert(CachedExport {
+                epoch: u64::MAX,
+                export: None,
+            });
+        if entry.epoch == tree.epoch() {
+            return;
+        }
+        entry.epoch = tree.epoch();
+        let prev = entry.export;
+        entry.export = peer_idx
+            .and_then(|i| tree.export_into_idx(graph, i, scratch))
+            .map(|class| {
+                // A tree change usually leaves most peers' paths intact:
+                // one slice compare against the previous export skips
+                // the hash-and-probe of a full intern in that common
+                // case.
+                let id = match prev {
+                    Some((old, _)) if arena.resolve(old).asns() == &scratch[..] => old,
+                    _ => arena.intern_slice(scratch),
+                };
+                (id, class)
+            });
+    }
+
+    /// The memoized export for `(origin, peer)`.
+    ///
+    /// Panics when the pair was never refreshed — that would mean the
+    /// replay loop queried an origin whose tree it did not refresh,
+    /// which silently corrupts the dataset; failing loudly is the
+    /// guard on that invariant.
+    pub fn get(&self, origin: Asn, peer: Asn) -> Option<(PathId, RouteClass)> {
+        self.entries
+            .get(&pair_key(origin, peer))
+            .expect("export cache queried for a never-refreshed (origin, peer)")
+            .export
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksand_topology::Tier;
+
+    fn path(v: &[u32]) -> AsPath {
+        v.iter().map(|&a| Asn(a)).collect()
+    }
+
+    #[test]
+    fn interning_dedups_and_resolves() {
+        let mut arena = PathArena::new();
+        assert!(arena.is_empty());
+        let a = arena.intern(path(&[1, 2, 3]));
+        let b = arena.intern_slice(&[Asn(1), Asn(2), Asn(3)]);
+        let c = arena.intern(path(&[1, 2, 4]));
+        assert_eq!(a, b, "equal paths intern to one id");
+        assert_ne!(a, c);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.resolve(a), &path(&[1, 2, 3]));
+        assert_eq!(arena.resolve(c), &path(&[1, 2, 4]));
+        // The empty path interns like any other.
+        let e = arena.intern_slice(&[]);
+        assert_eq!(arena.resolve(e), &AsPath::empty());
+        assert_eq!(arena.intern(AsPath::empty()), e);
+    }
+
+    #[test]
+    fn export_cache_tracks_tree_epochs() {
+        // Chain 3 -> 2 -> 1 (customer -> provider), destination 1.
+        let mut g = AsGraph::new();
+        for (a, t) in [(1, Tier::Tier1), (2, Tier::Tier2), (3, Tier::Stub)] {
+            g.add_as(Asn(a), t).unwrap();
+        }
+        g.add_customer_provider(Asn(2), Asn(1)).unwrap();
+        g.add_customer_provider(Asn(3), Asn(2)).unwrap();
+        let mut tree = RoutingTree::compute(&g, Asn(1)).unwrap();
+
+        let mut arena = PathArena::new();
+        let mut cache = ExportCache::new();
+        cache.refresh(&g, &tree, Asn(3), &mut arena);
+        let (id, class) = cache.get(Asn(1), Asn(3)).unwrap();
+        assert_eq!(arena.resolve(id), &path(&[3, 2, 1]));
+        assert_eq!(class, RouteClass::Provider);
+
+        // Same epoch: refresh is a no-op and interns nothing new.
+        cache.refresh(&g, &tree, Asn(3), &mut arena);
+        assert_eq!(arena.len(), 1);
+
+        // Cut 3–2: the epoch advances and the export disappears.
+        g.remove_link(Asn(3), Asn(2)).unwrap();
+        assert!(tree.reconverge_after_link_event(&g, Asn(3), Asn(2)));
+        cache.refresh(&g, &tree, Asn(3), &mut arena);
+        assert_eq!(cache.get(Asn(1), Asn(3)), None);
+
+        // Restore: the path comes back under the same interned id.
+        g.add_customer_provider(Asn(3), Asn(2)).unwrap();
+        assert!(tree.reconverge_after_link_event(&g, Asn(3), Asn(2)));
+        cache.refresh(&g, &tree, Asn(3), &mut arena);
+        assert_eq!(cache.get(Asn(1), Asn(3)).unwrap().0, id);
+        assert_eq!(arena.len(), 1, "re-seen path must not re-intern");
+    }
+
+    #[test]
+    #[should_panic(expected = "never-refreshed")]
+    fn querying_an_unrefreshed_pair_panics() {
+        ExportCache::new().get(Asn(1), Asn(2));
+    }
+}

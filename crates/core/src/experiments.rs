@@ -451,7 +451,7 @@ pub fn convergence_experiment(
     for t in 0..trials {
         let origin = guard_ases[rng.gen_range(0..guard_ases.len())];
         // Fail one of the origin's provider links and watch convergence.
-        let providers = g.providers(origin);
+        let providers: Vec<Asn> = g.providers(origin).collect();
         if providers.len() < 2 {
             continue; // need an alternative for interesting convergence
         }

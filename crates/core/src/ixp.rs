@@ -260,7 +260,7 @@ mod tests {
         assert_eq!(map.link_ixp.len(), n_peer);
         // Customer-provider links are not at exchanges.
         let stub = s.topo.stubs[0];
-        let provider = g.providers(stub)[0];
+        let provider = g.providers(stub).next().unwrap();
         assert_eq!(map.ixp_of(stub, provider), None);
     }
 

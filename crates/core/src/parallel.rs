@@ -32,11 +32,11 @@
 //! from scenario identity so checkpoints written at one `--jobs` value
 //! resume under any other.
 
-use quicksand_bgp::{Collector, FastConverge, LinkChange, SessionOps, UpdateLog};
-use quicksand_net::{AsPath, Asn, Ipv4Prefix, SimTime};
+use quicksand_bgp::{Collector, FastConverge, LinkChange, PathId, SessionOps, UpdateLog};
+use quicksand_net::{Asn, Ipv4Prefix, SimTime};
 use quicksand_obs as obs;
-use quicksand_topology::RouteClass;
-use std::sync::Arc;
+use quicksand_topology::{ReconvergeScratch, RouteClass};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Parallelize a tree-recompute region only when it has at least this
@@ -106,6 +106,11 @@ impl Default for Parallelism {
 pub struct WorkerPool {
     jobs: usize,
     registry: Arc<obs::Registry>,
+    /// Reconvergence scratch arenas, one handed to each shard of a
+    /// tree-recompute region and returned afterwards, so every worker
+    /// reuses its queue/stamp buffers across the whole replay instead
+    /// of allocating per event.
+    scratches: Mutex<Vec<ReconvergeScratch>>,
 }
 
 impl WorkerPool {
@@ -117,6 +122,7 @@ impl WorkerPool {
         let pool = WorkerPool {
             jobs,
             registry: obs::metrics(),
+            scratches: Mutex::new(Vec::new()),
         };
         obs::gauge("parallel", "jobs", jobs as f64);
         pool
@@ -125,6 +131,25 @@ impl WorkerPool {
     /// Shard-count budget for a region.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Borrow `n` scratch arenas (topping up with fresh ones on first
+    /// use); give them back with [`WorkerPool::return_scratches`] so the
+    /// buffers keep their warmed capacity for the next event.
+    fn take_scratches(&self, n: usize) -> Vec<ReconvergeScratch> {
+        let mut pool = self.scratches.lock().expect("scratch pool poisoned");
+        let keep = pool.len().min(n);
+        let mut out: Vec<ReconvergeScratch> = pool.drain(..keep).collect();
+        out.resize_with(n, ReconvergeScratch::new);
+        out
+    }
+
+    /// Return arenas borrowed with [`WorkerPool::take_scratches`].
+    fn return_scratches(&self, scratches: Vec<ReconvergeScratch>) {
+        self.scratches
+            .lock()
+            .expect("scratch pool poisoned")
+            .extend(scratches);
     }
 
     /// Run one parallel region: every task beyond the first on its own
@@ -168,37 +193,47 @@ pub fn apply_event_sharded(
     change: LinkChange,
     pool: &WorkerPool,
 ) -> Vec<Asn> {
-    fc.apply_with(change, |graph, (a, b), trees| {
+    let mut scratches = pool.take_scratches(pool.jobs().max(1));
+    let changed = fc.apply_with(change, |graph, (a, b), trees| {
         let shards = pool.jobs().min(trees.len());
         if trees.len() < MIN_TREES_PER_REGION || shards < 2 {
+            let scratch = &mut scratches[0];
             return trees
                 .iter_mut()
-                .map(|(_, tree)| tree.reconverge_after_link_event(graph, a, b))
+                .map(|(_, tree)| tree.reconverge_with(graph, a, b, scratch))
                 .collect();
         }
         let chunk = trees.len().div_ceil(shards);
         let mut flags: Vec<Vec<bool>> = Vec::new();
         flags.resize_with(shards, Vec::new);
         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-        for (shard, out) in trees.chunks_mut(chunk).zip(flags.iter_mut()) {
+        for ((shard, out), scratch) in trees
+            .chunks_mut(chunk)
+            .zip(flags.iter_mut())
+            .zip(scratches.iter_mut())
+        {
             tasks.push(Box::new(move || {
                 *out = shard
                     .iter_mut()
-                    .map(|(_, tree)| tree.reconverge_after_link_event(graph, a, b))
+                    .map(|(_, tree)| tree.reconverge_with(graph, a, b, scratch))
                     .collect();
             }));
         }
         pool.run_region(tasks);
         flags.concat()
-    })
+    });
+    pool.return_scratches(scratches);
+    changed
 }
 
-/// The serial [`Collector::observe`] with per-session diffing sharded
-/// across `pool`. Resets are emitted serially first (schedule order),
-/// live sessions are diffed against the shared pre-observe state in
-/// contiguous chunks of the ascending session-index list, and the
-/// per-session diffs are applied serially in that same order — so the
-/// log grows record-for-record as the serial engine's would.
+/// The serial [`Collector::observe_interned`] with per-session diffing
+/// sharded across `pool`. `exported` yields interned recorded-path ids
+/// (see [`Collector::observe_interned`]); resets are emitted serially
+/// first (schedule order), live sessions are diffed against the shared
+/// pre-observe state in contiguous chunks of the ascending
+/// session-index list, and the per-session diffs are applied serially
+/// in that same order — so the log grows record-for-record as the
+/// serial engine's would.
 pub fn observe_sharded<F>(
     collector: &mut Collector,
     at: SimTime,
@@ -207,7 +242,7 @@ pub fn observe_sharded<F>(
     log: &mut UpdateLog,
     pool: &WorkerPool,
 ) where
-    F: Fn(Asn, Ipv4Prefix) -> Option<(AsPath, RouteClass)> + Sync,
+    F: Fn(Asn, usize) -> Option<(PathId, RouteClass)> + Sync,
 {
     let recorded_before = log.len();
     collector.emit_due_resets(at, log);

@@ -16,8 +16,8 @@
 use quicksand_bgp::metrics::PathTimeline;
 use quicksand_bgp::{
     clean_session_resets, ChurnConfig, ChurnGenerator, CleaningConfig, Collector,
-    CollectorConfig, FastConverge, FaultInjector, FaultProfile, FaultReport, LinkChange,
-    PrefixTable, UpdateLog,
+    CollectorConfig, ExportCache, FastConverge, FaultInjector, FaultProfile, FaultReport,
+    LinkChange, PrefixTable, UpdateLog,
 };
 use quicksand_net::{Asn, Ipv4Prefix, QsResult, QuicksandError, SimTime};
 use quicksand_obs as obs;
@@ -100,6 +100,21 @@ impl ScenarioConfig {
             ..Default::default()
         }
     }
+
+    /// A medium configuration for benchmarks: between [`Self::small`]
+    /// and the full scale — 800 ASes, two weeks of churn, 30 sessions.
+    /// This is the scenario `repro bench-snapshot` measures for the
+    /// month-replay perf trajectory (`BENCH_monthreplay.json`).
+    pub fn medium(seed: u64) -> Self {
+        let mut cfg = ScenarioConfig::small(seed);
+        cfg.topology.n_ases = 800;
+        cfg.topology.n_tier1 = 6;
+        cfg.churn.horizon = quicksand_net::SimDuration::from_days(14);
+        cfg.collector.horizon = quicksand_net::SimDuration::from_days(14);
+        cfg.n_sessions = 30;
+        cfg.n_control_origins = 150;
+        cfg
+    }
 }
 
 /// A fully assembled world.
@@ -161,7 +176,7 @@ impl Scenario {
         let mut peers: Vec<Asn> = Vec::new();
         peers.extend(topo.tier1.iter().take(config.n_sessions / 4));
         let mut t2 = topo.tier2.clone();
-        t2.sort_by_key(|a| std::cmp::Reverse(topo.graph.customers(*a).len()));
+        t2.sort_by_key(|a| std::cmp::Reverse(topo.graph.customers(*a).count()));
         for a in t2 {
             if peers.len() >= config.n_sessions {
                 break;
@@ -314,11 +329,28 @@ impl Scenario {
             m
         };
         let all_prefixes: Vec<Ipv4Prefix> = tracked.keys().copied().collect();
+        let all_origin_of: Vec<Asn> = tracked.values().copied().collect();
 
         let mut fc = FastConverge::new(self.topo.graph.clone(), origins.iter().copied());
         let mut collector = Collector::new(&self.session_peers, &self.config.collector)?;
         let mut log = UpdateLog::default();
         let horizon_end = SimTime::ZERO + self.config.churn.horizon;
+        let all_origins: Vec<Asn> = origins.iter().copied().collect();
+
+        // Per-(origin, peer) memo of the interned recorded path, keyed
+        // on tree epochs. Refreshed for every changed tree before each
+        // observation, so an observe never walks or allocates a path;
+        // rebuilt from scratch on resume (trees and epochs are too).
+        let mut cache = ExportCache::new();
+        let refresh = |fc: &FastConverge,
+                       collector: &mut Collector,
+                       cache: &mut ExportCache,
+                       origins: &[Asn]| {
+            for &o in origins {
+                let Some(tree) = fc.tree(o) else { continue };
+                collector.refresh_exports(fc.graph(), tree, cache);
+            }
+        };
 
         // Restore mid-run state before the first observation: the
         // snapshot's down links reconstruct the exact routing trees,
@@ -366,37 +398,34 @@ impl Scenario {
         // `parallel` drivers proven (tests/parallel_equivalence.rs)
         // bitwise-identical to the serial reference below.
         let pool = self.config.parallelism.pool();
-        let observe =
-            |fc: &FastConverge,
-             collector: &mut Collector,
-             log: &mut UpdateLog,
-             at: SimTime,
-             prefixes: &[Ipv4Prefix],
-             tracked: &BTreeMap<Ipv4Prefix, Asn>| {
-                let exported = |peer: Asn, prefix: Ipv4Prefix| {
-                    let origin = *tracked.get(&prefix)?;
-                    let tree = fc.tree(origin)?;
-                    let path = tree.as_path_at(fc.graph(), peer)?;
-                    let class = tree.class_of(fc.graph(), peer)?;
-                    Some((path, class))
-                };
-                match &pool {
-                    Some(pool) => parallel::observe_sharded(
-                        collector, at, prefixes, &exported, log, pool,
-                    ),
-                    None => collector.observe(at, prefixes, exported, log),
-                }
-            };
+        let observe = |collector: &mut Collector,
+                       log: &mut UpdateLog,
+                       at: SimTime,
+                       prefixes: &[Ipv4Prefix],
+                       origins: &[Asn],
+                       cache: &ExportCache| {
+            // `origins[i]` is the origin of `prefixes[i]`: the export
+            // query is two array reads and one cache probe per
+            // (session, prefix) — no per-query map walk.
+            let exported = |peer: Asn, pi: usize| cache.get(origins[pi], peer);
+            match &pool {
+                Some(pool) => parallel::observe_sharded(
+                    collector, at, prefixes, &exported, log, pool,
+                ),
+                None => collector.observe_interned(at, prefixes, &exported, log),
+            }
+        };
 
         // Initial table dump at t = 0 (already in the log on resume).
         if resume.is_none() {
+            refresh(&fc, &mut collector, &mut cache, &all_origins);
             observe(
-                &fc,
                 &mut collector,
                 &mut log,
                 SimTime::ZERO,
                 &all_prefixes,
-                &tracked,
+                &all_origin_of,
+                &cache,
             );
         }
 
@@ -414,6 +443,10 @@ impl Scenario {
                     ),
                 });
             }
+            // One prefix scratch for the whole replay: per-event lists
+            // reuse its capacity instead of allocating.
+            let mut prefixes: Vec<Ipv4Prefix> = Vec::new();
+            let mut origin_of: Vec<Asn> = Vec::new();
             for (i, ev) in events.into_iter().enumerate() {
                 // Events before the cursor were fully processed in the
                 // interrupted run; their routing effect is encoded in
@@ -427,21 +460,20 @@ impl Scenario {
                     None => fc.apply(ev.change),
                 };
                 if !affected.is_empty() {
-                    let mut prefixes: Vec<Ipv4Prefix> = Vec::new();
-                    for o in affected {
+                    prefixes.clear();
+                    origin_of.clear();
+                    for &o in &affected {
                         if let Some(ps) = prefixes_by_origin.get(&o) {
                             prefixes.extend_from_slice(ps);
+                            origin_of.extend(std::iter::repeat(o).take(ps.len()));
                         }
                     }
                     if !prefixes.is_empty() {
-                        observe(
-                            &fc,
-                            &mut collector,
-                            &mut log,
-                            ev.at,
-                            &prefixes,
-                            &tracked,
-                        );
+                        // Only the changed trees advanced their epochs,
+                        // so refreshing exactly the affected origins
+                        // keeps the cache complete for this observe.
+                        refresh(&fc, &mut collector, &mut cache, &affected);
+                        observe(&mut collector, &mut log, ev.at, &prefixes, &origin_of, &cache);
                     }
                 }
                 let done = i as u64 + 1;
@@ -460,14 +492,17 @@ impl Scenario {
             obs::gauge("churn", "replay_rate", n_events as f64 / replay_s);
         }
 
-        // Final observation flushes trailing session resets.
+        // Final observation flushes trailing session resets; it queries
+        // every tracked prefix, so every origin must be fresh (on
+        // resume this is also the first full-table refresh).
+        refresh(&fc, &mut collector, &mut cache, &all_origins);
         observe(
-            &fc,
             &mut collector,
             &mut log,
             horizon_end,
             &all_prefixes,
-            &tracked,
+            &all_origin_of,
+            &cache,
         );
 
         let (cleaned, removed_duplicates, reset_bursts) =

@@ -76,21 +76,39 @@ impl fmt::Display for AsGraphError {
 
 impl std::error::Error for AsGraphError {}
 
+/// One node's slice of the shared CSR edge arena: `len` live edges at
+/// `start`, followed by `cap - len` slack cells. Removing an edge only
+/// shrinks `len` (the slack is kept), so the churn workload's
+/// remove-then-restore link cycles shuffle cells in place instead of
+/// reallocating; only an insert beyond `cap` relocates the node's slice
+/// to the end of the arena.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+struct Span {
+    start: usize,
+    len: usize,
+    cap: usize,
+}
+
 /// An undirected AS-level graph whose edges carry business relationships.
 ///
 /// ASes are stored densely; [`AsGraph::index_of`] maps an [`Asn`] to its
 /// internal index and most algorithms work on indices for speed. All
 /// adjacency lists are kept sorted by neighbor ASN so iteration order —
 /// and therefore every downstream simulation — is deterministic.
+///
+/// Adjacency is CSR-style: one shared `edges` arena addressed by
+/// per-node [`Span`]s, so walking a neighbor list is a single contiguous
+/// slice scan with no per-node `Vec` indirection (DESIGN.md §11).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct AsGraph {
     asns: Vec<Asn>,
     tiers: Vec<Tier>,
     index: BTreeMap<Asn, usize>,
-    /// adjacency: for node i, sorted list of (neighbor index, relationship
-    /// of the *neighbor* relative to i — i.e. `Customer` means "the
-    /// neighbor is my customer").
-    adj: Vec<Vec<(usize, Relationship)>>,
+    /// CSR edge arena: for node i, `spans[i]` addresses a sorted list of
+    /// (neighbor index, relationship of the *neighbor* relative to i —
+    /// i.e. `Customer` means "the neighbor is my customer").
+    edges: Vec<(usize, Relationship)>,
+    spans: Vec<Span>,
     link_count: usize,
 }
 
@@ -123,7 +141,7 @@ impl AsGraph {
         self.index.insert(asn, self.asns.len());
         self.asns.push(asn);
         self.tiers.push(tier);
-        self.adj.push(Vec::new());
+        self.spans.push(Span::default());
         Ok(())
     }
 
@@ -149,7 +167,7 @@ impl AsGraph {
         }
         let ia = self.index_of(a).ok_or(AsGraphError::UnknownAs(a))?;
         let ib = self.index_of(b).ok_or(AsGraphError::UnknownAs(b))?;
-        if self.adj[ia].iter().any(|&(n, _)| n == ib) {
+        if self.neighbors_idx(ia).iter().any(|&(n, _)| n == ib) {
             return Err(AsGraphError::DuplicateLink(a, b));
         }
         self.insert_sorted(ia, ib, rel);
@@ -162,12 +180,11 @@ impl AsGraph {
     pub fn remove_link(&mut self, a: Asn, b: Asn) -> Result<(), AsGraphError> {
         let ia = self.index_of(a).ok_or(AsGraphError::UnknownAs(a))?;
         let ib = self.index_of(b).ok_or(AsGraphError::UnknownAs(b))?;
-        let before = self.adj[ia].len();
-        self.adj[ia].retain(|&(n, _)| n != ib);
-        if self.adj[ia].len() == before {
+        if !self.remove_edge(ia, ib) {
             return Err(AsGraphError::UnknownLink(a, b));
         }
-        self.adj[ib].retain(|&(n, _)| n != ia);
+        let other = self.remove_edge(ib, ia);
+        debug_assert!(other, "adjacency must be symmetric");
         self.link_count -= 1;
         Ok(())
     }
@@ -176,17 +193,70 @@ impl AsGraph {
     pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
         let ia = self.index_of(a)?;
         let ib = self.index_of(b)?;
-        self.adj[ia]
+        self.neighbors_idx(ia)
             .iter()
             .find(|&&(n, _)| n == ib)
             .map(|&(_, r)| r)
     }
 
+    /// Insert `(neighbor, rel)` into node `at`'s sorted slice, keeping
+    /// the ascending-by-ASN order that every downstream algorithm's
+    /// determinism depends on. Overflowing `cap` relocates the slice to
+    /// the arena end with doubled slack (the abandoned cells stay behind
+    /// as garbage until [`AsGraph::compact`]).
     fn insert_sorted(&mut self, at: usize, neighbor: usize, rel: Relationship) {
-        let list = &mut self.adj[at];
         let key = self.asns[neighbor];
-        let pos = list.partition_point(|&(n, _)| self.asns[n] < key);
-        list.insert(pos, (neighbor, rel));
+        let s = self.spans[at];
+        let pos = self.edges[s.start..s.start + s.len]
+            .partition_point(|&(n, _)| self.asns[n] < key);
+        if s.len == s.cap {
+            let cap = (s.cap * 2).max(4);
+            let start = self.edges.len();
+            for k in 0..s.len {
+                let e = self.edges[s.start + k];
+                self.edges.push(e);
+            }
+            // Slack cells: never read (len caps every scan), any value works.
+            self.edges.resize(start + cap, (usize::MAX, Relationship::Peer));
+            self.spans[at] = Span { start, len: s.len, cap };
+        }
+        let s = self.spans[at];
+        for k in (pos..s.len).rev() {
+            self.edges[s.start + k + 1] = self.edges[s.start + k];
+        }
+        self.edges[s.start + pos] = (neighbor, rel);
+        self.spans[at].len += 1;
+    }
+
+    /// Remove `neighbor` from node `at`'s slice by shifting the tail
+    /// left; `cap` is retained so a later re-add fits in place. Returns
+    /// false when the edge is absent.
+    fn remove_edge(&mut self, at: usize, neighbor: usize) -> bool {
+        let s = self.spans[at];
+        let slice = &self.edges[s.start..s.start + s.len];
+        let Some(pos) = slice.iter().position(|&(n, _)| n == neighbor) else {
+            return false;
+        };
+        for k in pos..s.len - 1 {
+            self.edges[s.start + k] = self.edges[s.start + k + 1];
+        }
+        self.spans[at].len -= 1;
+        true
+    }
+
+    /// Rebuild the edge arena densely (every span's `cap == len`),
+    /// dropping garbage left by relocations. The generator calls this
+    /// once after construction; replay-time remove/re-add cycles then
+    /// stay within each node's original footprint and never grow the
+    /// arena.
+    pub fn compact(&mut self) {
+        let mut dense = Vec::with_capacity(self.link_count * 2);
+        for s in &mut self.spans {
+            let start = dense.len();
+            dense.extend_from_slice(&self.edges[s.start..s.start + s.len]);
+            *s = Span { start, len: s.len, cap: s.len };
+        }
+        self.edges = dense;
     }
 
     /// The internal dense index of `asn`.
@@ -215,7 +285,8 @@ impl AsGraph {
     /// Sorted adjacency of node index `i`: `(neighbor index, relationship
     /// of neighbor w.r.t. i)`.
     pub fn neighbors_idx(&self, i: usize) -> &[(usize, Relationship)] {
-        &self.adj[i]
+        let s = self.spans[i];
+        &self.edges[s.start..s.start + s.len]
     }
 
     /// Neighbors of `asn` with the given relationship (from `asn`'s point
@@ -227,31 +298,31 @@ impl AsGraph {
     ) -> impl Iterator<Item = Asn> + '_ {
         let i = self.index_of(asn);
         i.into_iter().flat_map(move |i| {
-            self.adj[i]
+            self.neighbors_idx(i)
                 .iter()
                 .filter(move |&&(_, r)| r == rel)
                 .map(|&(n, _)| self.asns[n])
         })
     }
 
-    /// Providers of `asn`, ascending.
-    pub fn providers(&self, asn: Asn) -> Vec<Asn> {
-        self.neighbors_with(asn, Relationship::Provider).collect()
+    /// Providers of `asn`, ascending. Lazy: no allocation.
+    pub fn providers(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(asn, Relationship::Provider)
     }
 
-    /// Customers of `asn`, ascending.
-    pub fn customers(&self, asn: Asn) -> Vec<Asn> {
-        self.neighbors_with(asn, Relationship::Customer).collect()
+    /// Customers of `asn`, ascending. Lazy: no allocation.
+    pub fn customers(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(asn, Relationship::Customer)
     }
 
-    /// Peers of `asn`, ascending.
-    pub fn peers(&self, asn: Asn) -> Vec<Asn> {
-        self.neighbors_with(asn, Relationship::Peer).collect()
+    /// Peers of `asn`, ascending. Lazy: no allocation.
+    pub fn peers(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(asn, Relationship::Peer)
     }
 
     /// Total degree of `asn`.
     pub fn degree(&self, asn: Asn) -> usize {
-        self.index_of(asn).map_or(0, |i| self.adj[i].len())
+        self.index_of(asn).map_or(0, |i| self.spans[i].len)
     }
 
     /// Is the sequence of ASes `path` valley-free under this graph's
@@ -344,9 +415,9 @@ mod tests {
         assert_eq!(g.relationship(Asn(3), Asn(1)), Some(Relationship::Provider));
         assert_eq!(g.relationship(Asn(4), Asn(5)), Some(Relationship::Peer));
         assert_eq!(g.relationship(Asn(3), Asn(5)), None);
-        assert_eq!(g.providers(Asn(8)), vec![Asn(4), Asn(5)]);
-        assert_eq!(g.customers(Asn(1)), vec![Asn(3), Asn(4)]);
-        assert_eq!(g.peers(Asn(1)), vec![Asn(2)]);
+        assert!(g.providers(Asn(8)).eq([Asn(4), Asn(5)]));
+        assert!(g.customers(Asn(1)).eq([Asn(3), Asn(4)]));
+        assert!(g.peers(Asn(1)).eq([Asn(2)]));
         assert_eq!(g.degree(Asn(1)), 3);
         assert_eq!(g.tier(Asn(7)), Some(Tier::Stub));
     }
@@ -379,11 +450,11 @@ mod tests {
         g.remove_link(Asn(8), Asn(5)).unwrap();
         assert_eq!(g.relationship(Asn(8), Asn(5)), None);
         assert_eq!(g.relationship(Asn(5), Asn(8)), None);
-        assert_eq!(g.providers(Asn(8)), vec![Asn(4)]);
+        assert!(g.providers(Asn(8)).eq([Asn(4)]));
         assert_eq!(g.link_count(), 9);
         // Re-adding works.
         g.add_customer_provider(Asn(8), Asn(5)).unwrap();
-        assert_eq!(g.providers(Asn(8)), vec![Asn(4), Asn(5)]);
+        assert!(g.providers(Asn(8)).eq([Asn(4), Asn(5)]));
     }
 
     #[test]

@@ -19,6 +19,60 @@
 
 use crate::graph::{AsGraph, Relationship};
 use quicksand_net::Asn;
+use quicksand_obs as obs;
+use std::collections::VecDeque;
+
+/// Reusable worklist state for [`RoutingTree::reconverge_with`]: the
+/// pending-node queue plus a generation-stamped "queued" mark per node.
+/// One scratch serves any number of trees and events — clearing between
+/// events is a generation bump (O(1) amortized), not an O(n) refill, so
+/// a month of churn touches no allocator after warmup (DESIGN.md §11).
+#[derive(Clone, Debug, Default)]
+pub struct ReconvergeScratch {
+    queue: VecDeque<usize>,
+    /// `stamp[v] == gen` means v is currently queued; any other value
+    /// (older generations, or 0 after an unmark) means it is not.
+    stamp: Vec<u32>,
+    gen: u32,
+}
+
+impl ReconvergeScratch {
+    /// An empty scratch; buffers grow to the graph size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new event over a graph of `n` nodes: empty the queue and
+    /// invalidate every stamp by bumping the generation. The u32
+    /// wraparound pays one O(n) reset every 2^32 - 1 events.
+    fn begin(&mut self, n: usize) {
+        self.queue.clear();
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    /// Enqueue `v` unless it is already queued.
+    fn push(&mut self, v: usize) {
+        if self.stamp[v] != self.gen {
+            self.stamp[v] = self.gen;
+            self.queue.push_back(v);
+        }
+    }
+
+    /// Dequeue and unmark the next node. (`begin` guarantees `gen != 0`,
+    /// so a 0 stamp always reads as "not queued".)
+    fn pop(&mut self) -> Option<usize> {
+        let v = self.queue.pop_front()?;
+        self.stamp[v] = 0;
+        Some(v)
+    }
+}
 
 /// How a route was learned, in decreasing order of preference.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -49,6 +103,11 @@ pub struct RoutingTree {
     dest: Asn,
     dest_idx: usize,
     entries: Vec<Option<Entry>>,
+    /// State version: 0 at [`RoutingTree::compute`], bumped whenever a
+    /// reconvergence changes any entry. Same tree + same epoch ⟹ same
+    /// paths — what the collector's per-(origin, peer) export cache
+    /// keys on.
+    epoch: u64,
 }
 
 impl RoutingTree {
@@ -182,12 +241,18 @@ impl RoutingTree {
             dest,
             dest_idx: d,
             entries,
+            epoch: 0,
         })
     }
 
     /// The destination this tree routes toward.
     pub fn dest(&self) -> Asn {
         self.dest
+    }
+
+    /// The tree's state version (see the field doc).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Incrementally reconverge this tree after the link `a`–`b`
@@ -207,26 +272,37 @@ impl RoutingTree {
     /// to the region of the tree the change actually touches — O(1) for
     /// a leaf access link, larger for core links.
     pub fn reconverge_after_link_event(&mut self, graph: &AsGraph, a: Asn, b: Asn) -> bool {
+        self.reconverge_with(graph, a, b, &mut ReconvergeScratch::new())
+    }
+
+    /// [`RoutingTree::reconverge_after_link_event`] with caller-owned
+    /// scratch, so the replay hot loop reuses one queue/stamp buffer
+    /// across every tree and event instead of allocating per call.
+    pub fn reconverge_with(
+        &mut self,
+        graph: &AsGraph,
+        a: Asn,
+        b: Asn,
+        scratch: &mut ReconvergeScratch,
+    ) -> bool {
         let n = graph.len();
         debug_assert_eq!(n, self.entries.len(), "graph node set changed");
-        let mut queue: std::collections::VecDeque<usize> =
-            std::collections::VecDeque::new();
-        let mut queued = vec![false; n];
+        scratch.begin(n);
         for x in [a, b] {
             if let Some(i) = graph.index_of(x) {
-                queue.push_back(i);
-                queued[i] = true;
+                scratch.push(i);
             }
         }
         let mut changed_any = false;
         // Budget: in safe policy networks the process is near-linear in
         // the affected region; allow generous slack before bailing out.
         let mut budget = 50usize.saturating_mul(n).max(10_000);
-        while let Some(v) = queue.pop_front() {
-            queued[v] = false;
+        while let Some(v) = scratch.pop() {
             if budget == 0 {
                 // Theory says we never get here; make sure practice
-                // agrees, via a full recompute.
+                // agrees, via a full recompute — and make the silent
+                // O(n) cost visible in run reports.
+                obs::incr("routing", "budget_fallback", 1);
                 let fresh = RoutingTree::compute(graph, self.dest)
                     .expect("destination still in graph");
                 let changed = !fresh
@@ -235,7 +311,11 @@ impl RoutingTree {
                     .zip(self.entries.iter())
                     .all(|(x, y)| x == y);
                 self.entries = fresh.entries;
-                return changed_any || changed;
+                let changed = changed_any || changed;
+                if changed {
+                    self.epoch += 1;
+                }
+                return changed;
             }
             budget -= 1;
             let new = self.decide(graph, v);
@@ -243,12 +323,12 @@ impl RoutingTree {
                 self.entries[v] = new;
                 changed_any = true;
                 for &(w, _) in graph.neighbors_idx(v) {
-                    if !queued[w] {
-                        queued[w] = true;
-                        queue.push_back(w);
-                    }
+                    scratch.push(w);
                 }
             }
+        }
+        if changed_any {
+            self.epoch += 1;
         }
         changed_any
     }
@@ -276,10 +356,6 @@ impl RoutingTree {
             if !exportable {
                 continue;
             }
-            // Loop rejection: v must not appear on nb's current path.
-            if self.path_contains(nb, v, graph.len()) {
-                continue;
-            }
             let class = match rel_of_nb {
                 Relationship::Customer => RouteClass::Customer,
                 Relationship::Peer => RouteClass::Peer,
@@ -290,7 +366,12 @@ impl RoutingTree {
                 None => true,
                 Some((bc, bd, ba, _)) => (cand.0, cand.1, cand.2) < (*bc, *bd, *ba),
             };
-            if better {
+            // Loop rejection: v must not appear on nb's current path.
+            // Checked only for would-be winners — a candidate that
+            // doesn't beat the (loop-checked) incumbent is discarded
+            // either way, so deferring the walk changes nothing but
+            // skips the O(path) scan for most neighbors.
+            if better && !self.path_contains(nb, v, graph.len()) {
                 best = Some(cand);
             }
         }
@@ -344,18 +425,61 @@ impl RoutingTree {
     /// The full AS-level path from `src` to the destination, inclusive of
     /// both endpoints. `None` when `src` has no route.
     pub fn path_from(&self, graph: &AsGraph, src: Asn) -> Option<Vec<Asn>> {
-        let mut i = graph.index_of(src)?;
-        self.entries[i]?;
-        let mut path = vec![graph.asn_of(i)];
+        let mut path = Vec::new();
+        self.path_from_into(graph, src, &mut path).then_some(path)
+    }
+
+    /// [`RoutingTree::path_from`] into a caller-owned buffer: clears
+    /// `out`, then fills it with the path and returns true when `src`
+    /// is routed (false leaves `out` empty). The collector's interning
+    /// hot path reuses one buffer across every session and event.
+    pub fn path_from_into(&self, graph: &AsGraph, src: Asn, out: &mut Vec<Asn>) -> bool {
+        out.clear();
+        let Some(mut i) = graph.index_of(src) else {
+            return false;
+        };
+        if self.entries[i].is_none() {
+            return false;
+        }
+        out.push(graph.asn_of(i));
         while i != self.dest_idx {
             let e = self.entries[i].expect("intermediate hops are routed");
             i = e.next;
-            path.push(graph.asn_of(i));
-            if path.len() > self.entries.len() {
+            out.push(graph.asn_of(i));
+            if out.len() > self.entries.len() {
                 unreachable!("routing tree contains a loop");
             }
         }
-        Some(path)
+        true
+    }
+
+    /// [`RoutingTree::path_from_into`] plus the route class in one
+    /// call, addressed by dense node index: fills `out` with the full
+    /// path from node `i` and returns `i`'s route class, or `None`
+    /// (leaving `out` empty) when unrouted. The export-cache hot path
+    /// calls this once per (changed tree, peer) — folding the class
+    /// read into the walk and taking a precomputed index spares the
+    /// two `index_of` map lookups a `path_from_into` + `class_of` pair
+    /// would pay.
+    pub fn export_into_idx(
+        &self,
+        graph: &AsGraph,
+        i: usize,
+        out: &mut Vec<Asn>,
+    ) -> Option<RouteClass> {
+        out.clear();
+        let class = self.entries[i]?.class;
+        out.push(graph.asn_of(i));
+        let mut cur = i;
+        while cur != self.dest_idx {
+            let e = self.entries[cur].expect("intermediate hops are routed");
+            cur = e.next;
+            out.push(graph.asn_of(cur));
+            if out.len() > self.entries.len() {
+                unreachable!("routing tree contains a loop");
+            }
+        }
+        Some(class)
     }
 
     /// The BGP-style AS path `src` would have selected for a prefix

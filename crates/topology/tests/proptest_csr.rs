@@ -1,0 +1,216 @@
+//! Property tests for the CSR adjacency layout and the reusable-buffer
+//! path accessors (DESIGN.md §11).
+//!
+//! The CSR refactor is only legal because neighbor iteration order is
+//! bit-for-bit what the nested-`Vec` layout produced — every routing
+//! decision ties ASN order through `decide`, so a reordered adjacency
+//! list is a *different simulation*. These tests pin that equivalence
+//! against a naive reference model under random link churn, and pin the
+//! zero-allocation path accessors to their allocating originals.
+
+use proptest::prelude::*;
+use quicksand_net::Asn;
+use quicksand_topology::{AsGraph, Relationship, RoutingTree, Tier};
+use std::collections::BTreeMap;
+
+/// ASN of node `i`, deliberately non-monotone in insertion order so
+/// "sorted by neighbor ASN" and "sorted by neighbor index" disagree.
+fn asn(i: usize) -> Asn {
+    Asn(((i * 37) % 100 + 1) as u32)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// `add_customer_provider(asn(a), asn(b))` (ignored if rejected).
+    AddCp(usize, usize),
+    /// `add_peering(asn(a), asn(b))` (ignored if rejected).
+    AddPeer(usize, usize),
+    /// `remove_link(asn(a), asn(b))` (ignored if rejected).
+    Remove(usize, usize),
+    /// `compact()` — exercises the slack-free re-layout mid-sequence.
+    Compact,
+}
+
+fn arb_ops(n: usize) -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0..n, 0..n).prop_map(|(a, b)| Op::AddCp(a, b)),
+        (0..n, 0..n).prop_map(|(a, b)| Op::AddPeer(a, b)),
+        (0..n, 0..n).prop_map(|(a, b)| Op::Remove(a, b)),
+        Just(Op::Compact),
+    ];
+    proptest::collection::vec(op, 0..120)
+}
+
+/// Naive adjacency reference: per AS, the neighbor list sorted by
+/// neighbor ASN, exactly the contract the pre-CSR nested-`Vec` layout
+/// provided.
+type Model = BTreeMap<Asn, Vec<(Asn, Relationship)>>;
+
+fn model_add(model: &mut Model, a: Asn, b: Asn, rel_of_b: Relationship) {
+    let insert = |list: &mut Vec<(Asn, Relationship)>, n: Asn, r: Relationship| {
+        let pos = list.partition_point(|&(x, _)| x < n);
+        list.insert(pos, (n, r));
+    };
+    insert(model.get_mut(&a).unwrap(), b, rel_of_b);
+    insert(model.get_mut(&b).unwrap(), a, rel_of_b.reversed());
+}
+
+fn model_remove(model: &mut Model, a: Asn, b: Asn) {
+    model.get_mut(&a).unwrap().retain(|&(n, _)| n != b);
+    model.get_mut(&b).unwrap().retain(|&(n, _)| n != a);
+}
+
+proptest! {
+    /// CSR neighbor iteration equals the sorted nested-Vec reference —
+    /// same neighbors, same relationships, same order — for arbitrary
+    /// add/remove/compact sequences, and the lazy relationship
+    /// iterators agree with filtering that order.
+    #[test]
+    fn csr_adjacency_matches_reference(n in 2usize..20, ops in arb_ops(20)) {
+        let mut g = AsGraph::new();
+        let mut model: Model = BTreeMap::new();
+        for i in 0..n {
+            g.add_as(asn(i), Tier::Stub).unwrap();
+            model.insert(asn(i), Vec::new());
+        }
+        for op in ops {
+            match op {
+                // Mirror only accepted ops: the graph rejects self
+                // links, unknown ASes, and duplicate links, and the
+                // reference must track exactly the surviving state.
+                Op::AddCp(a, b)
+                    if a < n && b < n && g.add_customer_provider(asn(a), asn(b)).is_ok() =>
+                {
+                    // provider sees (customer, Customer).
+                    model_add(&mut model, asn(b), asn(a), Relationship::Customer);
+                }
+                Op::AddPeer(a, b) if a < n && b < n && g.add_peering(asn(a), asn(b)).is_ok() => {
+                    model_add(&mut model, asn(a), asn(b), Relationship::Peer);
+                }
+                Op::Remove(a, b) if a < n && b < n && g.remove_link(asn(a), asn(b)).is_ok() => {
+                    model_remove(&mut model, asn(a), asn(b));
+                }
+                Op::Compact => g.compact(),
+                _ => {}
+            }
+        }
+
+        let total: usize = model.values().map(Vec::len).sum();
+        prop_assert_eq!(g.link_count() * 2, total);
+        for i in 0..g.len() {
+            let a = g.asn_of(i);
+            let got: Vec<(Asn, Relationship)> = g
+                .neighbors_idx(i)
+                .iter()
+                .map(|&(j, r)| (g.asn_of(j), r))
+                .collect();
+            prop_assert_eq!(&got, &model[&a], "adjacency of {:?}", a);
+
+            let filt = |want: Relationship| -> Vec<Asn> {
+                model[&a].iter().filter(|&&(_, r)| r == want).map(|&(x, _)| x).collect()
+            };
+            prop_assert_eq!(g.providers(a).collect::<Vec<_>>(), filt(Relationship::Provider));
+            prop_assert_eq!(g.customers(a).collect::<Vec<_>>(), filt(Relationship::Customer));
+            prop_assert_eq!(g.peers(a).collect::<Vec<_>>(), filt(Relationship::Peer));
+        }
+    }
+}
+
+/// A small always-connected tiered topology: a T1 clique, then each
+/// later AS buys transit from 1–2 earlier ASes.
+fn connected_graph(n_t1: usize, attach: &[Vec<usize>]) -> AsGraph {
+    let mut g = AsGraph::new();
+    let n = n_t1 + attach.len();
+    for i in 0..n {
+        let tier = if i < n_t1 { Tier::Tier1 } else { Tier::Stub };
+        g.add_as(asn(i), tier).unwrap();
+    }
+    for i in 0..n_t1 {
+        for j in 0..i {
+            g.add_peering(asn(i), asn(j)).unwrap();
+        }
+    }
+    for (k, provs) in attach.iter().enumerate() {
+        let c = n_t1 + k;
+        for &p in provs {
+            let p = p % c; // any earlier AS
+            let _ = g.add_customer_provider(asn(c), asn(p));
+        }
+    }
+    g.compact();
+    g
+}
+
+proptest! {
+    /// Across random link-down/link-up churn, the buffer-reusing
+    /// accessors stay interchangeable with their allocating originals:
+    /// `path_from_into` fills exactly `path_from`'s path, and
+    /// `export_into_idx` agrees with `path_from` + `class_of` at every
+    /// source — the contract the export cache's zero-allocation refresh
+    /// rests on.
+    #[test]
+    fn path_from_into_matches_path_from_under_churn(
+        n_t1 in 2usize..4,
+        attach in proptest::collection::vec(
+            proptest::collection::vec(0usize..1000, 1..3), 3..10),
+        events in proptest::collection::vec((0usize..1000, any::<bool>()), 0..12),
+    ) {
+        let mut g = connected_graph(n_t1, &attach);
+        let n = n_t1 + attach.len();
+        let dest = asn(0);
+        let mut tree = RoutingTree::compute(&g, dest).unwrap();
+        let mut down: Vec<(Asn, Asn, Relationship)> = Vec::new();
+        let mut buf: Vec<Asn> = Vec::new();
+
+        let check = |g: &AsGraph, tree: &RoutingTree, buf: &mut Vec<Asn>| {
+            for i in 0..n {
+                let src = asn(i);
+                let reference = tree.path_from(g, src);
+                let routed = tree.path_from_into(g, src, buf);
+                match &reference {
+                    Some(p) => prop_assert_eq!(&buf[..], &p[..], "src {:?}", src),
+                    None => prop_assert!(!routed && buf.is_empty()),
+                }
+                let idx = g.index_of(src).unwrap();
+                let class = tree.export_into_idx(g, idx, buf);
+                prop_assert_eq!(class, tree.class_of(g, src));
+                match &reference {
+                    Some(p) => prop_assert_eq!(&buf[..], &p[..]),
+                    None => prop_assert!(buf.is_empty()),
+                }
+            }
+        };
+        check(&g, &tree, &mut buf);
+
+        for (pick, bring_up) in events {
+            if bring_up && !down.is_empty() {
+                let (a, b, rel) = down.swap_remove(pick % down.len());
+                match rel {
+                    // `rel` is b's relationship as a recorded it.
+                    Relationship::Customer => g.add_customer_provider(b, a).unwrap(),
+                    Relationship::Provider => g.add_customer_provider(a, b).unwrap(),
+                    Relationship::Peer => g.add_peering(a, b).unwrap(),
+                }
+                tree.reconverge_after_link_event(&g, a, b);
+            } else {
+                // Collect the live links and cut one.
+                let mut links: Vec<(Asn, Asn, Relationship)> = Vec::new();
+                for i in 0..n {
+                    for &(j, r) in g.neighbors_idx(i) {
+                        if i < j {
+                            links.push((g.asn_of(i), g.asn_of(j), r));
+                        }
+                    }
+                }
+                if links.is_empty() {
+                    continue;
+                }
+                let (a, b, rel) = links[pick % links.len()];
+                g.remove_link(a, b).unwrap();
+                down.push((a, b, rel));
+                tree.reconverge_after_link_event(&g, a, b);
+            }
+            check(&g, &tree, &mut buf);
+        }
+    }
+}

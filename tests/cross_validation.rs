@@ -194,14 +194,13 @@ fn scoped_announcement_matches_event_sim() {
     // Pick a multihomed origin and withhold one provider.
     let origin = *asns
         .iter()
-        .find(|a| t.graph.providers(**a).len() >= 2)
+        .find(|a| t.graph.providers(**a).count() >= 2)
         .expect("multihomed AS exists");
-    let providers = t.graph.providers(origin);
+    let providers: Vec<Asn> = t.graph.providers(origin).collect();
     let withheld = providers[0];
     let announce_to: Vec<Asn> = t
         .graph
         .providers(origin)
-        .into_iter()
         .chain(t.graph.peers(origin))
         .chain(t.graph.customers(origin))
         .filter(|&n| n != withheld)
