@@ -11,6 +11,10 @@
 //! repro report [--check] <run.json> [other.json]
 //! repro bench-snapshot [--small|--medium] [--jobs=N]
 //!        [--bench-out=BENCH_monthreplay.json] [--baseline=PATH]
+//! repro serve [--small] [--cells=N] [--width=K] [--seed=S]
+//!        [--checkpoint-every=N] [--checkpoint-dir=DIR] [--max-restarts=R]
+//!        [--storm=K] [--storm-seed=S] [--stall-ms=MS] [--deadline-ms=MS]
+//!        [--queue-cap=Q] [--obs-out=run.json] [-v|--verbose] [-q|--quiet]
 //! ```
 //!
 //! `--small` runs the test-scale configuration (seconds instead of
@@ -40,6 +44,15 @@
 //! process with exit code 3 after the K-th checkpoint save — the crash
 //! half of the CI kill-and-resume smoke test.
 //!
+//! `serve` is the supervised resident mode (DESIGN.md §12): it runs
+//! `--cells` scenarios concurrently as isolated fault domains — panic
+//! isolation, heartbeat watchdog, bounded admission with load shedding,
+//! and checkpoint-backed auto-restart with a seeded-deterministic
+//! backoff policy. `--storm=K` injects a deterministic crash storm
+//! (panics and stalls) into K of the cells via the fault layer — the
+//! CI crash-storm smoke. Exit codes are typed and pinned (see the
+//! table in README.md): notably 4 = at least one cell quarantined.
+//!
 //! `chaos` (not part of `all`: it is a robustness diagnostic, not a
 //! paper artifact) replays the §4 pipeline with the collector feed
 //! degraded by [`quicksand_bgp::fault`] — drops, duplicates, reorders,
@@ -60,13 +73,18 @@ use quicksand_core::longterm::{long_term_study, render_long_term, LongTermConfig
 use quicksand_core::adversary::ObservationMode;
 use quicksand_core::ixp::{ixp_experiment, render_ixp, IxpMap};
 use quicksand_core::population::{render_population, run_population_attack, PopulationConfig};
+use quicksand_bench::exitcode;
 use quicksand_core::parallel::Parallelism;
 use quicksand_core::report;
 use quicksand_core::scenario::{MonthResult, Scenario, ScenarioConfig};
+use quicksand_core::supervise::{
+    CellResult, RestartPolicy, ScenarioJob, SuperviseConfig, Supervisor, WatchdogConfig,
+};
 use quicksand_attack::monitord::{MonitorConfig, StreamingMonitor};
 use quicksand_bgp::fault::{FaultInjector, FaultProfile};
 use quicksand_bgp::{
-    clean_session_resets, metrics, CleaningConfig, Route, UpdateMessage, UpdateRecord,
+    clean_session_resets, metrics, CleaningConfig, ReplayChaosPlan, Route, UpdateMessage,
+    UpdateRecord,
 };
 use quicksand_net::{AsPath, Asn, Ipv4Prefix, QuicksandError, SimDuration, SimTime};
 use quicksand_obs::{self as obs, Event, Level, RunReport, Subscriber};
@@ -198,7 +216,7 @@ impl RecoverOpts {
             }
             Err(e) => {
                 eprintln!("error: cannot resume from {path}: {e}");
-                std::process::exit(2);
+                std::process::exit(exitcode::USAGE);
             }
         }
     }
@@ -238,7 +256,7 @@ impl Ctx {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("error: cannot open checkpoint dir {dir}: {e}");
-                    std::process::exit(2);
+                    std::process::exit(exitcode::USAGE);
                 }
             }
         });
@@ -251,7 +269,7 @@ impl Ctx {
                 if let Some(store) = &store {
                     if let Err(e) = store.save(snap) {
                         eprintln!("error: checkpoint save failed: {e}");
-                        std::process::exit(2);
+                        std::process::exit(exitcode::USAGE);
                     }
                     saves += 1;
                 }
@@ -272,11 +290,11 @@ impl Ctx {
                      ({saves} checkpoints on disk)"
                 );
                 obs::flush();
-                std::process::exit(3);
+                std::process::exit(exitcode::CRASH_SIM);
             }
             Err(e) => {
                 eprintln!("error: month replay failed: {e}");
-                std::process::exit(2);
+                std::process::exit(exitcode::USAGE);
             }
         };
         progress(format!(
@@ -317,19 +335,19 @@ fn report_command(args: &[String]) -> i32 {
     if check {
         let [a, b] = files.as_slice() else {
             eprintln!("usage: repro report --check <run.json> <other.json>");
-            return 2;
+            return exitcode::USAGE;
         };
         let (ra, rb) = match (load_report(a), load_report(b)) {
             (Ok(ra), Ok(rb)) => (ra, rb),
             (Err(e), _) | (_, Err(e)) => {
                 eprintln!("error: {e}");
-                return 2;
+                return exitcode::USAGE;
             }
         };
         let deltas = ra.deterministic_deltas(&rb);
         return if deltas.is_empty() {
             println!("deterministic check: ok ({a} == {b})");
-            0
+            exitcode::OK
         } else {
             println!(
                 "deterministic check: FAILED ({} deltas between {a} and {b})",
@@ -338,7 +356,7 @@ fn report_command(args: &[String]) -> i32 {
             for d in &deltas {
                 println!("  - {d}");
             }
-            1
+            exitcode::CHECK_FAILED
         };
     }
     match files.as_slice() {
@@ -347,7 +365,7 @@ fn report_command(args: &[String]) -> i32 {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("error: {e}");
-                    return 2;
+                    return exitcode::USAGE;
                 }
             };
             print!("{}", rep.render());
@@ -357,14 +375,14 @@ fn report_command(args: &[String]) -> i32 {
                         "\nvalidation: ok ({} required stages profiled)",
                         obs::REQUIRED_STAGES.len()
                     );
-                    0
+                    exitcode::OK
                 }
                 Err(problems) => {
                     println!("\nvalidation: FAILED");
                     for p in &problems {
                         println!("  - {p}");
                     }
-                    1
+                    exitcode::CHECK_FAILED
                 }
             }
         }
@@ -373,7 +391,7 @@ fn report_command(args: &[String]) -> i32 {
                 (Ok(ra), Ok(rb)) => (ra, rb),
                 (Err(e), _) | (_, Err(e)) => {
                     eprintln!("error: {e}");
-                    return 2;
+                    return exitcode::USAGE;
                 }
             };
             for (path, rep) in [(a, &ra), (b, &rb)] {
@@ -382,11 +400,11 @@ fn report_command(args: &[String]) -> i32 {
                 }
             }
             print!("{}", ra.diff(&rb));
-            0
+            exitcode::OK
         }
         _ => {
             eprintln!("usage: repro report [--check] <run.json> [other.json]");
-            2
+            exitcode::USAGE
         }
     }
 }
@@ -438,7 +456,7 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
             Ok(n) if n >= 2 => n,
             _ => {
                 eprintln!("error: --jobs expects an integer >= 2, got {s:?}");
-                std::process::exit(2);
+                std::process::exit(exitcode::USAGE);
             }
         })
         .unwrap_or(4);
@@ -467,7 +485,7 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
                 Ok(m) => m,
                 Err(e) => {
                     eprintln!("error: month replay failed: {e}");
-                    std::process::exit(2);
+                    std::process::exit(exitcode::USAGE);
                 }
             };
             let wall_s = started.elapsed().as_secs_f64();
@@ -532,7 +550,7 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
             Ok(text) => text.trim().to_string(),
             Err(e) => {
                 eprintln!("error: cannot read baseline {path}: {e}");
-                return 2;
+                return exitcode::USAGE;
             }
         },
         None => "null".to_string(),
@@ -564,9 +582,183 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
     );
     if !identical {
         eprintln!("error: parallel replay diverged from serial (differential gate)");
-        return 1;
+        return exitcode::CHECK_FAILED;
     }
-    0
+    exitcode::OK
+}
+
+/// `repro serve`: the supervised resident mode. Runs `--cells`
+/// scenarios (seeds `--seed + i`) as isolated fault domains under the
+/// [`Supervisor`] — at most `--width` concurrently — each
+/// checkpointing every `--checkpoint-every` events into
+/// `--checkpoint-dir/cell-<i>` and auto-restarting from its newest
+/// valid checkpoint on panic, stall, or error, up to `--max-restarts`
+/// times before quarantine. `--storm=K` injects a deterministic
+/// panic/stall crash storm into K victim cells (chosen by
+/// `--storm-seed`) via [`ReplayChaosPlan::storm`]; `--stall-ms` sizes
+/// the injected stalls and `--deadline-ms` the watchdog's progress
+/// deadline, so the storm's stalls genuinely trip it. Writes the fleet
+/// [`RunReport`] (with its `supervisor` section) to `--obs-out`.
+/// Exits [`exitcode::QUARANTINE`] when any cell was quarantined.
+fn serve_command(args: &[String]) -> i32 {
+    let small = args.iter().any(|a| a == "--small");
+    let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    let obs_out = args.iter().find_map(|a| a.strip_prefix("--obs-out="));
+    let parse = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .find_map(|a| a.strip_prefix(flag))
+            .map(|s| match s.parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("error: {flag} expects a non-negative integer, got {s:?}");
+                    std::process::exit(exitcode::USAGE);
+                }
+            })
+            .unwrap_or(default)
+    };
+    let cells = parse("--cells=", 8) as usize;
+    let width = parse("--width=", 4).max(1) as usize;
+    let every = parse("--checkpoint-every=", 25);
+    let max_restarts = parse("--max-restarts=", 3) as u32;
+    let queue_cap = parse("--queue-cap=", cells.max(1) as u64) as usize;
+    let storm = parse("--storm=", 0) as usize;
+    let storm_seed = parse("--storm-seed=", 0xBAD_5EED);
+    let stall_ms = parse("--stall-ms=", 3_000);
+    let deadline_ms = parse("--deadline-ms=", 1_000);
+    let base_seed = parse("--seed=", 0xA11);
+    let dir = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--checkpoint-dir="))
+        .map(str::to_owned);
+    if cells == 0 {
+        eprintln!("error: --cells must be >= 1");
+        return exitcode::USAGE;
+    }
+    if every == 0 {
+        eprintln!("error: serve requires --checkpoint-every >= 1 (heartbeat granularity)");
+        return exitcode::USAGE;
+    }
+    if storm > cells {
+        eprintln!("error: --storm={storm} exceeds --cells={cells}");
+        return exitcode::USAGE;
+    }
+
+    // The supervisor runs on the global registry and subscriber, so
+    // cell events reach the sinks and the fleet report sees the
+    // supervisor stage.
+    let memory = Arc::new(obs::MemorySubscriber::new());
+    let mut sinks: Vec<Arc<dyn Subscriber>> = Vec::new();
+    if !quiet {
+        let min = if verbose { Level::Debug } else { Level::Info };
+        sinks.push(Arc::new(obs::ConsoleSubscriber::new(min)));
+    }
+    if obs_out.is_some() {
+        sinks.push(memory.clone());
+    }
+    if !sinks.is_empty() {
+        obs::set_global_subscriber(Arc::new(obs::FanoutSubscriber::new(sinks)));
+    }
+
+    let chaos: Vec<Option<ReplayChaosPlan>> = if storm > 0 {
+        // Crash window: past the second checkpoint, before the sixth,
+        // so every victim has a checkpoint to restart from.
+        ReplayChaosPlan::storm(storm_seed, cells, storm, every * 2, every * 5, stall_ms)
+    } else {
+        vec![None; cells]
+    };
+
+    let mut supervisor = Supervisor::new(SuperviseConfig {
+        width,
+        queue_cap,
+        results_cap: width,
+        checkpoint_every: every,
+        retain: DEFAULT_RETAIN,
+        restart: RestartPolicy {
+            max_restarts,
+            ..RestartPolicy::default()
+        },
+        watchdog: WatchdogConfig {
+            deadline_ms,
+            ..WatchdogConfig::default()
+        },
+    });
+    for (i, plan) in chaos.into_iter().enumerate() {
+        let seed = base_seed + i as u64;
+        let config = if small {
+            ScenarioConfig::small(seed)
+        } else {
+            ScenarioConfig::medium(seed)
+        };
+        let job = ScenarioJob {
+            label: format!("cell-{i}"),
+            config,
+            store_dir: dir.as_ref().map(|d| {
+                std::path::Path::new(d).join(format!("cell-{i}"))
+            }),
+            chaos: plan,
+        };
+        supervisor.submit(job);
+    }
+    progress(format!(
+        "serve: {cells} cells (width {width}, storm {storm}), \
+         checkpoint every {every} events"
+    ));
+    let outcome = supervisor.run();
+
+    if !quiet {
+        for cell in &outcome.cells {
+            let state = match &cell.result {
+                CellResult::Completed { month, .. } => format!(
+                    "completed ({} raw / {} cleaned records){}",
+                    month.raw.len(),
+                    month.cleaned.len(),
+                    if cell.degraded() { ", degraded" } else { "" }
+                ),
+                CellResult::Quarantined { last } => format!("QUARANTINED (last: {last:?})"),
+                CellResult::Failed { error } => format!("FAILED ({error})"),
+            };
+            println!(
+                "{:<8} {state}; {} restarts, {} watchdog trips",
+                cell.label, cell.restarts, cell.watchdog_trips
+            );
+        }
+        println!(
+            "fleet: {}/{} completed, {} quarantined, {} shed",
+            outcome.completed(),
+            outcome.cells.len(),
+            outcome.quarantined(),
+            outcome.shed
+        );
+    }
+
+    obs::flush();
+    if let Some(path) = obs_out {
+        let snapshot = obs::global_metrics().snapshot();
+        let run_report = RunReport::assemble(
+            format!("repro serve --cells={cells} --storm={storm}"),
+            &snapshot,
+            &memory.events(),
+        );
+        let json = match serde_json::to_string_pretty(&run_report) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: cannot serialize run report: {e}");
+                return exitcode::CHECK_FAILED;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: cannot write {path}: {e}");
+            return exitcode::CHECK_FAILED;
+        }
+        progress(format!("wrote fleet report to {path}"));
+        obs::flush();
+    }
+    if outcome.any_quarantined() {
+        exitcode::QUARANTINE
+    } else {
+        exitcode::OK
+    }
 }
 
 fn main() {
@@ -576,6 +768,9 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "bench-snapshot") {
         std::process::exit(bench_snapshot_command(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "serve") {
+        std::process::exit(serve_command(&args[1..]));
     }
 
     let small = args.iter().any(|a| a == "--small");
@@ -590,7 +785,7 @@ fn main() {
                 Ok(n) => n,
                 Err(_) => {
                     eprintln!("error: {flag} expects a non-negative integer, got {s:?}");
-                    std::process::exit(2);
+                    std::process::exit(exitcode::USAGE);
                 }
             })
     };
@@ -608,11 +803,11 @@ fn main() {
     };
     if recover.every > 0 && recover.dir.is_none() {
         eprintln!("error: --checkpoint-every requires --checkpoint-dir");
-        std::process::exit(2);
+        std::process::exit(exitcode::USAGE);
     }
     if recover.halt_after.is_some() && (recover.every == 0 || recover.dir.is_none()) {
         eprintln!("error: --halt-after requires --checkpoint-every and --checkpoint-dir");
-        std::process::exit(2);
+        std::process::exit(exitcode::USAGE);
     }
     let jobs = parse_u64("--jobs=").map_or(1, |n| n.max(1) as usize);
     let which: Vec<&str> = args
@@ -641,7 +836,7 @@ fn main() {
             Ok(j) => sinks.push(Arc::new(j)),
             Err(e) => {
                 eprintln!("error: cannot create {path}: {e}");
-                std::process::exit(2);
+                std::process::exit(exitcode::USAGE);
             }
         }
     }
@@ -792,7 +987,7 @@ fn main() {
                 Ok(x) => vec![x],
                 Err(_) => {
                     eprintln!("error: --intensity expects a float in [0, 1], got {s:?}");
-                    std::process::exit(2);
+                    std::process::exit(exitcode::USAGE);
                 }
             },
             None => vec![0.0, 0.2, 0.5, 1.0],
@@ -962,12 +1157,12 @@ fn main() {
             Ok(j) => j,
             Err(e) => {
                 eprintln!("error: cannot serialize run report: {e}");
-                std::process::exit(1);
+                std::process::exit(exitcode::CHECK_FAILED);
             }
         };
         if let Err(e) = std::fs::write(path, json + "\n") {
             eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(exitcode::CHECK_FAILED);
         }
         if let Err(problems) = run_report.validate() {
             for p in &problems {

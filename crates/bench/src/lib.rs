@@ -5,3 +5,49 @@
 //! is recorded in EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
+
+pub mod exitcode {
+    //! The `repro` binary's typed exit codes.
+    //!
+    //! These are a CLI contract: CI jobs and scripts branch on them
+    //! (see the exit-code table in README.md), so every value here is
+    //! pinned by a test and must never be renumbered — add new codes,
+    //! don't repurpose old ones.
+
+    /// Success.
+    pub const OK: i32 = 0;
+    /// `repro report` validation failure or `--check` found
+    /// deterministic deltas between two reports.
+    pub const CHECK_FAILED: i32 = 1;
+    /// Unusable command line (unknown flag/subcommand, missing value).
+    pub const USAGE: i32 = 2;
+    /// A `--halt-after` crash simulation stopped the run on purpose
+    /// (the kill half of the kill-and-resume CI job).
+    pub const CRASH_SIM: i32 = 3;
+    /// `repro serve` finished, but at least one supervised scenario
+    /// cell was quarantined after exhausting its restart budget.
+    pub const QUARANTINE: i32 = 4;
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn exit_codes_are_pinned_and_distinct() {
+            // The README table and CI scripts depend on these exact
+            // numbers; this test is the tripwire for accidental
+            // renumbering.
+            assert_eq!(OK, 0);
+            assert_eq!(CHECK_FAILED, 1);
+            assert_eq!(USAGE, 2);
+            assert_eq!(CRASH_SIM, 3);
+            assert_eq!(QUARANTINE, 4);
+            let all = [OK, CHECK_FAILED, USAGE, CRASH_SIM, QUARANTINE];
+            for (i, a) in all.iter().enumerate() {
+                for b in &all[i + 1..] {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+}

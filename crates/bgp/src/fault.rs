@@ -534,6 +534,142 @@ impl<I: Iterator<Item = UpdateRecord>> Iterator for FaultedFeed<I> {
     }
 }
 
+/// How an injected replay crash manifests inside a supervised scenario
+/// cell (see `quicksand-core`'s supervision subsystem, DESIGN.md §12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashKind {
+    /// The attempt panics at the crash point (fault-domain isolation:
+    /// the cell's `catch_unwind` must contain it).
+    Panic,
+    /// The attempt stops making progress for this many milliseconds at
+    /// the crash point (the cell's watchdog must trip and cancel it
+    /// when the stall outlives the progress deadline).
+    Stall {
+        /// Wall-clock length of the stall.
+        ms: u64,
+    },
+}
+
+/// One scripted crash: on checkpoint boundaries of attempt
+/// `on_attempt`, fire `kind` at the first cursor `>= at_cursor`.
+///
+/// Crashes are addressed by *attempt* so a restarted cell replays a
+/// different (usually empty) fault schedule — exactly how a real
+/// transient fault behaves — and by *cursor* so the failure trace is a
+/// pure function of the plan, never of wall-clock timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayCrash {
+    /// Which attempt of the cell this crash targets (0 = first run).
+    pub on_attempt: u32,
+    /// Fires at the first checkpoint cursor at or past this.
+    pub at_cursor: u64,
+    /// What happens at the crash point.
+    pub kind: CrashKind,
+}
+
+/// A deterministic schedule of mid-replay crashes for one supervised
+/// scenario, evaluated at checkpoint boundaries.
+///
+/// The plan itself is pure data: [`ReplayChaosPlan::fire`] is a pure
+/// function of `(attempt, cursor)`, so the same plan against the same
+/// scenario yields the same failure trace on every run — the property
+/// the supervision restart-determinism tests pin down. The caller is
+/// responsible for firing at most once per attempt (a stall does not
+/// consume itself the way a panic's unwind does).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplayChaosPlan {
+    /// The scripted crashes, in no particular order.
+    pub crashes: Vec<ReplayCrash>,
+}
+
+impl ReplayChaosPlan {
+    /// A plan with a single crash.
+    pub fn single(on_attempt: u32, at_cursor: u64, kind: CrashKind) -> Self {
+        ReplayChaosPlan {
+            crashes: vec![ReplayCrash {
+                on_attempt,
+                at_cursor,
+                kind,
+            }],
+        }
+    }
+
+    /// A plan that crashes on *every* attempt at `at_cursor` — the
+    /// persistent fault that must exhaust a cell's restart budget and
+    /// end in quarantine. `attempts` bounds how many attempts are
+    /// scripted (one more than the restart budget is enough).
+    pub fn persistent(attempts: u32, at_cursor: u64, kind: CrashKind) -> Self {
+        ReplayChaosPlan {
+            crashes: (0..attempts)
+                .map(|a| ReplayCrash {
+                    on_attempt: a,
+                    at_cursor,
+                    kind,
+                })
+                .collect(),
+        }
+    }
+
+    /// The crash (if any) due at checkpoint `(attempt, cursor)`: the
+    /// scripted crash for this attempt with the smallest `at_cursor`
+    /// at or below `cursor`. Pure — identical inputs, identical answer.
+    pub fn fire(&self, attempt: u32, cursor: u64) -> Option<ReplayCrash> {
+        self.crashes
+            .iter()
+            .filter(|c| c.on_attempt == attempt && c.at_cursor <= cursor)
+            .min_by_key(|c| c.at_cursor)
+            .copied()
+    }
+
+    /// True when no crash is scripted for any attempt.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
+
+    /// A seeded crash storm over a fleet of `cells` supervised
+    /// scenarios: exactly `victims` distinct cells (clamped to `cells`)
+    /// get one first-attempt crash each, alternating panic and stall,
+    /// at a cursor drawn deterministically from
+    /// `[cursor_lo, cursor_hi)`. Returns one optional plan per cell.
+    ///
+    /// Victim choice, crash kind, and crash cursor are all pure
+    /// functions of `seed` — two storms with the same arguments are
+    /// identical, which lets the crash-storm gate compare a stormed
+    /// fleet against per-scenario serial baselines.
+    pub fn storm(
+        seed: u64,
+        cells: usize,
+        victims: usize,
+        cursor_lo: u64,
+        cursor_hi: u64,
+        stall_ms: u64,
+    ) -> Vec<Option<ReplayChaosPlan>> {
+        let mut plans: Vec<Option<ReplayChaosPlan>> = vec![None; cells];
+        let victims = victims.min(cells);
+        let span = cursor_hi.saturating_sub(cursor_lo).max(1);
+        let mut chosen: Vec<usize> = Vec::with_capacity(victims);
+        let mut draw = splitmix64(seed ^ 0x0057_0913_C4A5);
+        while chosen.len() < victims {
+            draw = splitmix64(draw);
+            let cell = (draw % cells as u64) as usize;
+            if !chosen.contains(&cell) {
+                chosen.push(cell);
+            }
+        }
+        for (i, &cell) in chosen.iter().enumerate() {
+            draw = splitmix64(draw ^ cell as u64);
+            let at_cursor = cursor_lo + draw % span;
+            let kind = if i % 2 == 0 {
+                CrashKind::Panic
+            } else {
+                CrashKind::Stall { ms: stall_ms }
+            };
+            plans[cell] = Some(ReplayChaosPlan::single(0, at_cursor, kind));
+        }
+        plans
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,5 +830,64 @@ mod tests {
         let feed = FaultedFeed::new(log.records.clone().into_iter(), profile).unwrap();
         let n: usize = feed.count();
         assert_eq!(n, log.len(), "reordering must not lose records");
+    }
+
+    #[test]
+    fn replay_chaos_fire_is_pure_and_attempt_scoped() {
+        let plan = ReplayChaosPlan::single(0, 30, CrashKind::Panic);
+        assert_eq!(plan.fire(0, 29), None);
+        let hit = plan.fire(0, 30).expect("crash due at its cursor");
+        assert_eq!(hit.kind, CrashKind::Panic);
+        // Still due at later cursors of the same attempt (the caller
+        // fires at most once per attempt), never on other attempts.
+        assert_eq!(plan.fire(0, 90), Some(hit));
+        assert_eq!(plan.fire(1, 90), None);
+        // Earliest-due crash wins when several are past.
+        let plan = ReplayChaosPlan {
+            crashes: vec![
+                ReplayCrash { on_attempt: 0, at_cursor: 50, kind: CrashKind::Panic },
+                ReplayCrash {
+                    on_attempt: 0,
+                    at_cursor: 20,
+                    kind: CrashKind::Stall { ms: 5 },
+                },
+            ],
+        };
+        assert_eq!(plan.fire(0, 60).unwrap().at_cursor, 20);
+    }
+
+    #[test]
+    fn replay_chaos_persistent_targets_every_attempt() {
+        let plan = ReplayChaosPlan::persistent(3, 10, CrashKind::Panic);
+        for attempt in 0..3 {
+            assert!(plan.fire(attempt, 10).is_some(), "attempt {attempt}");
+        }
+        assert_eq!(plan.fire(3, 10), None, "beyond the scripted attempts");
+    }
+
+    #[test]
+    fn storm_is_deterministic_and_hits_exactly_the_victim_count() {
+        let a = ReplayChaosPlan::storm(0xBAD, 8, 3, 20, 60, 250);
+        let b = ReplayChaosPlan::storm(0xBAD, 8, 3, 20, 60, 250);
+        assert_eq!(a, b, "same seed must script the same storm");
+        assert_eq!(a.len(), 8);
+        let victims: Vec<&ReplayChaosPlan> = a.iter().flatten().collect();
+        assert_eq!(victims.len(), 3);
+        for plan in &victims {
+            let crash = plan.crashes[0];
+            assert_eq!(crash.on_attempt, 0);
+            assert!((20..60).contains(&crash.at_cursor));
+        }
+        // Both failure modes are represented among three victims.
+        assert!(victims.iter().any(|p| p.crashes[0].kind == CrashKind::Panic));
+        assert!(victims
+            .iter()
+            .any(|p| matches!(p.crashes[0].kind, CrashKind::Stall { .. })));
+        // A different seed scripts a different storm.
+        let c = ReplayChaosPlan::storm(0xBAD + 1, 8, 3, 20, 60, 250);
+        assert_ne!(a, c);
+        // Victim count clamps to the fleet size.
+        let all = ReplayChaosPlan::storm(7, 2, 5, 0, 10, 1);
+        assert_eq!(all.iter().flatten().count(), 2);
     }
 }

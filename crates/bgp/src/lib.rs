@@ -50,7 +50,10 @@ pub use collector::{
 };
 pub use event::{EventSim, SimConfig, SimStats};
 pub use fast::FastConverge;
-pub use fault::{FaultInjector, FaultProfile, FaultReport, FaultedFeed};
+pub use fault::{
+    CrashKind, FaultInjector, FaultProfile, FaultReport, FaultedFeed, ReplayChaosPlan,
+    ReplayCrash,
+};
 pub use msg::{Community, Route, UpdateMessage};
 pub use paths::{ExportCache, PathArena, PathId};
 pub use table::PrefixTable;

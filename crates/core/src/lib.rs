@@ -35,11 +35,17 @@ pub mod population;
 pub mod experiments;
 pub mod report;
 pub mod scenario;
+pub mod supervise;
 pub mod temporal;
 
 pub use adversary::{ObservationMode, SegmentObservers};
 pub use parallel::{Parallelism, WorkerPool};
 pub use scenario::{MonthResult, Scenario, ScenarioConfig};
+pub use supervise::{
+    Admission, CellFailure, CellOutcome, CellResult, FailureKind, RestartDecision,
+    RestartPolicy, ScenarioJob, SuperviseConfig, Supervisor, SupervisorOutcome,
+    WatchdogConfig,
+};
 
 #[cfg(test)]
 pub(crate) mod testworld {

@@ -1,0 +1,238 @@
+//! Restart-determinism gates for the supervisor (DESIGN.md §12).
+//!
+//! Two properties carry the supervised resident engine:
+//!
+//! 1. The restart policy is a *pure function* of `(seed, cell id,
+//!    failure trace)` — same trace ⇒ byte-identical restart timeline,
+//!    every backoff inside `[base, cap]`, quarantine exactly when the
+//!    budget is spent, and each decision depending only on the trace
+//!    prefix that precedes it.
+//! 2. A scenario that is killed mid-month and auto-restarted from its
+//!    newest checkpoint completes with a `MonthResult` bitwise
+//!    identical to an uninterrupted serial run — supervision is
+//!    invisible in the output.
+
+use proptest::prelude::*;
+use quicksand_bgp::{CrashKind, ReplayChaosPlan};
+use quicksand_core::supervise::{
+    CellResult, FailureKind, RestartDecision, RestartPolicy, ScenarioJob, SuperviseConfig,
+    Supervisor, WatchdogConfig,
+};
+use quicksand_core::{Scenario, ScenarioConfig};
+use quicksand_obs as obs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn arb_kind() -> impl Strategy<Value = FailureKind> {
+    prop_oneof![
+        Just(FailureKind::Panic),
+        Just(FailureKind::Stall),
+        Just(FailureKind::Error),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn restart_timeline_is_a_pure_function_of_seed_and_trace(
+        seed in any::<u64>(),
+        cell in 0u64..64,
+        max_restarts in 0u32..6,
+        trace in proptest::collection::vec(arb_kind(), 1..8),
+    ) {
+        let policy = RestartPolicy {
+            base_ms: 5,
+            cap_ms: 80,
+            max_restarts,
+            seed,
+        };
+        let a = policy.schedule(cell, &trace);
+        let b = policy.schedule(cell, &trace);
+        prop_assert_eq!(&a, &b, "same (seed, cell, trace) must replay identically");
+        prop_assert_eq!(a.len(), trace.len());
+        for (k, decision) in a.iter().enumerate() {
+            let failures = (k + 1) as u32;
+            if failures > max_restarts {
+                prop_assert_eq!(decision, &RestartDecision::Quarantine);
+            } else {
+                let RestartDecision::Restart { attempt, after_ms } = decision else {
+                    panic!("restart expected inside budget, got {decision:?}");
+                };
+                prop_assert_eq!(*attempt, failures);
+                prop_assert!(
+                    (5..=80).contains(after_ms),
+                    "backoff {} outside [base, cap]",
+                    after_ms
+                );
+            }
+            // Decision k is a function of the trace prefix alone: an
+            // extended trace replays the same opening timeline.
+            prop_assert_eq!(decision, &policy.decide(cell, &trace[..=k]));
+        }
+    }
+
+    #[test]
+    fn backoff_depends_on_failure_kinds_not_only_trace_length(
+        seed in any::<u64>(),
+        cell in 0u64..64,
+        len in 1usize..5,
+    ) {
+        let panics = vec![FailureKind::Panic; len];
+        let stalls = vec![FailureKind::Stall; len];
+        // A single draw lives in a small range, so two kinds can
+        // legitimately collide for one policy seed. But the kind is
+        // hashed into every draw, so across many derived seeds the
+        // timelines must diverge somewhere — if they never do, the
+        // kind tag is not reaching the hash at all.
+        let diverges = (0..32).any(|k| {
+            let policy = RestartPolicy {
+                base_ms: 1,
+                cap_ms: 1 << 20,
+                max_restarts: 8,
+                seed: seed.wrapping_add(k),
+            };
+            policy.schedule(cell, &panics) != policy.schedule(cell, &stalls)
+        });
+        prop_assert!(
+            diverges,
+            "failure kinds must perturb the backoff schedule"
+        );
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qs-supervise-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One supervised cell, crashed mid-month, must finish with output
+/// bitwise identical to the unsupervised serial run.
+#[test]
+fn kill_and_auto_restart_matches_uninterrupted_run_bitwise() {
+    let seed = 41;
+    let baseline = Scenario::build(ScenarioConfig::small(seed))
+        .run_month()
+        .expect("valid scenario");
+
+    let dir = tmpdir("restart");
+    let registry = Arc::new(obs::Registry::new());
+    let outcome = obs::with_metrics(registry.clone(), || {
+        let mut sup = Supervisor::new(SuperviseConfig {
+            width: 1,
+            queue_cap: 1,
+            results_cap: 1,
+            checkpoint_every: 40,
+            retain: 3,
+            restart: RestartPolicy {
+                base_ms: 1,
+                cap_ms: 5,
+                max_restarts: 2,
+                seed: 7,
+            },
+            watchdog: WatchdogConfig {
+                poll_ms: 10,
+                deadline_ms: 30_000,
+                grace: 8.0,
+            },
+        });
+        sup.submit(ScenarioJob {
+            label: "victim".into(),
+            config: ScenarioConfig::small(seed),
+            store_dir: Some(dir.clone()),
+            chaos: Some(ReplayChaosPlan::single(0, 40, CrashKind::Panic)),
+        });
+        sup.run()
+    });
+
+    assert_eq!(outcome.cells.len(), 1);
+    let cell = &outcome.cells[0];
+    assert_eq!(cell.restarts, 1, "exactly the injected crash");
+    assert_eq!(cell.failures.len(), 1);
+    assert_eq!(cell.failures[0].kind, FailureKind::Panic);
+    assert!(
+        cell.failures[0].cursor >= 40,
+        "the crash checkpoint was persisted before the panic"
+    );
+    let CellResult::Completed { month, .. } = &cell.result else {
+        panic!("victim must complete after its restart: {:?}", cell.result);
+    };
+
+    // Structural equality first (better failure messages), then the
+    // bitwise gate over the canonical MRT encoding.
+    assert_eq!(month.raw, baseline.raw);
+    assert_eq!(month.cleaned, baseline.cleaned);
+    assert_eq!(month.removed_duplicates, baseline.removed_duplicates);
+    assert_eq!(month.reset_bursts, baseline.reset_bursts);
+    assert_eq!(month.horizon_end, baseline.horizon_end);
+    let encode = |log: &quicksand_bgp::UpdateLog| {
+        let mut bytes = Vec::new();
+        quicksand_bgp::mrt::write_log(log, &mut bytes).expect("Vec write");
+        bytes
+    };
+    assert_eq!(
+        encode(&month.raw),
+        encode(&baseline.raw),
+        "restarted replay must be bitwise identical to the serial run"
+    );
+
+    // The supervisor accounted for the crash on the parent registry.
+    let key = |name: &'static str| obs::Key::stage("supervisor", name);
+    assert_eq!(registry.counter_value(key("panics")), 1);
+    assert_eq!(registry.counter_value(key("restarts")), 1);
+    assert_eq!(registry.counter_value(key("completed")), 1);
+    assert_eq!(registry.counter_value(key("quarantined")), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cell whose chaos plan crashes every attempt must exhaust its
+/// budget and quarantine — and never disturb the process.
+#[test]
+fn persistent_crasher_is_quarantined_after_the_budget() {
+    let dir = tmpdir("quarantine");
+    let registry = Arc::new(obs::Registry::new());
+    let outcome = obs::with_metrics(registry.clone(), || {
+        let mut sup = Supervisor::new(SuperviseConfig {
+            width: 1,
+            queue_cap: 1,
+            results_cap: 1,
+            checkpoint_every: 40,
+            retain: 3,
+            restart: RestartPolicy {
+                base_ms: 1,
+                cap_ms: 3,
+                max_restarts: 2,
+                seed: 7,
+            },
+            watchdog: WatchdogConfig {
+                poll_ms: 10,
+                deadline_ms: 30_000,
+                grace: 8.0,
+            },
+        });
+        sup.submit(ScenarioJob {
+            label: "crasher".into(),
+            config: ScenarioConfig::small(42),
+            store_dir: Some(dir.clone()),
+            // Crashes attempts 0, 1, 2, ... — more than the budget.
+            chaos: Some(ReplayChaosPlan::persistent(8, 40, CrashKind::Panic)),
+        });
+        sup.run()
+    });
+    let cell = &outcome.cells[0];
+    assert!(matches!(
+        cell.result,
+        CellResult::Quarantined {
+            last: FailureKind::Panic
+        }
+    ));
+    assert_eq!(cell.restarts, 2, "budget consumed before quarantine");
+    assert_eq!(cell.failures.len(), 3, "initial run + 2 restarts all crashed");
+    assert!(outcome.any_quarantined());
+    let key = |name: &'static str| obs::Key::stage("supervisor", name);
+    assert_eq!(registry.counter_value(key("quarantined")), 1);
+    assert_eq!(registry.counter_value(key("completed")), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

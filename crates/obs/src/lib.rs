@@ -53,7 +53,7 @@ pub mod subscriber;
 
 pub use event::{Event, FieldValue, Level};
 pub use metrics::{Histogram, HistogramStats, Key, Registry, Snapshot, SCORE_BOUNDS};
-pub use report::{RunReport, REQUIRED_STAGES};
+pub use report::{RunReport, SupervisorSection, REQUIRED_STAGES};
 pub use subscriber::{
     ConsoleSubscriber, FanoutSubscriber, JsonlSubscriber, MemorySubscriber, NoopSubscriber,
     Subscriber,

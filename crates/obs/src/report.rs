@@ -56,6 +56,69 @@ pub struct AlarmEntry {
     pub confidence: Option<f64>,
 }
 
+/// Fleet-level supervisor summary, present only on reports written by
+/// a supervised (`repro serve`) run. Assembled from the `supervisor`
+/// obs stage; absent (and absent from the JSON) on batch runs, so the
+/// schema stays backward-compatible.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorSection {
+    /// Scenario cells admitted.
+    pub cells: u64,
+    /// Cells that completed their month.
+    pub completed: u64,
+    /// Cells quarantined after exhausting the restart budget (includes
+    /// infrastructure failures, which are isolated the same way).
+    pub quarantined: u64,
+    /// Restarts consumed across the fleet.
+    pub restarts: u64,
+    /// Watchdog trips (progress-deadline violations).
+    pub watchdog_trips: u64,
+    /// Panics contained by `catch_unwind`.
+    pub panics: u64,
+    /// Stalls cancelled by the watchdog.
+    pub stalls: u64,
+    /// Submissions shed at admission (reject-new load shedding).
+    pub shed: u64,
+    /// Cells that completed but needed restarts or tripped the
+    /// watchdog on the way.
+    pub degraded: u64,
+}
+
+impl SupervisorSection {
+    /// Build the section from a metric snapshot, when the run recorded
+    /// any `supervisor`-stage metrics at all.
+    fn from_snapshot(metrics: &Snapshot) -> Option<SupervisorSection> {
+        if !metrics.has_stage_metrics("supervisor") {
+            return None;
+        }
+        let counter = |name: &str| {
+            metrics
+                .counters
+                .iter()
+                .find(|c| c.stage == "supervisor" && c.name == name && c.session.is_none())
+                .map_or(0, |c| c.value)
+        };
+        let gauge = |name: &str| {
+            metrics
+                .gauges
+                .iter()
+                .find(|g| g.stage == "supervisor" && g.name == name && g.session.is_none())
+                .map_or(0.0, |g| g.value)
+        };
+        Some(SupervisorSection {
+            cells: counter("cells"),
+            completed: counter("completed"),
+            quarantined: counter("quarantined") + counter("failed"),
+            restarts: counter("restarts"),
+            watchdog_trips: counter("watchdog_trips"),
+            panics: counter("panics"),
+            stalls: counter("stalls"),
+            shed: counter("shed"),
+            degraded: gauge("degraded") as u64,
+        })
+    }
+}
+
 /// The complete machine-readable record of one run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -69,6 +132,9 @@ pub struct RunReport {
     pub metrics: Snapshot,
     /// Alarm timeline, in emission order.
     pub alarms: Vec<AlarmEntry>,
+    /// Supervisor summary — only on supervised (`repro serve`) runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub supervisor: Option<SupervisorSection>,
 }
 
 impl RunReport {
@@ -116,6 +182,7 @@ impl RunReport {
             stages,
             metrics: metrics.clone(),
             alarms,
+            supervisor: SupervisorSection::from_snapshot(metrics),
         }
     }
 
@@ -124,9 +191,14 @@ impl RunReport {
         self.stages.iter().find(|s| s.stage == stage)
     }
 
-    /// Schema validation: every [required stage](REQUIRED_STAGES) must
-    /// have at least one timed span *and* a non-empty metric snapshot.
-    /// Returns every violation, not just the first.
+    /// Schema validation. Batch reports: every
+    /// [required stage](REQUIRED_STAGES) must have at least one timed
+    /// span *and* a non-empty metric snapshot. Fleet reports (a
+    /// `supervisor` section is present): the per-cell stage metrics
+    /// live in the cells' private registries, so the six-stage rule
+    /// does not apply; instead the supervisor accounting must be
+    /// internally consistent. Returns every violation, not just the
+    /// first.
     pub fn validate(&self) -> Result<(), Vec<String>> {
         let mut problems = Vec::new();
         if self.version != REPORT_VERSION {
@@ -135,16 +207,34 @@ impl RunReport {
                 self.version, REPORT_VERSION
             ));
         }
-        for stage in REQUIRED_STAGES {
-            match self.stage(stage) {
-                None => problems.push(format!("stage '{stage}': no wall-time profile")),
-                Some(s) if s.calls == 0 => {
-                    problems.push(format!("stage '{stage}': zero timed calls"))
-                }
-                Some(_) => {}
+        if let Some(sup) = &self.supervisor {
+            if sup.completed + sup.quarantined != sup.cells {
+                problems.push(format!(
+                    "supervisor: completed ({}) + quarantined ({}) != cells ({})",
+                    sup.completed, sup.quarantined, sup.cells
+                ));
             }
-            if !self.metrics.has_stage_metrics(stage) {
-                problems.push(format!("stage '{stage}': empty metric snapshot"));
+            if sup.degraded > sup.completed {
+                problems.push(format!(
+                    "supervisor: degraded ({}) > completed ({})",
+                    sup.degraded, sup.completed
+                ));
+            }
+            if !self.metrics.has_stage_metrics("supervisor") {
+                problems.push("supervisor: section present but no stage metrics".to_string());
+            }
+        } else {
+            for stage in REQUIRED_STAGES {
+                match self.stage(stage) {
+                    None => problems.push(format!("stage '{stage}': no wall-time profile")),
+                    Some(s) if s.calls == 0 => {
+                        problems.push(format!("stage '{stage}': zero timed calls"))
+                    }
+                    Some(_) => {}
+                }
+                if !self.metrics.has_stage_metrics(stage) {
+                    problems.push(format!("stage '{stage}': empty metric snapshot"));
+                }
             }
         }
         if problems.is_empty() {
@@ -216,6 +306,22 @@ impl RunReport {
                 h.stats.max
             );
         }
+        if let Some(sup) = &self.supervisor {
+            let _ = writeln!(
+                out,
+                "\nsupervisor: {} cells, {} completed ({} degraded), {} quarantined; \
+                 {} restarts, {} watchdog trips, {} panics, {} stalls, {} shed",
+                sup.cells,
+                sup.completed,
+                sup.degraded,
+                sup.quarantined,
+                sup.restarts,
+                sup.watchdog_trips,
+                sup.panics,
+                sup.stalls,
+                sup.shed
+            );
+        }
         let _ = writeln!(out, "\nalarms: {}", self.alarms.len());
         for a in &self.alarms {
             let conf = a
@@ -248,17 +354,20 @@ impl RunReport {
             s.wall_ms_p95 = 0.0;
             s.wall_ms_max = 0.0;
         }
-        out.stages
-            .retain(|s| s.stage != "recover" && s.stage != "parallel");
+        let engine = |stage: &str| {
+            stage == "recover" || stage == "parallel" || stage == "supervisor"
+        };
+        out.stages.retain(|s| !engine(&s.stage));
+        out.metrics.counters.retain(|c| !engine(&c.stage));
         out.metrics
-            .counters
-            .retain(|c| c.stage != "recover" && c.stage != "parallel");
-        out.metrics.gauges.retain(|g| {
-            g.stage != "recover" && g.stage != "parallel" && g.name != "replay_rate"
-        });
-        out.metrics.histograms.retain(|h| {
-            h.stage != "recover" && h.stage != "parallel" && h.name != crate::WALL_MS
-        });
+            .gauges
+            .retain(|g| !engine(&g.stage) && g.name != "replay_rate");
+        out.metrics
+            .histograms
+            .retain(|h| !engine(&h.stage) && h.name != crate::WALL_MS);
+        // Watchdog trips and restarts are wall-clock-dependent, so the
+        // whole supervisor story is execution-engine content too.
+        out.supervisor = None;
         out
     }
 
@@ -542,6 +651,78 @@ mod tests {
             .deterministic_deltas(&c)
             .iter()
             .any(|d| d.contains("alarms")));
+    }
+
+    fn supervised_registry() -> Registry {
+        let r = Registry::new();
+        r.incr(Key::stage("supervisor", "cells"), 8);
+        r.incr(Key::stage("supervisor", "completed"), 7);
+        r.incr(Key::stage("supervisor", "quarantined"), 1);
+        r.incr(Key::stage("supervisor", "restarts"), 5);
+        r.incr(Key::stage("supervisor", "watchdog_trips"), 2);
+        r.incr(Key::stage("supervisor", "panics"), 3);
+        r.incr(Key::stage("supervisor", "stalls"), 2);
+        r.incr(Key::stage("supervisor", "shed"), 1);
+        r.gauge(Key::stage("supervisor", "degraded"), 2.0);
+        r
+    }
+
+    #[test]
+    fn supervisor_section_assembles_validates_and_renders() {
+        let rep = RunReport::assemble("fleet", &supervised_registry().snapshot(), &[]);
+        let sup = rep.supervisor.as_ref().expect("supervisor metrics present");
+        assert_eq!(sup.cells, 8);
+        assert_eq!(sup.completed, 7);
+        assert_eq!(sup.quarantined, 1);
+        assert_eq!(sup.restarts, 5);
+        assert_eq!(sup.degraded, 2);
+        // Fleet reports skip the six-stage rule but check consistency.
+        assert!(rep.validate().is_ok());
+        assert!(rep.render().contains("supervisor: 8 cells"));
+        // Inconsistent accounting fails validation.
+        let mut bad = rep.clone();
+        bad.supervisor.as_mut().unwrap().completed = 3;
+        let errs = bad.validate().unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("!= cells")));
+        // Infrastructure failures count as quarantine.
+        let r = supervised_registry();
+        r.incr(Key::stage("supervisor", "cells"), 1);
+        r.incr(Key::stage("supervisor", "failed"), 1);
+        let rep = RunReport::assemble("fleet2", &r.snapshot(), &[]);
+        assert_eq!(rep.supervisor.as_ref().unwrap().quarantined, 2);
+        assert!(rep.validate().is_ok());
+    }
+
+    #[test]
+    fn supervisor_section_is_optional_and_normalized_away() {
+        // Batch reports (no supervisor metrics) have no section, and
+        // pre-section JSON still deserializes.
+        let batch = RunReport::assemble("batch", &full_registry().snapshot(), &[]);
+        assert!(batch.supervisor.is_none());
+        let json = serde_json::to_string(&batch).unwrap();
+        assert!(!json.contains("supervisor"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, batch);
+        // normalized() strips the section and the stage metrics, so a
+        // supervised run --checks clean against its batch twin.
+        let r = supervised_registry();
+        for stage in REQUIRED_STAGES {
+            r.incr(
+                Key {
+                    stage,
+                    name: "calls",
+                    session: None,
+                },
+                1,
+            );
+            r.observe(Key::stage(stage, crate::WALL_MS), 5.0);
+        }
+        let fleet = RunReport::assemble("fleet", &r.snapshot(), &[]);
+        let norm = fleet.normalized();
+        assert!(norm.supervisor.is_none());
+        assert!(!norm.metrics.counters.iter().any(|c| c.stage == "supervisor"));
+        assert!(!norm.metrics.gauges.iter().any(|g| g.stage == "supervisor"));
+        assert_eq!(batch.deterministic_deltas(&fleet), Vec::<String>::new());
     }
 
     #[test]

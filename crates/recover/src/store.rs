@@ -64,11 +64,10 @@ impl CheckpointStore {
             f.sync_all()?;
         }
         fs::rename(&tmp_path, &final_path)?;
-        // Persist the directory entry too; best-effort on filesystems
-        // that refuse fsync on directories.
-        if let Ok(d) = fs::File::open(&self.dir) {
-            let _ = d.sync_all();
-        }
+        // The rename is atomic but not durable: until the directory
+        // itself is fsynced, a crash can roll the dirent back and lose
+        // the checkpoint the caller was just promised.
+        self.sync_dir()?;
         obs::incr("recover", "saves", 1);
         obs::incr("recover", "save_bytes", bytes.len() as u64);
         if obs::enabled(obs::Level::Info) {
@@ -112,8 +111,28 @@ impl CheckpointStore {
             for old in &files[..files.len() - self.retain] {
                 fs::remove_file(old)?;
             }
+            self.sync_dir()?;
         }
         Ok(())
+    }
+
+    /// Fsync the checkpoint directory so renames and unlinks survive a
+    /// crash. Filesystems that cannot fsync a directory handle report
+    /// `Unsupported`/`InvalidInput` — treated as "nothing to do", while
+    /// real I/O failures propagate.
+    fn sync_dir(&self) -> Result<(), CheckpointError> {
+        match fs::File::open(&self.dir).and_then(|d| d.sync_all()) {
+            Ok(()) => Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Unsupported | std::io::ErrorKind::InvalidInput
+                ) =>
+            {
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Load the newest checkpoint that validates, falling back past
@@ -279,6 +298,31 @@ mod tests {
         let bytes = fs::read(&p).unwrap();
         fs::write(&p, &bytes[..bytes.len() - 5]).unwrap();
         assert!(load_file(&p).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_survives_reopen_from_a_fresh_handle() {
+        // The durability contract: after save() returns, a brand-new
+        // store handle on the same directory (think: the restarted
+        // process after a crash) sees exactly the files save promised —
+        // the renamed checkpoint, no temp residue, pruned victims gone.
+        let dir = tmpdir("reopen");
+        {
+            let store = CheckpointStore::open(&dir, 2).unwrap();
+            for cursor in [3, 6, 9] {
+                store.save(&snap_at(cursor)).unwrap();
+            }
+        }
+        let reopened = CheckpointStore::open(&dir, 2).unwrap();
+        let files = reopened.list().unwrap();
+        assert_eq!(files.len(), 2, "retention persisted across reopen");
+        assert!(fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .all(|e| e.path().extension().is_some_and(|x| x == EXTENSION)));
+        let (snapshot, _) = reopened.load_latest().unwrap().unwrap();
+        assert_eq!(snapshot, snap_at(9));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -491,3 +491,253 @@ fn scenario_month_survives_fault_profile() {
         assert!((0.0..=1.0 + 1e-9).contains(&h.coverage));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Crash storm: the supervised resident engine under concurrent failures
+// (DESIGN.md §12). A storm hits 3 of 8 cells mid-month — panics and
+// watchdog-visible stalls — and the gate is threefold: every victim
+// either auto-restarts from its newest checkpoint or is quarantined,
+// the 5 survivors are completely unperturbed, and every completed
+// MonthResult is bitwise identical to an unsupervised serial run (no
+// event lost, no event duplicated).
+// ---------------------------------------------------------------------------
+
+mod storm {
+    use quicksand_bgp::{mrt, CrashKind, ReplayChaosPlan, UpdateLog};
+    use quicksand_core::scenario::{MonthResult, Scenario, ScenarioConfig};
+    use quicksand_core::supervise::{
+        CellResult, RestartPolicy, ScenarioJob, SuperviseConfig, Supervisor, WatchdogConfig,
+    };
+    use quicksand_obs as obs;
+    use quicksand_recover::CheckpointStore;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    const CELLS: usize = 8;
+    const VICTIMS: usize = 3;
+    const EVERY: u64 = 25;
+    const BASE_SEED: u64 = 900;
+    const STORM_SEED: u64 = 0xBAD_5EED;
+    /// Watchdog deadline. Generous on purpose: a healthy small-scenario
+    /// cell beats every `EVERY` events (a few ms apart even under the
+    /// contention of a parallel test run), so only the injected stall —
+    /// which sleeps well past this — can trip it. A tight deadline here
+    /// makes the zero-budget test flaky: one spurious trip on a loaded
+    /// runner quarantines an innocent survivor.
+    const DEADLINE_MS: u64 = 1_500;
+    const STALL_MS: u64 = 4_000;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qs-chaos-storm-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn encode(log: &UpdateLog) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        mrt::write_log(log, &mut bytes).expect("Vec write");
+        bytes
+    }
+
+    /// Unsupervised serial baselines, one per cell seed.
+    fn baselines() -> Vec<MonthResult> {
+        (0..CELLS as u64)
+            .map(|i| {
+                Scenario::build(ScenarioConfig::small(BASE_SEED + i))
+                    .run_month()
+                    .expect("valid scenario")
+            })
+            .collect()
+    }
+
+    fn storm_config(max_restarts: u32) -> SuperviseConfig {
+        SuperviseConfig {
+            width: 4,
+            queue_cap: CELLS,
+            results_cap: 4,
+            checkpoint_every: EVERY,
+            retain: 3,
+            restart: RestartPolicy {
+                base_ms: 1,
+                cap_ms: 5,
+                max_restarts,
+                seed: 0x5EED_BACC,
+            },
+            // The parent registry has no measured replay rate, so the
+            // effective deadline is exactly `DEADLINE_MS`: far above a
+            // healthy small-scenario checkpoint interval, far below the
+            // injected stall.
+            watchdog: WatchdogConfig {
+                poll_ms: 25,
+                deadline_ms: DEADLINE_MS,
+                grace: 8.0,
+            },
+        }
+    }
+
+    fn submit_fleet(
+        sup: &mut Supervisor,
+        dir: &std::path::Path,
+        plans: &[Option<ReplayChaosPlan>],
+    ) {
+        for (i, plan) in plans.iter().enumerate() {
+            sup.submit(ScenarioJob {
+                label: format!("cell-{i}"),
+                config: ScenarioConfig::small(BASE_SEED + i as u64),
+                store_dir: Some(dir.join(format!("cell-{i}"))),
+                chaos: plan.clone(),
+            });
+        }
+    }
+
+    #[test]
+    fn crash_storm_victims_recover_and_survivors_are_unperturbed() {
+        let baselines = baselines();
+        // Panics for even-numbered victims, watchdog-visible stalls
+        // (well past the deadline) for odd ones, each landing at a
+        // cursor in [2·every, 5·every) so a checkpoint exists.
+        let plans =
+            ReplayChaosPlan::storm(STORM_SEED, CELLS, VICTIMS, EVERY * 2, EVERY * 5, STALL_MS);
+        assert_eq!(plans.iter().flatten().count(), VICTIMS);
+
+        let dir = tmpdir("recover");
+        let registry = Arc::new(obs::Registry::new());
+        let outcome = obs::with_metrics(registry.clone(), || {
+            let mut sup = Supervisor::new(storm_config(3));
+            submit_fleet(&mut sup, &dir, &plans);
+            sup.run()
+        });
+
+        assert_eq!(outcome.cells.len(), CELLS);
+        assert_eq!(outcome.shed, 0, "nothing was shed at this width");
+        let mut stalls_seen = 0u64;
+        for (i, cell) in outcome.cells.iter().enumerate() {
+            let CellResult::Completed { month, metrics } = &cell.result else {
+                panic!(
+                    "cell {i} must complete under a within-budget storm: {:?}",
+                    cell.result
+                );
+            };
+            if let Some(plan) = &plans[i] {
+                // Victim: crashed exactly once, restarted from the
+                // newest checkpoint, and the resume was exact.
+                assert_eq!(cell.restarts, 1, "cell {i}: one injected crash");
+                assert_eq!(cell.failures.len(), 1);
+                let crash = plan.fire(0, u64::MAX).expect("storm plans are single-shot");
+                assert!(
+                    cell.failures[0].cursor >= crash.at_cursor,
+                    "cell {i}: the crash-cursor checkpoint was persisted first"
+                );
+                // The winning attempt resumed from a checkpoint rather
+                // than replaying from scratch: the `recover.resumes`
+                // counter travels in the cell's final registry.
+                let resumes = metrics
+                    .counters
+                    .iter()
+                    .find(|c| c.stage == "recover" && c.name == "resumes")
+                    .map_or(0, |c| c.value);
+                assert!(
+                    resumes >= 1,
+                    "cell {i} must resume from a checkpoint, not replay from scratch"
+                );
+                if matches!(crash.kind, CrashKind::Stall { .. }) {
+                    assert!(
+                        cell.watchdog_trips >= 1,
+                        "cell {i}: a stalled cell is only ever reaped by the watchdog"
+                    );
+                    stalls_seen += 1;
+                }
+                assert!(cell.degraded());
+            } else {
+                // Survivor: zero fault-path activity of any kind.
+                assert_eq!(cell.restarts, 0, "survivor {i} restarted");
+                assert_eq!(cell.watchdog_trips, 0, "survivor {i} tripped");
+                assert!(cell.failures.is_empty(), "survivor {i} recorded a failure");
+                assert!(!cell.degraded());
+            }
+            // The bitwise gate, victims and survivors alike: field
+            // equality first for readable diffs, then the canonical
+            // MRT encoding byte for byte.
+            let base = &baselines[i];
+            assert_eq!(month.raw, base.raw, "cell {i}: raw log diverged");
+            assert_eq!(month.cleaned, base.cleaned, "cell {i}: cleaned log diverged");
+            assert_eq!(month.removed_duplicates, base.removed_duplicates);
+            assert_eq!(month.reset_bursts, base.reset_bursts);
+            assert_eq!(month.horizon_end, base.horizon_end);
+            assert_eq!(
+                encode(&month.raw),
+                encode(&base.raw),
+                "cell {i}: supervised output is not bitwise identical"
+            );
+            // No checkpoint lost: the cell's store still holds a valid
+            // newest snapshot a future resume could start from.
+            let store = CheckpointStore::open(dir.join(format!("cell-{i}")), 3).unwrap();
+            let (snapshot, _) = store
+                .load_latest()
+                .expect("store readable")
+                .expect("at least one checkpoint per completed cell");
+            assert!(snapshot.cursor > 0);
+        }
+        assert!(stalls_seen >= 1, "the storm mixes stalls in with panics");
+
+        // Fleet accounting on the parent registry is consistent with
+        // what we just observed cell by cell.
+        let count = |name: &'static str| registry.counter_value(obs::Key::stage("supervisor", name));
+        assert_eq!(count("cells"), CELLS as u64);
+        assert_eq!(count("completed"), CELLS as u64);
+        assert_eq!(count("quarantined"), 0);
+        assert_eq!(count("restarts"), VICTIMS as u64);
+        assert_eq!(count("panics") + count("stalls") + count("errors"), VICTIMS as u64);
+        assert_eq!(count("shed"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Same storm, zero restart budget: every victim is quarantined on
+    /// its first failure, and the survivors still finish bitwise-clean.
+    #[test]
+    fn crash_storm_with_no_budget_quarantines_victims_only() {
+        let baselines = baselines();
+        let plans =
+            ReplayChaosPlan::storm(STORM_SEED, CELLS, VICTIMS, EVERY * 2, EVERY * 5, STALL_MS);
+        let dir = tmpdir("quarantine");
+        let registry = Arc::new(obs::Registry::new());
+        let outcome = obs::with_metrics(registry.clone(), || {
+            let mut sup = Supervisor::new(storm_config(0));
+            submit_fleet(&mut sup, &dir, &plans);
+            sup.run()
+        });
+
+        assert!(outcome.any_quarantined());
+        assert_eq!(outcome.quarantined(), VICTIMS);
+        assert_eq!(outcome.completed(), CELLS - VICTIMS);
+        for (i, cell) in outcome.cells.iter().enumerate() {
+            if plans[i].is_some() {
+                assert!(
+                    matches!(cell.result, CellResult::Quarantined { .. }),
+                    "victim {i} had no budget: {:?}",
+                    cell.result
+                );
+                assert_eq!(cell.restarts, 0);
+                assert_eq!(cell.failures.len(), 1);
+            } else {
+                let CellResult::Completed { month, .. } = &cell.result else {
+                    panic!("survivor {i} must be untouched: {:?}", cell.result);
+                };
+                assert!(!cell.degraded());
+                assert_eq!(
+                    encode(&month.raw),
+                    encode(&baselines[i].raw),
+                    "survivor {i} perturbed by neighboring quarantines"
+                );
+            }
+        }
+        let count = |name: &'static str| registry.counter_value(obs::Key::stage("supervisor", name));
+        assert_eq!(count("quarantined"), VICTIMS as u64);
+        assert_eq!(count("completed"), (CELLS - VICTIMS) as u64);
+        assert_eq!(count("restarts"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

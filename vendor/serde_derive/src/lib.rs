@@ -10,7 +10,10 @@
 //!   tagged, unit variants as plain strings)
 //! * container attrs `#[serde(transparent)]` and
 //!   `#[serde(try_from = "String", into = "String")]`
-//! * the field attr `#[serde(skip)]`
+//! * field attrs `#[serde(skip)]`, `#[serde(default)]` (missing field →
+//!   `Default::default()`), and
+//!   `#[serde(skip_serializing_if = "Option::is_none")]` (omit the key
+//!   when the field serializes to `Null`)
 // Vendored stand-in: exempt from workspace lint policy.
 #![allow(clippy::all)]
 
@@ -44,9 +47,20 @@ struct ContainerAttrs {
     into_string: bool,
 }
 
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    /// `#[serde(default)]`: a missing field deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "Option::is_none")]`: omit the
+    /// key when the field serializes to `Null`.
+    skip_if_none: bool,
+}
+
 struct Field {
     name: String,
-    skip: bool,
+    attrs: FieldAttrs,
 }
 
 enum VariantKind {
@@ -81,7 +95,7 @@ fn ident_str(t: &TokenTree) -> Option<String> {
 }
 
 /// Parse one `#[...]` attribute group; record serde container/field info.
-fn scan_attr(g: &Group, out: &mut ContainerAttrs, skip: &mut bool) {
+fn scan_attr(g: &Group, out: &mut ContainerAttrs, field: &mut FieldAttrs) {
     let toks: Vec<TokenTree> = g.stream().into_iter().collect();
     if toks.is_empty() || ident_str(&toks[0]).as_deref() != Some("serde") {
         return;
@@ -94,7 +108,20 @@ fn scan_attr(g: &Group, out: &mut ContainerAttrs, skip: &mut bool) {
     while i < inner.len() {
         match ident_str(&inner[i]).as_deref() {
             Some("transparent") => out.transparent = true,
-            Some("skip") => *skip = true,
+            Some("skip") => field.skip = true,
+            Some("default") => field.default = true,
+            Some("skip_serializing_if") => {
+                if is_punct(&inner[i + 1], '=') {
+                    let lit = inner[i + 2].to_string();
+                    assert!(
+                        lit.trim_matches('"') == "Option::is_none",
+                        "serde derive stub: only skip_serializing_if = \"Option::is_none\" \
+                         is supported, got {lit}"
+                    );
+                    field.skip_if_none = true;
+                    i += 2;
+                }
+            }
             Some(key @ ("try_from" | "into")) => {
                 // key = "Type"
                 if is_punct(&inner[i + 1], '=') {
@@ -121,10 +148,15 @@ fn scan_attr(g: &Group, out: &mut ContainerAttrs, skip: &mut bool) {
 }
 
 /// Advance past any leading attributes, collecting serde info.
-fn skip_attrs(toks: &[TokenTree], mut i: usize, attrs: &mut ContainerAttrs, skip: &mut bool) -> usize {
+fn skip_attrs(
+    toks: &[TokenTree],
+    mut i: usize,
+    attrs: &mut ContainerAttrs,
+    field: &mut FieldAttrs,
+) -> usize {
     while i + 1 < toks.len() && is_punct(&toks[i], '#') {
         if let TokenTree::Group(g) = &toks[i + 1] {
-            scan_attr(g, attrs, skip);
+            scan_attr(g, attrs, field);
             i += 2;
         } else {
             break;
@@ -168,8 +200,8 @@ fn parse_named_fields(g: &Group) -> Vec<Field> {
     let mut i = 0;
     while i < toks.len() {
         let mut dummy = ContainerAttrs::default();
-        let mut skip = false;
-        i = skip_attrs(&toks, i, &mut dummy, &mut skip);
+        let mut attrs = FieldAttrs::default();
+        i = skip_attrs(&toks, i, &mut dummy, &mut attrs);
         i = skip_vis(&toks, i);
         let Some(name) = toks.get(i).and_then(ident_str) else {
             break;
@@ -180,7 +212,7 @@ fn parse_named_fields(g: &Group) -> Vec<Field> {
         if i < toks.len() && is_punct(&toks[i], ',') {
             i += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field { name, attrs });
     }
     fields
 }
@@ -191,8 +223,8 @@ fn parse_tuple_fields(g: &Group) -> Vec<bool> {
     let mut i = 0;
     while i < toks.len() {
         let mut dummy = ContainerAttrs::default();
-        let mut skip = false;
-        i = skip_attrs(&toks, i, &mut dummy, &mut skip);
+        let mut attrs = FieldAttrs::default();
+        i = skip_attrs(&toks, i, &mut dummy, &mut attrs);
         i = skip_vis(&toks, i);
         if i >= toks.len() {
             break;
@@ -201,7 +233,7 @@ fn parse_tuple_fields(g: &Group) -> Vec<bool> {
         if i < toks.len() && is_punct(&toks[i], ',') {
             i += 1;
         }
-        skips.push(skip);
+        skips.push(attrs.skip);
     }
     skips
 }
@@ -212,8 +244,8 @@ fn parse_variants(g: &Group) -> Vec<Variant> {
     let mut i = 0;
     while i < toks.len() {
         let mut dummy = ContainerAttrs::default();
-        let mut skip = false;
-        i = skip_attrs(&toks, i, &mut dummy, &mut skip);
+        let mut fattrs = FieldAttrs::default();
+        i = skip_attrs(&toks, i, &mut dummy, &mut fattrs);
         let Some(name) = toks.get(i).and_then(ident_str) else {
             break;
         };
@@ -240,7 +272,7 @@ fn parse_variants(g: &Group) -> Vec<Variant> {
 fn parse_item(input: TokenStream) -> (String, ContainerAttrs, Item) {
     let toks: Vec<TokenTree> = input.into_iter().collect();
     let mut attrs = ContainerAttrs::default();
-    let mut dummy = false;
+    let mut dummy = FieldAttrs::default();
     let mut i = skip_attrs(&toks, 0, &mut attrs, &mut dummy);
     i = skip_vis(&toks, i);
     let kw = toks
@@ -318,7 +350,7 @@ fn gen_string_conv(name: &str, mode: Mode) -> String {
 }
 
 fn gen_named_struct(name: &str, fields: &[Field], transparent: bool, mode: Mode) -> String {
-    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.attrs.skip).collect();
     if transparent {
         assert!(
             live.len() == 1,
@@ -337,7 +369,7 @@ fn gen_named_struct(name: &str, fields: &[Field], transparent: bool, mode: Mode)
                 let inits = fields
                     .iter()
                     .map(|fd| {
-                        if fd.skip {
+                        if fd.attrs.skip {
                             format!("{}: ::std::default::Default::default(),", fd.name)
                         } else {
                             format!("{}: ::serde::Deserialize::from_value(__v)?,", fd.name)
@@ -359,16 +391,29 @@ fn gen_named_struct(name: &str, fields: &[Field], transparent: bool, mode: Mode)
             let pushes = live
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(::serde::Value::Str(\"{0}\".to_string()), ::serde::Serialize::to_value(&self.{0})),",
-                        f.name
-                    )
+                    if f.attrs.skip_if_none {
+                        format!(
+                            "{{ let __x = ::serde::Serialize::to_value(&self.{0});
+                               if !::std::matches!(__x, ::serde::Value::Null) {{
+                                   __m.push((::serde::Value::Str(\"{0}\".to_string()), __x));
+                               }} }}",
+                            f.name
+                        )
+                    } else {
+                        format!(
+                            "__m.push((::serde::Value::Str(\"{0}\".to_string()), ::serde::Serialize::to_value(&self.{0})));",
+                            f.name
+                        )
+                    }
                 })
                 .collect::<String>();
             format!(
                 "impl ::serde::Serialize for {name} {{
                     fn to_value(&self) -> ::serde::Value {{
-                        ::serde::Value::Map(::std::vec![{pushes}])
+                        let mut __m: ::std::vec::Vec<(::serde::Value, ::serde::Value)> =
+                            ::std::vec::Vec::new();
+                        {pushes}
+                        ::serde::Value::Map(__m)
                     }}
                 }}"
             )
@@ -377,8 +422,16 @@ fn gen_named_struct(name: &str, fields: &[Field], transparent: bool, mode: Mode)
             let inits = fields
                 .iter()
                 .map(|f| {
-                    if f.skip {
+                    if f.attrs.skip {
                         format!("{}: ::std::default::Default::default(),", f.name)
+                    } else if f.attrs.default {
+                        format!(
+                            "{0}: match __v.field(\"{0}\") {{
+                                ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,
+                                ::std::option::Option::None => ::std::default::Default::default(),
+                            }},",
+                            f.name
+                        )
                     } else {
                         format!(
                             "{0}: match __v.field(\"{0}\") {{
@@ -513,7 +566,7 @@ fn gen_enum(name: &str, variants: &[Variant], mode: Mode) -> String {
                                 .collect::<String>();
                             let items = fields
                                 .iter()
-                                .filter(|f| !f.skip)
+                                .filter(|f| !f.attrs.skip)
                                 .map(|f| {
                                     format!(
                                         "(::serde::Value::Str(\"{0}\".to_string()), ::serde::Serialize::to_value({0})),",
@@ -574,7 +627,7 @@ fn gen_enum(name: &str, variants: &[Variant], mode: Mode) -> String {
                             let inits = fields
                                 .iter()
                                 .map(|f| {
-                                    if f.skip {
+                                    if f.attrs.skip {
                                         format!("{}: ::std::default::Default::default(),", f.name)
                                     } else {
                                         format!(
