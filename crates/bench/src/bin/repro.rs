@@ -6,6 +6,7 @@
 //!        hijack|intercept|convergence|ixp|population|static-vs-dynamic|
 //!        stealth|longterm|countermeasures|chaos] [--small] [--jobs=N]
 //!        [--intensity=<0..1>] [--obs-out=run.json] [--obs-jsonl=run.jsonl]
+//!        [--profile-out=PATH] [--profile-sample=N] [--log-level=SPEC]
 //!        [--checkpoint-every=N] [--checkpoint-dir=DIR] [--resume-from=PATH]
 //!        [--halt-after=K] [-v|--verbose] [-q|--quiet]
 //! repro report [--check] <run.json> [other.json]
@@ -14,7 +15,9 @@
 //! repro serve [--small] [--cells=N] [--width=K] [--seed=S]
 //!        [--checkpoint-every=N] [--checkpoint-dir=DIR] [--max-restarts=R]
 //!        [--storm=K] [--storm-seed=S] [--stall-ms=MS] [--deadline-ms=MS]
-//!        [--queue-cap=Q] [--obs-out=run.json] [-v|--verbose] [-q|--quiet]
+//!        [--queue-cap=Q] [--obs-out=run.json] [--telemetry-addr=HOST:PORT]
+//!        [--telemetry-addr-file=PATH] [--telemetry-linger-ms=MS]
+//!        [--log-level=SPEC] [-v|--verbose] [-q|--quiet]
 //! ```
 //!
 //! `--small` runs the test-scale configuration (seconds instead of
@@ -29,7 +32,16 @@
 //! stderr (`-v` adds span timings, `--quiet` silences both events and
 //! the stdout tables). `--obs-out=PATH` writes the machine-readable
 //! [`RunReport`] at exit; `--obs-jsonl=PATH` streams every event and
-//! span as one JSON object per line. `repro report a.json` pretty-prints
+//! span as one JSON object per line. `--log-level=SPEC` (or the
+//! `QUICKSAND_LOG` env var — the flag wins) sets the console threshold
+//! with optional per-stage overrides (`warn,routing=debug,churn=error`),
+//! overriding `-v`/the default. `--profile-out=PATH` turns the span
+//! profiler on for the run and writes the aggregated profile as
+//! collapsed-stack text (flamegraph input; weight = self-time µs);
+//! `--profile-sample=N` records every N-th top-level span activation.
+//! With `--profile-out`, `--obs-out` reports also carry a `profile`
+//! section and per-span `_span_us` latency histograms — both excluded
+//! from `report --check` determinism. `repro report a.json` pretty-prints
 //! a report and exits non-zero when a required pipeline stage is missing
 //! (the CI schema gate); `repro report a.json b.json` diffs two runs;
 //! `repro report --check a.json b.json` exits 1 unless the two runs are
@@ -52,6 +64,14 @@
 //! (panics and stalls) into K of the cells via the fault layer — the
 //! CI crash-storm smoke. Exit codes are typed and pinned (see the
 //! table in README.md): notably 4 = at least one cell quarantined.
+//! `--telemetry-addr=HOST:PORT` (port 0 picks a free port) starts the
+//! live scrape plane (DESIGN.md §13): `/metrics` is Prometheus text
+//! with per-cell labeled series, `/healthz` flips to 503 when a
+//! running cell's heartbeat goes stale, `/cells` is a JSON fleet
+//! summary. `--telemetry-addr-file=PATH` writes the bound address for
+//! discovery (CI scrapes port 0 this way) and `--telemetry-linger-ms`
+//! keeps the endpoint up after the fleet completes so a scraper always
+//! gets a final snapshot.
 //!
 //! `chaos` (not part of `all`: it is a robustness diagnostic, not a
 //! paper artifact) replays the §4 pipeline with the collector feed
@@ -80,6 +100,7 @@ use quicksand_core::scenario::{MonthResult, Scenario, ScenarioConfig};
 use quicksand_core::supervise::{
     CellResult, RestartPolicy, ScenarioJob, SuperviseConfig, Supervisor, WatchdogConfig,
 };
+use quicksand_core::telemetry::TelemetryServer;
 use quicksand_attack::monitord::{MonitorConfig, StreamingMonitor};
 use quicksand_bgp::fault::{FaultInjector, FaultProfile};
 use quicksand_bgp::{
@@ -141,6 +162,37 @@ mod alloc_counter {
 
 #[global_allocator]
 static GLOBAL: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+
+/// The allocation-count probe this binary donates to the span profiler
+/// (`obs::prof::set_alloc_probe`): span alloc deltas then come from the
+/// same counting allocator `bench-snapshot` reports, so a profile's
+/// per-span allocations reconcile with the per-event totals.
+fn alloc_probe() -> u64 {
+    alloc_counter::snapshot().0
+}
+
+/// Resolve the console log filter: `--log-level=SPEC` wins, then the
+/// `QUICKSAND_LOG` env var, then the `-v`-derived uniform default. A
+/// bad flag spec is a usage error; a bad env spec warns and falls
+/// through (an exported shell variable must not brick the binary).
+fn log_filter(args: &[String], verbose: bool) -> obs::LevelFilter {
+    if let Some(spec) = args.iter().find_map(|a| a.strip_prefix("--log-level=")) {
+        match obs::LevelFilter::parse(spec) {
+            Ok(f) => return f,
+            Err(e) => {
+                eprintln!("error: --log-level: {e}");
+                std::process::exit(exitcode::USAGE);
+            }
+        }
+    }
+    if let Ok(spec) = std::env::var("QUICKSAND_LOG") {
+        match obs::LevelFilter::parse(&spec) {
+            Ok(f) => return f,
+            Err(e) => eprintln!("warning: ignoring QUICKSAND_LOG: {e}"),
+        }
+    }
+    obs::LevelFilter::uniform(if verbose { Level::Debug } else { Level::Info })
+}
 
 /// The full-scale configuration used for EXPERIMENTS.md.
 fn full_config() -> ScenarioConfig {
@@ -421,6 +473,15 @@ fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// One worker slot's attribution from a sharded replay: how busy it
+/// was and how much it allocated (the per-worker session counters
+/// `parallel.worker_busy_us` / `parallel.worker_allocs`).
+struct WorkerStat {
+    slot: u32,
+    busy_us: u64,
+    allocs: u64,
+}
+
 /// Everything `bench-snapshot` measures about one month replay.
 struct BenchRun {
     month: MonthResult,
@@ -432,6 +493,8 @@ struct BenchRun {
     recomputes: u64,
     allocs: u64,
     alloc_bytes: u64,
+    /// Per-worker attribution (empty for serial runs — no pool).
+    workers: Vec<WorkerStat>,
 }
 
 /// `repro bench-snapshot [--small|--medium] [--jobs=N] [--bench-out=PATH]
@@ -473,12 +536,17 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
         ("full", full_config())
     };
 
-    let timed_run = |n_jobs: usize| -> BenchRun {
+    let timed_run = |n_jobs: usize, profiled: bool| -> BenchRun {
         let mut cfg = base.clone();
         cfg.parallelism = Parallelism::with_jobs(n_jobs);
         let scenario = Scenario::build(cfg);
         let registry = Arc::new(obs::Registry::default());
-        obs::with_metrics(registry.clone(), || {
+        if profiled {
+            obs::prof::reset();
+            obs::prof::set_sample_every(1);
+            obs::prof::set_enabled(true);
+        }
+        let run = obs::with_metrics(registry.clone(), || {
             let (allocs0, bytes0) = alloc_counter::snapshot();
             let started = std::time::Instant::now();
             let month = match scenario.run_month() {
@@ -494,7 +562,7 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
             let counter = |stage: &str, name: &str| {
                 snap.counters
                     .iter()
-                    .find(|c| c.stage == stage && c.name == name)
+                    .find(|c| c.stage == stage && c.name == name && c.session.is_none())
                     .map_or(0, |c| c.value)
             };
             let events = counter("churn", "events");
@@ -503,6 +571,28 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
                 .iter()
                 .find(|g| g.stage == "churn" && g.name == "replay_rate")
                 .map_or(events as f64 / wall_s.max(f64::MIN_POSITIVE), |g| g.value);
+            let workers = snap
+                .counters
+                .iter()
+                .filter(|c| {
+                    c.stage == "parallel"
+                        && c.name == "worker_busy_us"
+                        && c.session.is_some()
+                })
+                .map(|c| WorkerStat {
+                    slot: c.session.expect("filtered on session"),
+                    busy_us: c.value,
+                    allocs: snap
+                        .counters
+                        .iter()
+                        .find(|a| {
+                            a.stage == "parallel"
+                                && a.name == "worker_allocs"
+                                && a.session == c.session
+                        })
+                        .map_or(0, |a| a.value),
+                })
+                .collect();
             BenchRun {
                 month,
                 wall_s,
@@ -511,19 +601,33 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
                 recomputes: counter("routing", "tree_recomputes"),
                 allocs: allocs1 - allocs0,
                 alloc_bytes: bytes1 - bytes0,
+                workers,
             }
-        })
+        });
+        if profiled {
+            obs::prof::set_enabled(false);
+        }
+        run
     };
 
     eprintln!(
-        "bench-snapshot: month replay, {scenario_name} scenario, serial vs --jobs={jobs}"
+        "bench-snapshot: month replay, {scenario_name} scenario, \
+         serial vs --jobs={jobs} vs serial+profiler"
     );
-    let serial = timed_run(1);
-    let parallel = timed_run(jobs);
-    let identical = serial.month.raw == parallel.month.raw
-        && serial.month.cleaned == parallel.month.cleaned
-        && serial.month.removed_duplicates == parallel.month.removed_duplicates
-        && serial.month.reset_bursts == parallel.month.reset_bursts;
+    let serial = timed_run(1, false);
+    let parallel = timed_run(jobs, false);
+    // Third run: serial again with the span profiler recording at
+    // default sampling — the telemetry-overhead measurement. The
+    // profiled replay must stay within 5% of the serial allocation
+    // budget (the `alloc_budget` tripwire enforces this in CI).
+    let profiled = timed_run(1, true);
+    let same_month = |a: &BenchRun, b: &BenchRun| {
+        a.month.raw == b.month.raw
+            && a.month.cleaned == b.month.cleaned
+            && a.month.removed_duplicates == b.month.removed_duplicates
+            && a.month.reset_bursts == b.month.reset_bursts
+    };
+    let identical = same_month(&serial, &parallel) && same_month(&serial, &profiled);
     let mut raw_bytes = Vec::new();
     quicksand_bgp::mrt::write_log(&serial.month.raw, &mut raw_bytes)
         .expect("writing to a Vec cannot fail");
@@ -555,16 +659,44 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
         },
         None => "null".to_string(),
     };
+    // Per-worker attribution: where the parallel run's extra
+    // allocations over serial come from (each worker slot's scratch
+    // plus chunk handoff), and how evenly the shards kept the slots
+    // busy.
+    let workers_json = {
+        let rows: Vec<String> = parallel
+            .workers
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{ \"slot\": {}, \"busy_us\": {}, \"allocs\": {} }}",
+                    w.slot, w.busy_us, w.allocs
+                )
+            })
+            .collect();
+        format!("[{}]", rows.join(", "))
+    };
+    // The headline telemetry cost: extra allocations per event with the
+    // profiler recording every span, relative to the profiler-off
+    // serial run.
+    let telemetry_overhead_pct = (per_event(profiled.allocs)
+        / per_event(serial.allocs).max(f64::MIN_POSITIVE)
+        - 1.0)
+        * 100.0;
     let json = format!(
         "{{\n  \"bench\": \"month_replay\",\n  \"scenario\": \"{scenario_name}\",\n  \
          \"jobs\": {jobs},\n  \"events\": {events},\n  \"raw_records\": {},\n  \
          \"raw_log_fnv\": \"{raw_log_fnv:#018x}\",\n  \
          \"serial\": {},\n  \
+         \"serial_profiled\": {},\n  \
+         \"telemetry_overhead_pct\": {telemetry_overhead_pct:.3},\n  \
          \"parallel\": {},\n  \
+         \"parallel_workers\": {workers_json},\n  \
          \"speedup\": {speedup:.4},\n  \"identical\": {identical},\n  \
          \"baseline\": {baseline_json}\n}}\n",
         serial.month.raw.len(),
         run_json(&serial),
+        run_json(&profiled),
         run_json(&parallel),
     );
     if let Err(e) = std::fs::write(out_path, &json) {
@@ -573,15 +705,22 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
     }
     eprintln!(
         "bench-snapshot: {events} events; serial {:.3}s ({:.0} ev/s replay, \
-         {:.0} allocs/event), --jobs={jobs} {:.3}s (speedup {speedup:.2}x); \
+         {:.2} allocs/event), profiled {:.2} allocs/event \
+         ({telemetry_overhead_pct:+.2}%), --jobs={jobs} {:.3}s \
+         (speedup {speedup:.2}x, {} workers); \
          raw log fnv {raw_log_fnv:#018x}; wrote {out_path}",
         serial.wall_s,
         serial.replay_events_per_s,
         per_event(serial.allocs),
+        per_event(profiled.allocs),
         parallel.wall_s,
+        parallel.workers.len(),
     );
     if !identical {
-        eprintln!("error: parallel replay diverged from serial (differential gate)");
+        eprintln!(
+            "error: replay diverged across serial/parallel/profiled runs \
+             (differential gate)"
+        );
         return exitcode::CHECK_FAILED;
     }
     exitcode::OK
@@ -631,6 +770,19 @@ fn serve_command(args: &[String]) -> i32 {
         .iter()
         .find_map(|a| a.strip_prefix("--checkpoint-dir="))
         .map(str::to_owned);
+    let telemetry_addr = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--telemetry-addr="));
+    let telemetry_addr_file = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--telemetry-addr-file="));
+    let linger_ms = parse("--telemetry-linger-ms=", 0);
+    if telemetry_addr.is_none() && (telemetry_addr_file.is_some() || linger_ms > 0) {
+        eprintln!(
+            "error: --telemetry-addr-file/--telemetry-linger-ms require --telemetry-addr"
+        );
+        return exitcode::USAGE;
+    }
     if cells == 0 {
         eprintln!("error: --cells must be >= 1");
         return exitcode::USAGE;
@@ -650,8 +802,9 @@ fn serve_command(args: &[String]) -> i32 {
     let memory = Arc::new(obs::MemorySubscriber::new());
     let mut sinks: Vec<Arc<dyn Subscriber>> = Vec::new();
     if !quiet {
-        let min = if verbose { Level::Debug } else { Level::Info };
-        sinks.push(Arc::new(obs::ConsoleSubscriber::new(min)));
+        sinks.push(Arc::new(obs::ConsoleSubscriber::with_filter(log_filter(
+            args, verbose,
+        ))));
     }
     if obs_out.is_some() {
         sinks.push(memory.clone());
@@ -700,11 +853,49 @@ fn serve_command(args: &[String]) -> i32 {
         };
         supervisor.submit(job);
     }
+    // Scrape plane: bind before the fleet starts so a scraper can watch
+    // cells move Pending → Running → terminal live. The fleet view is
+    // shared with the supervisor; `run()` consumes the supervisor, so
+    // grab it now.
+    let fleet = supervisor.telemetry();
+    let mut server = match telemetry_addr {
+        Some(addr) => match TelemetryServer::start(addr, fleet) {
+            Ok(server) => {
+                let bound = server.local_addr();
+                progress(format!(
+                    "telemetry: /metrics /healthz /cells on http://{bound}"
+                ));
+                if let Some(path) = telemetry_addr_file {
+                    if let Err(e) = std::fs::write(path, format!("{bound}\n")) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        return exitcode::USAGE;
+                    }
+                }
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind telemetry endpoint {addr}: {e}");
+                return exitcode::USAGE;
+            }
+        },
+        None => None,
+    };
+
     progress(format!(
         "serve: {cells} cells (width {width}, storm {storm}), \
          checkpoint every {every} events"
     ));
     let outcome = supervisor.run();
+
+    // Every cell is terminal now; hold the endpoint open for the
+    // requested linger so an external scraper deterministically gets a
+    // final post-fleet snapshot, then shut it down cleanly.
+    if let Some(server) = &mut server {
+        if linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+        }
+        server.stop();
+    }
 
     if !quiet {
         for cell in &outcome.cells {
@@ -762,6 +953,10 @@ fn serve_command(args: &[String]) -> i32 {
 }
 
 fn main() {
+    // Donate the counting allocator to the span profiler before any
+    // subcommand runs: profiles (batch `--profile-out` and the
+    // bench-snapshot profiled run) then attribute allocations per span.
+    obs::prof::set_alloc_probe(alloc_probe);
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "report") {
         std::process::exit(report_command(&args[1..]));
@@ -810,6 +1005,19 @@ fn main() {
         std::process::exit(exitcode::USAGE);
     }
     let jobs = parse_u64("--jobs=").map_or(1, |n| n.max(1) as usize);
+    let profile_out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--profile-out="));
+    if let Some(every) = parse_u64("--profile-sample=") {
+        if profile_out.is_none() {
+            eprintln!("error: --profile-sample requires --profile-out");
+            std::process::exit(exitcode::USAGE);
+        }
+        obs::prof::set_sample_every(every);
+    }
+    if profile_out.is_some() {
+        obs::prof::set_enabled(true);
+    }
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with('-'))
@@ -825,8 +1033,9 @@ fn main() {
     let memory = Arc::new(obs::MemorySubscriber::new());
     let mut sinks: Vec<Arc<dyn Subscriber>> = Vec::new();
     if !quiet {
-        let min = if verbose { Level::Debug } else { Level::Info };
-        sinks.push(Arc::new(obs::ConsoleSubscriber::new(min)));
+        sinks.push(Arc::new(obs::ConsoleSubscriber::with_filter(log_filter(
+            &args, verbose,
+        ))));
     }
     if obs_out.is_some() {
         sinks.push(memory.clone());
@@ -1145,6 +1354,24 @@ fn main() {
     }
 
     obs::flush();
+    // Profile epilogue: freeze the profiler, write the collapsed-stack
+    // text (flamegraph input), and fold the per-span latency histograms
+    // into the global registry so the run report renders them.
+    let profile = profile_out.map(|path| {
+        obs::prof::set_enabled(false);
+        let profile = obs::prof::capture();
+        if let Err(e) = std::fs::write(path, profile.collapsed()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(exitcode::CHECK_FAILED);
+        }
+        profile.publish(&obs::global_metrics());
+        progress(format!(
+            "wrote collapsed-stack profile to {path} ({} call paths, {} dropped)",
+            profile.entries.len(),
+            profile.dropped
+        ));
+        profile
+    });
     if let Some(path) = obs_out {
         let label = format!(
             "repro {}{}",
@@ -1152,7 +1379,10 @@ fn main() {
             if small { " --small" } else { "" }
         );
         let snapshot = obs::global_metrics().snapshot();
-        let run_report = RunReport::assemble(label, &snapshot, &memory.events());
+        let mut run_report = RunReport::assemble(label, &snapshot, &memory.events());
+        if let Some(profile) = &profile {
+            run_report = run_report.with_profile(profile);
+        }
         let json = match serde_json::to_string_pretty(&run_report) {
             Ok(j) => j,
             Err(e) => {

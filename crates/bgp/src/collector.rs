@@ -625,6 +625,7 @@ impl Collector {
     ) where
         F: Fn(Asn, usize) -> Option<(PathId, RouteClass)>,
     {
+        let _span = obs::prof::span("collector", "observe");
         let recorded_before = log.records.len();
         self.emit_due_resets(at, log);
         let ops: Vec<SessionOps> = self
@@ -694,6 +695,7 @@ impl Collector {
     where
         F: Fn(Asn, usize) -> Option<(PathId, RouteClass)>,
     {
+        let _span = obs::prof::span("collector", "diff_session");
         let info = &self.sessions[si];
         let mut ops: Vec<(Ipv4Prefix, Option<PathId>)> = Vec::new();
         for (pi, &prefix) in prefixes.iter().enumerate() {

@@ -104,6 +104,7 @@ impl FastConverge {
         // (it cannot borrow `self` while `apply_with` holds `&mut self`).
         let mut scratch = std::mem::take(&mut self.scratch);
         let changed = self.apply_with(change, |graph, (a, b), trees| {
+            let _span = obs::prof::span("routing", "reconverge");
             trees
                 .iter_mut()
                 .map(|(_, tree)| tree.reconverge_with(graph, a, b, &mut scratch))
@@ -134,6 +135,7 @@ impl FastConverge {
     where
         F: FnOnce(&AsGraph, (Asn, Asn), &mut [(Asn, RoutingTree)]) -> Vec<bool>,
     {
+        let _span = obs::prof::span("routing", "apply");
         let LinkChange { a, b, up } = change;
         let k = key(a, b);
         let candidates: Vec<Asn> = if up {

@@ -36,6 +36,7 @@ pub mod experiments;
 pub mod report;
 pub mod scenario;
 pub mod supervise;
+pub mod telemetry;
 pub mod temporal;
 
 pub use adversary::{ObservationMode, SegmentObservers};
@@ -46,6 +47,7 @@ pub use supervise::{
     RestartPolicy, ScenarioJob, SuperviseConfig, Supervisor, SupervisorOutcome,
     WatchdogConfig,
 };
+pub use telemetry::{CellState, CellTelemetry, FleetTelemetry, TelemetryServer};
 
 #[cfg(test)]
 pub(crate) mod testworld {

@@ -106,6 +106,16 @@ impl Default for Parallelism {
 pub struct WorkerPool {
     jobs: usize,
     registry: Arc<obs::Registry>,
+    /// The event sink active at pool creation, re-installed on every
+    /// spawned shard thread — like the registry, the thread-local
+    /// subscriber override does not propagate to new threads on its
+    /// own, and a shard's warnings must not vanish into the void.
+    subscriber: Option<Arc<dyn obs::Subscriber>>,
+    /// One pre-registered span tree per worker slot, reused across
+    /// every region of the replay: short-lived scoped threads would
+    /// otherwise register a fresh implicit tree each, growing the
+    /// profiler's global tree list without bound.
+    trees: Vec<Arc<obs::SpanTree>>,
     /// Reconvergence scratch arenas, one handed to each shard of a
     /// tree-recompute region and returned afterwards, so every worker
     /// reuses its queue/stamp buffers across the whole replay instead
@@ -119,9 +129,18 @@ impl WorkerPool {
     /// currently active registry.
     pub fn new(jobs: usize) -> Self {
         let jobs = jobs.max(1);
+        let trees: Vec<Arc<obs::SpanTree>> = (0..jobs)
+            .map(|_| {
+                let tree = Arc::new(obs::SpanTree::new());
+                obs::prof::register_tree(&tree);
+                tree
+            })
+            .collect();
         let pool = WorkerPool {
             jobs,
             registry: obs::metrics(),
+            subscriber: obs::subscriber(),
+            trees,
             scratches: Mutex::new(Vec::new()),
         };
         obs::gauge("parallel", "jobs", jobs as f64);
@@ -157,8 +176,10 @@ impl WorkerPool {
     /// idle while its caller waits). Returns once every task has
     /// finished; a panicking task propagates to the caller after the
     /// region joins. Records region fan-out (`region_tasks`, the queue
-    /// depth handed to the scheduler) and per-shard busy time under the
-    /// `parallel` stage.
+    /// depth handed to the scheduler), per-shard busy time, and
+    /// per-worker-slot busy/alloc attribution under the `parallel`
+    /// stage (all stripped by report normalization — execution-engine
+    /// content, not scenario content).
     pub fn run_region(&self, tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
         if tasks.is_empty() {
             return;
@@ -167,21 +188,54 @@ impl WorkerPool {
         obs::incr("parallel", "tasks", tasks.len() as u64);
         obs::observe("parallel", "region_tasks", tasks.len() as f64);
         std::thread::scope(|scope| {
-            let mut tasks = tasks.into_iter();
-            let first = tasks.next().expect("region has tasks");
-            for task in tasks {
+            let mut tasks = tasks.into_iter().enumerate();
+            let (_, first) = tasks.next().expect("region has tasks");
+            for (i, task) in tasks {
                 let registry = Arc::clone(&self.registry);
-                scope.spawn(move || obs::with_metrics(registry, || run_shard(task)));
+                let subscriber = self.subscriber.clone();
+                scope.spawn(move || {
+                    obs::with_metrics(registry, || match subscriber {
+                        Some(sub) => {
+                            obs::with_subscriber(sub, || self.run_shard(i, task))
+                        }
+                        None => self.run_shard(i, task),
+                    })
+                });
             }
-            run_shard(first);
+            self.run_shard(0, first);
         });
     }
-}
 
-fn run_shard(task: Box<dyn FnOnce() + Send + '_>) {
-    let start = Instant::now();
-    task();
-    obs::observe("parallel", "shard_busy_ms", start.elapsed().as_secs_f64() * 1e3);
+    /// Execute one shard under its worker slot's span tree, recording
+    /// busy time (histogram + per-slot counter) and, when an alloc
+    /// probe is installed, the process-wide allocation delta observed
+    /// during the shard (an upper bound under concurrency — shards
+    /// overlap on one global counter).
+    fn run_shard(&self, index: usize, task: Box<dyn FnOnce() + Send + '_>) {
+        let slot = index % self.jobs;
+        let start = Instant::now();
+        let allocs0 = obs::prof::probe_count();
+        obs::prof::with_tree(&self.trees[slot], || {
+            let _span = obs::prof::span("parallel", "shard");
+            task();
+        });
+        let busy = start.elapsed();
+        obs::observe("parallel", "shard_busy_ms", busy.as_secs_f64() * 1e3);
+        obs::incr_session(
+            "parallel",
+            "worker_busy_us",
+            slot as u32,
+            busy.as_micros() as u64,
+        );
+        if obs::prof::has_alloc_probe() {
+            obs::incr_session(
+                "parallel",
+                "worker_allocs",
+                slot as u32,
+                obs::prof::probe_count().saturating_sub(allocs0),
+            );
+        }
+    }
 }
 
 /// [`FastConverge::apply`] with candidate-tree reconvergence sharded

@@ -346,6 +346,7 @@ impl Scenario {
                        collector: &mut Collector,
                        cache: &mut ExportCache,
                        origins: &[Asn]| {
+            let _span = obs::prof::span("collector", "refresh");
             for &o in origins {
                 let Some(tree) = fc.tree(o) else { continue };
                 collector.refresh_exports(fc.graph(), tree, cache);
@@ -432,6 +433,7 @@ impl Scenario {
         // Play the schedule (generation + replay are one churn span).
         let replay_started = std::time::Instant::now();
         let n_events = obs::timed("churn", || -> QsResult<usize> {
+            let _replay_span = obs::prof::span("churn", "replay");
             let events = ChurnGenerator::new(self.config.churn.clone())
                 .generate(&self.topo.graph, &self.topo.hosting);
             let n = events.len();
@@ -455,9 +457,12 @@ impl Scenario {
                 if (i as u64) < cursor {
                     continue;
                 }
-                let affected = match &pool {
-                    Some(pool) => parallel::apply_event_sharded(&mut fc, ev.change, pool),
-                    None => fc.apply(ev.change),
+                let affected = {
+                    let _span = obs::prof::span("churn", "apply");
+                    match &pool {
+                        Some(pool) => parallel::apply_event_sharded(&mut fc, ev.change, pool),
+                        None => fc.apply(ev.change),
+                    }
                 };
                 if !affected.is_empty() {
                     prefixes.clear();

@@ -36,6 +36,7 @@
 //! (DESIGN.md §12).
 
 use crate::scenario::{MonthResult, Scenario, ScenarioConfig};
+use crate::telemetry::{CellState, CellTelemetry, FleetTelemetry};
 use quicksand_bgp::{CrashKind, ReplayChaosPlan};
 use quicksand_net::QuicksandError;
 use quicksand_obs as obs;
@@ -346,6 +347,11 @@ pub struct CellOutcome {
     pub watchdog_trips: u64,
     /// Every failure, in order — the cell's failure trace.
     pub failures: Vec<CellFailure>,
+    /// Flight-recorder events drained after the *last* failed attempt
+    /// (empty when the cell never failed). The same events, sequence
+    /// numbers included, are appended to `postmortem-cell<K>.jsonl` in
+    /// the cell's store directory when it has one.
+    pub last_telemetry: Vec<obs::Event>,
 }
 
 impl CellOutcome {
@@ -437,6 +443,11 @@ struct ScenarioCell<'a> {
     cfg: &'a SuperviseConfig,
     beat: Arc<CellBeat>,
     parent: Arc<Registry>,
+    telem: Arc<CellTelemetry>,
+    /// The sink active on the thread that called [`Supervisor::run`]
+    /// (thread-local sinks would otherwise be invisible from the cell's
+    /// scoped thread); fanned out with the per-attempt flight recorder.
+    outer_sink: Option<Arc<dyn obs::Subscriber>>,
 }
 
 impl ScenarioCell<'_> {
@@ -465,6 +476,7 @@ impl ScenarioCell<'_> {
             Ok(s) => s,
             Err(e) => {
                 self.parent.incr(Key::stage(STAGE, "failed"), 1);
+                self.telem.set_state(CellState::Failed);
                 return CellOutcome {
                     id: self.id,
                     label: self.job.label.clone(),
@@ -474,21 +486,37 @@ impl ScenarioCell<'_> {
                     restarts: 0,
                     watchdog_trips: 0,
                     failures: Vec::new(),
+                    last_telemetry: Vec::new(),
                 };
             }
         };
         let scenario = Scenario::build(self.job.config.clone());
         let mut trace: Vec<FailureKind> = Vec::new();
         let mut failures: Vec<CellFailure> = Vec::new();
+        let mut last_telemetry: Vec<obs::Event> = Vec::new();
         let mut attempt: u32 = 0;
         loop {
             self.beat.clear_cancel();
             self.beat.set_running(true);
             let cell_reg = Arc::new(Registry::new());
+            self.telem.set_registry(cell_reg.clone());
+            self.telem.set_state(CellState::Running);
+            // The attempt's flight recorder: fanned out with whatever
+            // sink is already active so breadcrumbs still reach the
+            // console/JSONL stream, but retained here regardless of the
+            // outer sink's level filtering (or absence).
+            let ring = Arc::new(obs::RingSubscriber::with_capacity(obs::DEFAULT_RING_CAP));
+            let sink: Arc<dyn obs::Subscriber> = match &self.outer_sink {
+                Some(outer) => Arc::new(obs::FanoutSubscriber::new(vec![
+                    outer.clone(),
+                    ring.clone(),
+                ])),
+                None => ring.clone(),
+            };
             let mut chaos_fired = false;
             let mut save_error: Option<String> = None;
             let run = catch_unwind(AssertUnwindSafe(|| {
-                obs::with_metrics(cell_reg.clone(), || {
+                obs::with_subscriber(sink.clone(), || obs::with_metrics(cell_reg.clone(), || {
                     // Checkpoint-backed start: every attempt (including
                     // the first, for resident restarts over a warm
                     // store) resumes from the newest valid snapshot;
@@ -515,6 +543,25 @@ impl ScenarioCell<'_> {
                                 }
                             }
                             self.beat.beat(snap.cursor);
+                            self.telem.touch(snap.cursor);
+                            // Breadcrumb for the flight recorder: the
+                            // ring's always-on `enabled` makes Debug
+                            // visible here even under a quiet console,
+                            // so a post-mortem always carries the
+                            // cell's final checkpoints.
+                            if obs::enabled(obs::Level::Debug) {
+                                obs::emit(
+                                    obs::Event::new(
+                                        obs::Level::Debug,
+                                        STAGE,
+                                        "checkpoint",
+                                        "checkpoint persisted",
+                                    )
+                                    .with("cell", self.id as u64)
+                                    .with("attempt", attempt)
+                                    .with("cursor", snap.cursor),
+                                );
+                            }
                             if !chaos_fired {
                                 if let Some(crash) = self
                                     .job
@@ -542,13 +589,18 @@ impl ScenarioCell<'_> {
                             }
                         },
                     )
-                })
+                }))
             }));
             self.beat.set_running(false);
             let cursor = self.beat.cursor.load(Ordering::Acquire);
             let (kind, detail) = match run {
                 Ok(Ok(month)) => {
                     self.parent.incr(Key::stage(STAGE, "completed"), 1);
+                    self.telem.set_state(CellState::Completed);
+                    self.telem.set_counts(
+                        attempt as u64,
+                        self.beat.trips.load(Ordering::Acquire),
+                    );
                     return CellOutcome {
                         id: self.id,
                         label: self.job.label.clone(),
@@ -559,6 +611,7 @@ impl ScenarioCell<'_> {
                         restarts: attempt,
                         watchdog_trips: self.beat.trips.load(Ordering::Acquire),
                         failures,
+                        last_telemetry,
                     };
                 }
                 Ok(Err(QuicksandError::Interrupted { events_done })) => {
@@ -586,6 +639,35 @@ impl ScenarioCell<'_> {
                 FailureKind::Stall => self.parent.incr(Key::stage(STAGE, "stalls"), 1),
                 FailureKind::Error => self.parent.incr(Key::stage(STAGE, "errors"), 1),
             }
+            // Drain the flight recorder and write the post-mortem. The
+            // footer makes the file non-empty even when the attempt
+            // died before its first breadcrumb.
+            let drained = ring.drain();
+            let footer = obs::Event::new(
+                obs::Level::Warn,
+                STAGE,
+                "postmortem",
+                format!("{kind:?}: {detail}"),
+            )
+            .with("cell", self.id as u64)
+            .with("attempt", attempt)
+            .with("cursor", cursor);
+            if let Some(dir) = &self.job.store_dir {
+                let path = dir.join(format!("postmortem-cell{}.jsonl", self.id));
+                match obs::ring::write_postmortem(&path, &drained, Some(&footer)) {
+                    Ok(()) => self.parent.incr(Key::stage(STAGE, "postmortems"), 1),
+                    Err(e) => {
+                        self.parent.incr(Key::stage(STAGE, "postmortem_errors"), 1);
+                        self.emit(
+                            "postmortem-error",
+                            format!("cannot write post-mortem: {e}"),
+                            cursor,
+                        );
+                    }
+                }
+            }
+            last_telemetry = drained.into_iter().map(|(_, e)| e).collect();
+            last_telemetry.push(footer);
             self.emit("cell-failure", format!("{kind:?}: {detail}"), cursor);
             trace.push(kind);
             failures.push(CellFailure {
@@ -597,6 +679,11 @@ impl ScenarioCell<'_> {
             match self.cfg.restart.decide(self.id as u64, &trace) {
                 RestartDecision::Quarantine => {
                     self.parent.incr(Key::stage(STAGE, "quarantined"), 1);
+                    self.telem.set_state(CellState::Quarantined);
+                    self.telem.set_counts(
+                        attempt as u64,
+                        self.beat.trips.load(Ordering::Acquire),
+                    );
                     self.emit(
                         "cell-quarantined",
                         format!("restart budget exhausted after {} failures", trace.len()),
@@ -609,6 +696,7 @@ impl ScenarioCell<'_> {
                         restarts: attempt,
                         watchdog_trips: self.beat.trips.load(Ordering::Acquire),
                         failures,
+                        last_telemetry,
                     };
                 }
                 RestartDecision::Restart {
@@ -616,6 +704,11 @@ impl ScenarioCell<'_> {
                     after_ms,
                 } => {
                     self.parent.incr(Key::stage(STAGE, "restarts"), 1);
+                    self.telem.set_state(CellState::Backoff);
+                    self.telem.set_counts(
+                        next as u64,
+                        self.beat.trips.load(Ordering::Acquire),
+                    );
                     self.emit(
                         "cell-restart",
                         format!("attempt {next} after {after_ms}ms backoff"),
@@ -639,6 +732,8 @@ pub struct Supervisor {
     cfg: SuperviseConfig,
     queue: Vec<ScenarioJob>,
     shed: u64,
+    telemetry: Arc<FleetTelemetry>,
+    cell_views: Vec<Arc<CellTelemetry>>,
 }
 
 impl Supervisor {
@@ -649,12 +744,22 @@ impl Supervisor {
             cfg,
             queue: Vec::new(),
             shed: 0,
+            telemetry: Arc::new(FleetTelemetry::new(obs::metrics())),
+            cell_views: Vec::new(),
         }
     }
 
     /// Pending (admitted, not yet run) jobs.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The live fleet view the scrape endpoint serves. Clone this
+    /// *before* [`Supervisor::run`] consumes the supervisor and hand it
+    /// to a [`crate::telemetry::TelemetryServer`]; it stays valid (and
+    /// keeps updating) for the whole run.
+    pub fn telemetry(&self) -> Arc<FleetTelemetry> {
+        self.telemetry.clone()
     }
 
     /// Admit `job`, or shed it when the queue is at capacity.
@@ -681,6 +786,7 @@ impl Supervisor {
         let id = self.queue.len();
         obs::incr(STAGE, "cells", 1);
         obs::gauge(STAGE, "queue_depth", (id + 1) as f64);
+        self.cell_views.push(self.telemetry.add_cell(id, &job.label));
         self.queue.push(job);
         Admission::Admitted(id)
     }
@@ -691,7 +797,13 @@ impl Supervisor {
     /// unbounded buffering); the watchdog polls heartbeats the whole
     /// time. Returns when the fleet is drained.
     pub fn run(self) -> SupervisorOutcome {
-        let Supervisor { cfg, queue, shed } = self;
+        let Supervisor {
+            cfg,
+            queue,
+            shed,
+            telemetry,
+            cell_views,
+        } = self;
         let n = queue.len();
         let parent = obs::metrics();
         let width = cfg.width.max(1);
@@ -699,6 +811,8 @@ impl Supervisor {
             .watchdog
             .effective_deadline_ms(&parent, cfg.checkpoint_every);
         obs::gauge(STAGE, "watchdog_deadline_ms", deadline_ms as f64);
+        telemetry.set_deadline_ms(deadline_ms);
+        let outer_sink = obs::subscriber();
         let beats: Vec<Arc<CellBeat>> =
             (0..n).map(|_| Arc::new(CellBeat::default())).collect();
         let done = AtomicBool::new(false);
@@ -727,6 +841,8 @@ impl Supervisor {
                         cfg: &cfg,
                         beat: Arc::clone(&beats[next]),
                         parent: Arc::clone(&parent),
+                        telem: Arc::clone(&cell_views[next]),
+                        outer_sink: outer_sink.clone(),
                     };
                     let tx = tx.clone();
                     let parent = Arc::clone(&parent);

@@ -1,0 +1,593 @@
+//! Live telemetry plane for the resident fleet: a scrape endpoint.
+//!
+//! The supervisor (ROADMAP item 3) runs many scenario cells for a long
+//! time; operating it requires seeing inside without attaching a
+//! debugger. This module publishes the fleet's state over plain HTTP:
+//!
+//! * `/metrics` — Prometheus text exposition: the supervisor registry
+//!   unlabeled, every cell registry labeled `cell="K"`, plus synthetic
+//!   per-cell series (state, heartbeat age, cursor, restarts, trips);
+//! * `/healthz` — `200 ok` while every running cell has beaten within
+//!   2× the watchdog deadline, `503` otherwise (load balancers and CI
+//!   probes need a yes/no, not a metrics dump);
+//! * `/cells` — one JSON object per cell for humans and scripts.
+//!
+//! [`FleetTelemetry`] is the shared state: the supervisor updates it
+//! from [`crate::supervise`] at every admission, heartbeat, failure,
+//! and terminal transition; [`TelemetryServer`] is a std-only
+//! `TcpListener` loop on its own thread (no async runtime, no
+//! dependencies) with cooperative shutdown, serving whatever the fleet
+//! looks like at scrape time.
+
+use quicksand_obs::Registry;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Milliseconds since the process's telemetry epoch (first call), plus
+/// one — so `0` unambiguously means "never" in beat timestamps.
+pub fn monotonic_ms() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_millis() as u64 + 1
+}
+
+/// Lifecycle state of one supervised cell, as the scrape page tells it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CellState {
+    /// Admitted, not yet dispatched.
+    Pending = 0,
+    /// An attempt is executing.
+    Running = 1,
+    /// Between attempts, sleeping out the restart backoff.
+    Backoff = 2,
+    /// Terminal: the month completed.
+    Completed = 3,
+    /// Terminal: restart budget exhausted.
+    Quarantined = 4,
+    /// Terminal: supervision infrastructure failed.
+    Failed = 5,
+}
+
+impl CellState {
+    /// Stable lowercase name (`"running"`, `"quarantined"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellState::Pending => "pending",
+            CellState::Running => "running",
+            CellState::Backoff => "backoff",
+            CellState::Completed => "completed",
+            CellState::Quarantined => "quarantined",
+            CellState::Failed => "failed",
+        }
+    }
+
+    fn from_u8(v: u8) -> CellState {
+        match v {
+            1 => CellState::Running,
+            2 => CellState::Backoff,
+            3 => CellState::Completed,
+            4 => CellState::Quarantined,
+            5 => CellState::Failed,
+            _ => CellState::Pending,
+        }
+    }
+
+    /// True for states a cell never leaves.
+    pub fn terminal(self) -> bool {
+        matches!(
+            self,
+            CellState::Completed | CellState::Quarantined | CellState::Failed
+        )
+    }
+}
+
+/// Live view of one cell, updated by the supervisor and read by the
+/// scrape endpoint. All fields are atomics (or a registry swap under a
+/// mutex), so readers never block a replaying cell.
+pub struct CellTelemetry {
+    /// Cell id (admission order).
+    pub id: usize,
+    /// The job's display label.
+    pub label: String,
+    registry: Mutex<Option<Arc<Registry>>>,
+    state: AtomicU8,
+    beat_ms: AtomicU64,
+    cursor: AtomicU64,
+    restarts: AtomicU64,
+    trips: AtomicU64,
+}
+
+impl CellTelemetry {
+    fn new(id: usize, label: String) -> CellTelemetry {
+        CellTelemetry {
+            id,
+            label,
+            registry: Mutex::new(None),
+            state: AtomicU8::new(CellState::Pending as u8),
+            beat_ms: AtomicU64::new(0),
+            cursor: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish the registry the current attempt is recording into; the
+    /// scrape endpoint renders it under this cell's labels.
+    pub fn set_registry(&self, registry: Arc<Registry>) {
+        *self.registry.lock().unwrap_or_else(|e| e.into_inner()) = Some(registry);
+    }
+
+    /// Transition the lifecycle state; entering `Running` also counts
+    /// as a heartbeat (a freshly dispatched cell is not yet stale).
+    pub fn set_state(&self, state: CellState) {
+        self.state.store(state as u8, Ordering::Release);
+        if state == CellState::Running {
+            self.beat_ms.store(monotonic_ms(), Ordering::Release);
+        }
+    }
+
+    /// Record a heartbeat at `cursor` (a checkpoint boundary).
+    pub fn touch(&self, cursor: u64) {
+        self.cursor.store(cursor, Ordering::Release);
+        self.beat_ms.store(monotonic_ms(), Ordering::Release);
+    }
+
+    /// Update the restart / watchdog-trip counts (monotonic).
+    pub fn set_counts(&self, restarts: u64, trips: u64) {
+        self.restarts.store(restarts, Ordering::Release);
+        self.trips.store(trips, Ordering::Release);
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> CellState {
+        CellState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Last checkpointed cursor.
+    pub fn cursor(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Milliseconds since the last heartbeat; `None` before the first.
+    pub fn beat_age_ms(&self) -> Option<u64> {
+        match self.beat_ms.load(Ordering::Acquire) {
+            0 => None,
+            at => Some(monotonic_ms().saturating_sub(at)),
+        }
+    }
+
+    fn registry(&self) -> Option<Arc<Registry>> {
+        self.registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+/// Everything the scrape endpoint serves: the supervisor registry, the
+/// effective watchdog deadline, and one [`CellTelemetry`] per admitted
+/// cell. Create with [`FleetTelemetry::new`]; the supervisor owns the
+/// writes, any number of [`TelemetryServer`]s (or tests) read.
+pub struct FleetTelemetry {
+    supervisor: Mutex<Arc<Registry>>,
+    deadline_ms: AtomicU64,
+    cells: Mutex<Vec<Arc<CellTelemetry>>>,
+}
+
+impl FleetTelemetry {
+    /// A fleet view over `supervisor` (the registry the supervisor's
+    /// own `supervisor.*` metrics land in).
+    pub fn new(supervisor: Arc<Registry>) -> FleetTelemetry {
+        FleetTelemetry {
+            supervisor: Mutex::new(supervisor),
+            deadline_ms: AtomicU64::new(0),
+            cells: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Register an admitted cell; returns its live view.
+    pub fn add_cell(&self, id: usize, label: &str) -> Arc<CellTelemetry> {
+        let cell = Arc::new(CellTelemetry::new(id, label.to_string()));
+        self.cells
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(cell.clone());
+        cell
+    }
+
+    /// Publish the effective watchdog deadline (drives `/healthz`).
+    pub fn set_deadline_ms(&self, deadline_ms: u64) {
+        self.deadline_ms.store(deadline_ms, Ordering::Release);
+    }
+
+    /// Snapshot the registered cells.
+    pub fn cells(&self) -> Vec<Arc<CellTelemetry>> {
+        self.cells
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn supervisor_registry(&self) -> Arc<Registry> {
+        self.supervisor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The `/metrics` page: Prometheus text exposition of the
+    /// supervisor registry (unlabeled), synthetic per-cell gauges, and
+    /// every cell registry labeled `cell="K"`.
+    pub fn render_metrics(&self) -> String {
+        let mut out = String::new();
+        self.supervisor_registry().render_prometheus(&mut out, &[]);
+        use std::fmt::Write;
+        for cell in self.cells() {
+            let id = cell.id.to_string();
+            let labels = format!(
+                "{{cell=\"{}\",label=\"{}\"}}",
+                id,
+                escape_label(&cell.label)
+            );
+            let state = cell.state();
+            let _ = writeln!(
+                out,
+                "quicksand_cell_state{{cell=\"{}\",label=\"{}\",state=\"{}\"}} 1",
+                id,
+                escape_label(&cell.label),
+                state.as_str()
+            );
+            let _ = writeln!(
+                out,
+                "quicksand_cell_beat_age_ms{labels} {}",
+                cell.beat_age_ms().unwrap_or(0)
+            );
+            let _ = writeln!(out, "quicksand_cell_cursor{labels} {}", cell.cursor());
+            let _ = writeln!(
+                out,
+                "quicksand_cell_restarts_total{labels} {}",
+                cell.restarts.load(Ordering::Acquire)
+            );
+            let _ = writeln!(
+                out,
+                "quicksand_cell_watchdog_trips_total{labels} {}",
+                cell.trips.load(Ordering::Acquire)
+            );
+            if let Some(reg) = cell.registry() {
+                reg.render_prometheus(
+                    &mut out,
+                    &[("cell", &id), ("label", &cell.label)],
+                );
+            }
+        }
+        out
+    }
+
+    /// The `/healthz` verdict: `(healthy, body)`. Healthy while every
+    /// *running* cell has beaten within 2× the watchdog deadline (the
+    /// watchdog itself needs one full deadline to trip; the probe only
+    /// alarms when even that failed). A fleet with no running cells is
+    /// vacuously healthy.
+    pub fn healthz(&self) -> (bool, String) {
+        let deadline = self.deadline_ms.load(Ordering::Acquire).max(1);
+        let mut stale = Vec::new();
+        for cell in self.cells() {
+            if cell.state() != CellState::Running {
+                continue;
+            }
+            // A running cell that never beat is aged from dispatch
+            // (set_state(Running) touched the beat), so this is Some.
+            let age = cell.beat_age_ms().unwrap_or(u64::MAX);
+            if age > deadline.saturating_mul(2) {
+                stale.push((cell.id, age));
+            }
+        }
+        if stale.is_empty() {
+            (true, "ok\n".to_string())
+        } else {
+            let lines: Vec<String> = stale
+                .iter()
+                .map(|(id, age)| format!("cell {id} stale for {age}ms"))
+                .collect();
+            (false, format!("stale\n{}\n", lines.join("\n")))
+        }
+    }
+
+    /// The `/cells` page: a JSON array, one object per cell.
+    pub fn render_cells_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, cell) in self.cells().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"cell\":{},\"label\":\"{}\",\"state\":\"{}\",\"cursor\":{},\
+                 \"beat_age_ms\":{},\"restarts\":{},\"watchdog_trips\":{}}}",
+                cell.id,
+                escape_json(&cell.label),
+                cell.state().as_str(),
+                cell.cursor(),
+                cell.beat_age_ms().map_or(-1, |a| a as i64),
+                cell.restarts.load(Ordering::Acquire),
+                cell.trips.load(Ordering::Acquire),
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The scrape server: one `TcpListener` accept loop on its own thread,
+/// serving [`FleetTelemetry`] snapshots. Std-only — requests are
+/// handled serially (a scrape is a handful of reads and one write),
+/// and shutdown is cooperative: [`TelemetryServer::stop`] flips a flag
+/// and self-connects to unblock `accept`.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free port)
+    /// and start serving `fleet` in a background thread.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        fleet: Arc<FleetTelemetry>,
+    ) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_ref = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("telemetry-scrape".into())
+            .spawn(move || serve_loop(listener, fleet, stop_ref))?;
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the serve thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_loop(listener: TcpListener, fleet: Arc<FleetTelemetry>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // A stuck client must not wedge the scrape plane.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle_conn(stream, &fleet);
+    }
+}
+
+fn handle_conn(stream: TcpStream, fleet: &FleetTelemetry) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the header block so the client sees a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+    let path = request_line
+        .strip_prefix("GET ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            fleet.render_metrics(),
+        ),
+        "/healthz" => {
+            let (healthy, body) = fleet.healthz();
+            (
+                if healthy { "200 OK" } else { "503 Service Unavailable" },
+                "text/plain; charset=utf-8",
+                body,
+            )
+        }
+        "/cells" => ("200 OK", "application/json", fleet.render_cells_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let mut stream = reader.into_inner();
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Blocking HTTP GET against a local scrape endpoint: `(status, body)`.
+/// Test/CI helper — two-second timeouts, no redirects, no TLS.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksand_obs::Key;
+
+    fn fleet_with_one_cell() -> (Arc<FleetTelemetry>, Arc<CellTelemetry>) {
+        let reg = Arc::new(Registry::new());
+        reg.incr(Key::stage("supervisor", "cells"), 1);
+        reg.gauge(Key::stage("supervisor", "width"), 4.0);
+        let fleet = Arc::new(FleetTelemetry::new(reg));
+        fleet.set_deadline_ms(2_000);
+        let cell = fleet.add_cell(0, "alpha \"quoted\"");
+        let cell_reg = Arc::new(Registry::new());
+        cell_reg.incr(Key::stage("churn", "events"), 42);
+        cell.set_registry(cell_reg);
+        cell.set_state(CellState::Running);
+        cell.touch(75);
+        (fleet, cell)
+    }
+
+    #[test]
+    fn metrics_page_carries_supervisor_and_labeled_cell_series() {
+        let (fleet, _cell) = fleet_with_one_cell();
+        let page = fleet.render_metrics();
+        assert!(page.contains("quicksand_supervisor_cells_total 1"));
+        assert!(page.contains("quicksand_supervisor_width 4"));
+        assert!(page.contains("state=\"running\""));
+        assert!(page.contains("quicksand_cell_cursor{cell=\"0\","));
+        // The cell registry appears under the cell label, escaped.
+        assert!(page.contains(
+            "quicksand_churn_events_total{cell=\"0\",label=\"alpha \\\"quoted\\\"\"} 42"
+        ));
+        // Every line is `name value` or `name{labels} value`.
+        for line in page.lines() {
+            let (series, value) = line.rsplit_once(' ').expect("two columns");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            if let Some(open) = series.find('{') {
+                assert!(series.ends_with('}'), "unclosed labels in {line:?}");
+                assert!(series[..open].chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+            }
+        }
+    }
+
+    #[test]
+    fn healthz_flips_on_stale_running_cells_only() {
+        let (fleet, cell) = fleet_with_one_cell();
+        assert!(fleet.healthz().0, "fresh running cell is healthy");
+        // Shrink the deadline and let the beat actually age past 2×.
+        fleet.set_deadline_ms(1);
+        std::thread::sleep(Duration::from_millis(10));
+        let (healthy, body) = fleet.healthz();
+        assert!(!healthy);
+        assert!(body.contains("cell 0 stale"));
+        // Terminal cells are never stale.
+        cell.set_state(CellState::Completed);
+        assert!(fleet.healthz().0);
+    }
+
+    #[test]
+    fn cells_json_is_valid_and_complete() {
+        let (fleet, cell) = fleet_with_one_cell();
+        cell.set_counts(2, 1);
+        let json = fleet.render_cells_json();
+        let v: serde::Value = serde_json::from_str(json.trim()).expect("valid JSON");
+        let cells = v.as_seq().expect("array");
+        assert_eq!(cells.len(), 1);
+        let c = &cells[0];
+        let as_u64 = |v: Option<&serde::Value>| match v {
+            Some(serde::Value::U64(n)) => Some(*n),
+            Some(serde::Value::I64(n)) => Some(*n as u64),
+            _ => None,
+        };
+        assert_eq!(as_u64(c.field("cursor")), Some(75));
+        assert_eq!(as_u64(c.field("restarts")), Some(2));
+        assert_eq!(
+            c.field("state").and_then(|v| v.as_str()),
+            Some("running")
+        );
+    }
+
+    #[test]
+    fn server_serves_all_routes_and_stops_cleanly() {
+        let (fleet, _cell) = fleet_with_one_cell();
+        let mut server =
+            TelemetryServer::start("127.0.0.1:0", fleet.clone()).expect("bind localhost");
+        let addr = server.local_addr();
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("quicksand_supervisor_cells_total"));
+        let (status, body) = http_get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+        let (status, body) = http_get(addr, "/cells").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with('['));
+        let (status, _) = http_get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+        server.stop();
+        server.stop(); // idempotent
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err()
+                || http_get(addr, "/metrics").is_err(),
+            "stopped server must not answer"
+        );
+    }
+
+    #[test]
+    fn monotonic_ms_never_reports_zero_or_regresses() {
+        let a = monotonic_ms();
+        let b = monotonic_ms();
+        assert!(a >= 1);
+        assert!(b >= a);
+    }
+}

@@ -33,6 +33,19 @@ impl Level {
             Level::Error => "error",
         }
     }
+
+    /// Parse a level name, case-insensitively (`"warn"`, `"WARN"`,
+    /// and the common alias `"warning"` all work). `None` for anything
+    /// else.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Level {

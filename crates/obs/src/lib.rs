@@ -48,15 +48,23 @@
 
 pub mod event;
 pub mod metrics;
+pub mod prof;
 pub mod report;
+pub mod ring;
+pub mod span;
 pub mod subscriber;
 
 pub use event::{Event, FieldValue, Level};
-pub use metrics::{Histogram, HistogramStats, Key, Registry, Snapshot, SCORE_BOUNDS};
-pub use report::{RunReport, SupervisorSection, REQUIRED_STAGES};
+pub use metrics::{
+    Histogram, HistogramStats, Key, Registry, Snapshot, LOG2_US_BOUNDS, SCORE_BOUNDS,
+};
+pub use prof::{Profile, ProfileEntry};
+pub use report::{ProfileSection, RunReport, SupervisorSection, REQUIRED_STAGES};
+pub use ring::{RingSubscriber, DEFAULT_RING_CAP};
+pub use span::{SpanGuard, SpanTree};
 pub use subscriber::{
-    ConsoleSubscriber, FanoutSubscriber, JsonlSubscriber, MemorySubscriber, NoopSubscriber,
-    Subscriber,
+    ConsoleSubscriber, FanoutSubscriber, JsonlSubscriber, LevelFilter, MemorySubscriber,
+    NoopSubscriber, Subscriber,
 };
 
 use std::cell::RefCell;
@@ -143,19 +151,36 @@ pub fn with_metrics<R>(registry: Arc<Registry>, f: impl FnOnce() -> R) -> R {
 }
 
 /// Would an event at `level` reach the current subscriber? Use to skip
-/// building expensive events when nobody is listening.
+/// building expensive events when nobody is listening. Stage-blind:
+/// answers true when *any* stage's events would be kept (see
+/// [`enabled_for`] for the per-stage check).
 pub fn enabled(level: Level) -> bool {
     current_subscriber().is_some_and(|s| s.enabled(level))
 }
 
+/// Would an event at `level` from `stage` reach the current
+/// subscriber? The per-stage refinement of [`enabled`], honoring
+/// [`LevelFilter`] overrides.
+pub fn enabled_for(level: Level, stage: &str) -> bool {
+    current_subscriber().is_some_and(|s| s.enabled_for(level, stage))
+}
+
 /// Send `event` to the current subscriber (dropped when none is
-/// installed or the subscriber filters out its level).
+/// installed or the subscriber filters out its level/stage).
 pub fn emit(event: Event) {
     if let Some(s) = current_subscriber() {
-        if s.enabled(event.level) {
+        if s.enabled_for(event.level, event.stage) {
             s.event(&event);
         }
     }
+}
+
+/// The event sink currently in effect on this thread: the innermost
+/// [`with_subscriber`] override, else the global default, else `None`.
+/// Used to *fan out* — e.g. the supervisor pairs a per-cell flight
+/// recorder with whatever sink is already active.
+pub fn subscriber() -> Option<Arc<dyn Subscriber>> {
+    current_subscriber()
 }
 
 /// Flush the current subscriber's buffered output.

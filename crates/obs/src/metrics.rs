@@ -76,6 +76,14 @@ pub const SCORE_BOUNDS: [f64; 12] = [
     -1.0, -0.5, -0.25, 0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0,
 ];
 
+/// Log₂ bucket upper bounds in microseconds (1 µs … ~0.5 s) used by the
+/// span profiler's latency histograms. The implicit overflow bucket
+/// catches anything slower than half a second.
+pub const LOG2_US_BOUNDS: [f64; 20] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+    8192.0, 16384.0, 32768.0, 65536.0, 131072.0, 262144.0, 524288.0,
+];
+
 /// A fixed-bucket histogram with exact count/sum/min/max.
 #[derive(Clone, Debug)]
 pub struct Histogram {
@@ -183,10 +191,30 @@ impl Histogram {
             mean: if empty { 0.0 } else { self.sum / self.count as f64 },
             min: self.min().unwrap_or(0.0),
             p50: self.quantile(0.50).unwrap_or(0.0),
+            p90: self.quantile(0.90).unwrap_or(0.0),
             p95: self.quantile(0.95).unwrap_or(0.0),
             p99: self.quantile(0.99).unwrap_or(0.0),
             max: self.max().unwrap_or(0.0),
         }
+    }
+
+    /// Merge pre-aggregated bucket counts into this histogram. Used by
+    /// the span profiler, which accumulates per-node log₂ buckets in
+    /// thread-local scratch and folds them into the registry once at
+    /// publish time. A `counts` slice whose length is not
+    /// `bounds.len() + 1` of *this* histogram is ignored (defensive:
+    /// never poison live metrics over a shape mismatch).
+    pub fn merge_parts(&mut self, counts: &[u64], count: u64, sum: f64, min: f64, max: f64) {
+        if counts.len() != self.counts.len() || count == 0 {
+            return;
+        }
+        for (slot, &c) in self.counts.iter_mut().zip(counts) {
+            *slot += c;
+        }
+        self.count += count;
+        self.sum += sum;
+        self.min = self.min.min(min);
+        self.max = self.max.max(max);
     }
 }
 
@@ -203,6 +231,10 @@ pub struct HistogramStats {
     pub min: f64,
     /// Estimated median.
     pub p50: f64,
+    /// Estimated 90th percentile (0 on reports written before the
+    /// field existed; `#[serde(default)]` keeps old schemas parseable).
+    #[serde(default)]
+    pub p90: f64,
     /// Estimated 95th percentile.
     pub p95: f64,
     /// Estimated 99th percentile.
@@ -269,6 +301,103 @@ impl Registry {
             .record(value);
     }
 
+    /// Merge pre-aggregated bucket counts into the histogram at `key`,
+    /// creating it with `bounds` on first use. See
+    /// [`Histogram::merge_parts`] for the mismatch semantics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn merge_histogram(
+        &self,
+        key: Key,
+        bounds: &[f64],
+        counts: &[u64],
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) {
+        self.lock()
+            .histograms
+            .entry(key)
+            .or_insert_with(|| Histogram::new(bounds))
+            .merge_parts(counts, count, sum, min, max);
+    }
+
+    /// Render every metric in Prometheus text exposition format 0.0.4
+    /// into `out`. Metric names are `quicksand_<stage>_<name>`
+    /// (sanitized), counters get the `_total` suffix, histograms emit
+    /// cumulative `_bucket{le=...}` series plus `_sum`/`_count`, and a
+    /// session-keyed metric gains a `session` label. `extra_labels`
+    /// (e.g. `cell="3"`) are prepended to every series, letting one
+    /// scrape page carry the supervisor registry next to per-cell
+    /// registries.
+    pub fn render_prometheus(&self, out: &mut String, extra_labels: &[(&str, &str)]) {
+        use std::fmt::Write;
+        let inner = self.lock();
+        let labels = |session: Option<u32>| -> String {
+            let mut parts: Vec<String> = extra_labels
+                .iter()
+                .map(|(k, v)| format!("{}=\"{}\"", k, escape_label_value(v)))
+                .collect();
+            if let Some(s) = session {
+                parts.push(format!("session=\"{s}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        for (k, v) in &inner.counters {
+            let _ = writeln!(
+                out,
+                "quicksand_{}_{}_total{} {}",
+                sanitize_metric_name(k.stage),
+                sanitize_metric_name(k.name),
+                labels(k.session),
+                v
+            );
+        }
+        for (k, v) in &inner.gauges {
+            let _ = writeln!(
+                out,
+                "quicksand_{}_{}{} {}",
+                sanitize_metric_name(k.stage),
+                sanitize_metric_name(k.name),
+                labels(k.session),
+                render_f64(*v)
+            );
+        }
+        for (k, h) in &inner.histograms {
+            let name = format!(
+                "quicksand_{}_{}",
+                sanitize_metric_name(k.stage),
+                sanitize_metric_name(k.name)
+            );
+            let base = labels(k.session);
+            // `labels()` already wrapped the set in braces (or gave an
+            // empty string); splice `le` into the same brace group.
+            let with_le = |le: &str| -> String {
+                if base.is_empty() {
+                    format!("{{le=\"{le}\"}}")
+                } else {
+                    format!("{},le=\"{}\"}}", &base[..base.len() - 1], le)
+                }
+            };
+            let mut cum = 0u64;
+            for (i, c) in h.counts.iter().enumerate() {
+                cum += c;
+                let le = if i < h.bounds.len() {
+                    render_f64(h.bounds[i])
+                } else {
+                    "+Inf".to_string()
+                };
+                let _ = writeln!(out, "{}_bucket{} {}", name, with_le(&le), cum);
+            }
+            let _ = writeln!(out, "{}_sum{} {}", name, base, render_f64(h.sum));
+            let _ = writeln!(out, "{}_count{} {}", name, base, h.count);
+        }
+    }
+
     /// Read a counter (0 when never incremented).
     pub fn counter_value(&self, key: Key) -> u64 {
         self.lock().counters.get(&key).copied().unwrap_or(0)
@@ -333,6 +462,40 @@ impl Registry {
         inner.counters.clear();
         inner.gauges.clear();
         inner.histograms.clear();
+    }
+}
+
+/// Replace every character outside `[a-zA-Z0-9_]` with `_` so stage
+/// and metric names are always valid Prometheus metric-name segments.
+fn sanitize_metric_name(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Escape a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an f64 the way Prometheus expects: finite values plainly,
+/// non-finite as 0 (our gauges never legitimately hold them — the
+/// snapshot path makes the same substitution).
+fn render_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
     }
 }
 
@@ -530,6 +693,56 @@ mod tests {
             r.counter_value(Key::stage("collector", "reconnects")),
             100
         );
+    }
+
+    #[test]
+    fn merge_histogram_accumulates_and_rejects_shape_mismatch() {
+        let r = Registry::new();
+        let key = Key::stage("churn", "apply_span_us");
+        // Two profiler publishes fold into one histogram.
+        r.merge_histogram(key, &LOG2_US_BOUNDS, &[1; 21], 21, 210.0, 1.0, 600000.0);
+        r.merge_histogram(key, &LOG2_US_BOUNDS, &[1; 21], 21, 210.0, 0.5, 9.0);
+        // Wrong bucket count: silently ignored.
+        r.merge_histogram(key, &LOG2_US_BOUNDS, &[5; 3], 15, 1.0, 1.0, 1.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.histograms.len(), 1);
+        let stats = &snap.histograms[0].stats;
+        assert_eq!(stats.count, 42);
+        assert_eq!(stats.min, 0.5);
+        assert_eq!(stats.max, 600000.0);
+        assert!(stats.p50 > 0.0 && stats.p90 >= stats.p50 && stats.p99 >= stats.p90);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_all_series_kinds() {
+        let r = Registry::new();
+        r.incr(Key::stage("churn", "events"), 42);
+        r.incr(Key::session("collector", "reconnects", 3), 2);
+        r.gauge(Key::stage("churn", "replay_rate"), 982.5);
+        r.observe_bounded(Key::stage("monitor", "alarm_latency_s"), 30.0, &[10.0, 60.0]);
+        let mut out = String::new();
+        r.render_prometheus(&mut out, &[("cell", "0"), ("label", "cell-\"x\"")]);
+        assert!(out.contains(
+            "quicksand_churn_events_total{cell=\"0\",label=\"cell-\\\"x\\\"\"} 42"
+        ));
+        assert!(out.contains(
+            "quicksand_collector_reconnects_total{cell=\"0\",label=\"cell-\\\"x\\\"\",session=\"3\"} 2"
+        ));
+        assert!(out.contains("quicksand_churn_replay_rate{cell=\"0\""));
+        assert!(out.contains("le=\"10\"} 0"));
+        assert!(out.contains("le=\"60\"} 1"));
+        assert!(out.contains("le=\"+Inf\"} 1"));
+        assert!(out.contains("quicksand_monitor_alarm_latency_s_sum"));
+        assert!(out.contains("quicksand_monitor_alarm_latency_s_count"));
+        // Every line is `name{labels} value` — no comments, no blanks.
+        for line in out.lines() {
+            assert!(line.starts_with("quicksand_"), "unexpected line: {line}");
+            assert!(line.rsplit(' ').next().unwrap().parse::<f64>().is_ok());
+        }
+        // Without extra labels, unlabeled stage metrics have no braces.
+        let mut plain = String::new();
+        r.render_prometheus(&mut plain, &[]);
+        assert!(plain.contains("quicksand_churn_events_total 42"));
     }
 
     #[test]

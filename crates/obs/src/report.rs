@@ -119,6 +119,59 @@ impl SupervisorSection {
     }
 }
 
+/// One aggregated span call path in a [`ProfileSection`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSpanEntry {
+    /// Semicolon-joined `stage.name` frames, root first (collapsed-
+    /// stack path).
+    pub path: String,
+    /// Completed activations.
+    pub count: u64,
+    /// Wall time excluding child spans, microseconds.
+    pub self_us: f64,
+    /// Wall time including child spans, microseconds.
+    pub total_us: f64,
+    /// Allocations excluding child spans (0 without an alloc probe).
+    pub self_allocs: u64,
+    /// Allocations including child spans.
+    pub total_allocs: u64,
+}
+
+/// Span-profiler summary, attached to reports written with profiling
+/// enabled (`repro --profile-out`). Wall-clock content through and
+/// through, so [`RunReport::normalized`] strips it — old-schema files
+/// without the section and new files with it `--check` identically.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSection {
+    /// Sampling in effect (`1` = every top-level activation recorded).
+    pub sample_every: u64,
+    /// Spans dropped to depth/node-table limits.
+    pub dropped: u64,
+    /// Aggregated call paths, sorted by path.
+    pub spans: Vec<ProfileSpanEntry>,
+}
+
+impl From<&crate::prof::Profile> for ProfileSection {
+    fn from(profile: &crate::prof::Profile) -> ProfileSection {
+        ProfileSection {
+            sample_every: profile.sample_every,
+            dropped: profile.dropped,
+            spans: profile
+                .entries
+                .iter()
+                .map(|e| ProfileSpanEntry {
+                    path: e.path.clone(),
+                    count: e.count,
+                    self_us: e.self_ns as f64 / 1_000.0,
+                    total_us: e.total_ns as f64 / 1_000.0,
+                    self_allocs: e.self_allocs,
+                    total_allocs: e.total_allocs,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// The complete machine-readable record of one run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -135,6 +188,9 @@ pub struct RunReport {
     /// Supervisor summary — only on supervised (`repro serve`) runs.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub supervisor: Option<SupervisorSection>,
+    /// Span-profiler summary — only on runs with profiling enabled.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub profile: Option<ProfileSection>,
 }
 
 impl RunReport {
@@ -183,7 +239,17 @@ impl RunReport {
             metrics: metrics.clone(),
             alarms,
             supervisor: SupervisorSection::from_snapshot(metrics),
+            profile: None,
         }
+    }
+
+    /// Attach a span-profiler capture (builder style), omitting empty
+    /// profiles so unprofiled runs keep the section absent.
+    pub fn with_profile(mut self, profile: &crate::prof::Profile) -> RunReport {
+        if !profile.is_empty() {
+            self.profile = Some(ProfileSection::from(profile));
+        }
+        self
     }
 
     /// The stage profile for `stage`, if recorded.
@@ -234,6 +300,25 @@ impl RunReport {
                 }
                 if !self.metrics.has_stage_metrics(stage) {
                     problems.push(format!("stage '{stage}': empty metric snapshot"));
+                }
+            }
+        }
+        if let Some(profile) = &self.profile {
+            for (i, span) in profile.spans.iter().enumerate() {
+                if span.path.is_empty() {
+                    problems.push(format!("profile: span {i} has an empty path"));
+                }
+                if span.count == 0 {
+                    problems.push(format!(
+                        "profile: span '{}' has zero activations",
+                        span.path
+                    ));
+                }
+                if span.self_us > span.total_us + 1e-9 {
+                    problems.push(format!(
+                        "profile: span '{}' self time exceeds total",
+                        span.path
+                    ));
                 }
             }
         }
@@ -295,16 +380,48 @@ impl RunReport {
             }
             let _ = writeln!(
                 out,
-                "  {}.{}: n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+                "  {}.{}: n={} mean={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
                 h.stage,
                 h.name,
                 h.stats.count,
                 h.stats.mean,
                 h.stats.p50,
-                h.stats.p95,
+                h.stats.p90,
                 h.stats.p99,
                 h.stats.max
             );
+        }
+        if let Some(profile) = &self.profile {
+            let _ = writeln!(
+                out,
+                "\nspan profile: {} paths, sample 1/{}, {} dropped",
+                profile.spans.len(),
+                profile.sample_every,
+                profile.dropped
+            );
+            let _ = writeln!(
+                out,
+                "  {:<52} {:>10} {:>12} {:>12} {:>12}",
+                "path", "count", "self ms", "total ms", "self allocs"
+            );
+            // Heaviest self-time first; the JSON keeps the full list.
+            let mut spans: Vec<&ProfileSpanEntry> = profile.spans.iter().collect();
+            spans.sort_by(|a, b| {
+                b.self_us
+                    .partial_cmp(&a.self_us)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for s in spans.iter().take(20) {
+                let _ = writeln!(
+                    out,
+                    "  {:<52} {:>10} {:>12.2} {:>12.2} {:>12}",
+                    s.path,
+                    s.count,
+                    s.self_us / 1_000.0,
+                    s.total_us / 1_000.0,
+                    s.self_allocs
+                );
+            }
         }
         if let Some(sup) = &self.supervisor {
             let _ = writeln!(
@@ -368,6 +485,13 @@ impl RunReport {
         // Watchdog trips and restarts are wall-clock-dependent, so the
         // whole supervisor story is execution-engine content too.
         out.supervisor = None;
+        // Span profiles are wall-clock through and through, and the
+        // `_span_us` histograms they publish into the registry follow
+        // them out.
+        out.profile = None;
+        out.metrics
+            .histograms
+            .retain(|h| !h.name.ends_with("_span_us"));
         out
     }
 
@@ -723,6 +847,88 @@ mod tests {
         assert!(!norm.metrics.counters.iter().any(|c| c.stage == "supervisor"));
         assert!(!norm.metrics.gauges.iter().any(|g| g.stage == "supervisor"));
         assert_eq!(batch.deterministic_deltas(&fleet), Vec::<String>::new());
+    }
+
+    fn sample_profile() -> crate::prof::Profile {
+        crate::prof::Profile {
+            sample_every: 1,
+            dropped: 0,
+            entries: vec![crate::prof::ProfileEntry {
+                path: "churn.replay;churn.apply".to_string(),
+                stage: "churn".to_string(),
+                name: "apply".to_string(),
+                count: 10,
+                self_ns: 5_000_000,
+                total_ns: 9_000_000,
+                self_allocs: 0,
+                total_allocs: 0,
+                min_ns: 100,
+                max_ns: 2_000_000,
+                buckets: vec![0; crate::span::SPAN_LATENCY_BUCKETS],
+            }],
+        }
+    }
+
+    #[test]
+    fn profile_section_is_optional_validated_and_normalized_away() {
+        let batch = RunReport::assemble("batch", &full_registry().snapshot(), &[]);
+        assert!(batch.profile.is_none());
+        let profiled = batch.clone().with_profile(&sample_profile());
+        let section = profiled.profile.as_ref().expect("profile attached");
+        assert_eq!(section.spans.len(), 1);
+        assert!((section.spans[0].self_us - 5_000.0).abs() < 1e-9);
+        assert!(profiled.validate().is_ok());
+        // Renders a span table and survives a JSON round trip.
+        assert!(profiled.render().contains("span profile: 1 paths"));
+        let json = serde_json::to_string(&profiled).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, profiled);
+        // Old-schema files (no profile key) still parse, and a
+        // profiled report normalizes to its unprofiled twin — the
+        // `report --check` tolerance the satellite asks for.
+        let old_json = serde_json::to_string(&batch).unwrap();
+        assert!(!old_json.contains("\"profile\""));
+        let old: RunReport = serde_json::from_str(&old_json).unwrap();
+        assert!(old.profile.is_none());
+        assert_eq!(profiled.normalized().profile, None);
+        assert_eq!(old.deterministic_deltas(&profiled), Vec::<String>::new());
+        // An empty capture attaches nothing.
+        assert!(batch
+            .clone()
+            .with_profile(&crate::prof::Profile::default())
+            .profile
+            .is_none());
+        // Published `_span_us` histograms normalize away with the
+        // section.
+        let r = full_registry();
+        sample_profile().publish(&r);
+        let rep = RunReport::assemble("spanhist", &r.snapshot(), &[]);
+        assert!(rep
+            .metrics
+            .histograms
+            .iter()
+            .any(|h| h.name.ends_with("_span_us")));
+        assert!(!rep
+            .normalized()
+            .metrics
+            .histograms
+            .iter()
+            .any(|h| h.name.ends_with("_span_us")));
+        // Degenerate sections fail validation.
+        let mut bad = profiled.clone();
+        bad.profile.as_mut().unwrap().spans[0].count = 0;
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .iter()
+            .any(|e| e.contains("zero activations")));
+        let mut bad = profiled;
+        bad.profile.as_mut().unwrap().spans[0].self_us = 1e12;
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .iter()
+            .any(|e| e.contains("self time exceeds total")));
     }
 
     #[test]

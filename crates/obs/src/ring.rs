@@ -1,0 +1,202 @@
+//! The flight recorder: a bounded ring-buffer [`Subscriber`].
+//!
+//! A [`RingSubscriber`] retains the last N events that passed through
+//! it, each stamped with a monotonically increasing sequence number.
+//! The supervisor installs one per `ScenarioCell` attempt (fanned out
+//! with whatever sink is already active); when the attempt dies —
+//! panic, stall, error, or quarantine — the ring holds the cell's
+//! final seconds of telemetry, which [`write_postmortem`] appends to a
+//! JSONL post-mortem file alongside the cell's checkpoint store.
+//!
+//! The ring accepts every level regardless of the outer sink's
+//! filtering (a flight recorder that only records what the console
+//! wanted to print would be useless), so installing one also makes
+//! `obs::enabled(...)` return true on that thread — breadcrumb events
+//! become visible exactly where a post-mortem might need them.
+
+use crate::event::{Event, Level};
+use crate::subscriber::Subscriber;
+use serde::{Serialize, Value};
+use std::collections::VecDeque;
+use std::fs::OpenOptions;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Default ring capacity used by the supervisor's per-cell recorders.
+pub const DEFAULT_RING_CAP: usize = 256;
+
+struct RingState {
+    next_seq: u64,
+    events: VecDeque<(u64, Event)>,
+}
+
+/// A bounded ring buffer of the most recent events.
+pub struct RingSubscriber {
+    cap: usize,
+    state: Mutex<RingState>,
+}
+
+impl RingSubscriber {
+    /// A ring retaining the most recent `cap` events (`cap` is clamped
+    /// to at least 1).
+    pub fn with_capacity(cap: usize) -> RingSubscriber {
+        let cap = cap.max(1);
+        RingSubscriber {
+            cap,
+            state: Mutex::new(RingState {
+                next_seq: 0,
+                events: VecDeque::with_capacity(cap),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RingState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.lock().events.is_empty()
+    }
+
+    /// Total events ever pushed through the ring (including evicted
+    /// ones): the next event's sequence number.
+    pub fn seen(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// Copy the buffered `(seq, event)` pairs, oldest first, without
+    /// clearing them.
+    pub fn snapshot(&self) -> Vec<(u64, Event)> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Take the buffered `(seq, event)` pairs, oldest first, leaving
+    /// the ring empty (sequence numbering continues).
+    pub fn drain(&self) -> Vec<(u64, Event)> {
+        self.lock().events.drain(..).collect()
+    }
+}
+
+impl Subscriber for RingSubscriber {
+    fn enabled(&self, _level: Level) -> bool {
+        true
+    }
+
+    fn event(&self, event: &Event) {
+        let mut state = self.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.events.len() == self.cap {
+            state.events.pop_front();
+        }
+        state.events.push_back((seq, event.clone()));
+    }
+}
+
+/// Append `events` (and an optional `footer` event describing why the
+/// post-mortem exists) to the JSONL file at `path`, one
+/// `{"seq": N, "event": {...}}` object per line. Appending keeps every
+/// attempt's final telemetry when a cell fails more than once; the
+/// file is created on first use.
+pub fn write_postmortem(
+    path: &Path,
+    events: &[(u64, Event)],
+    footer: Option<&Event>,
+) -> std::io::Result<()> {
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut out = BufWriter::new(file);
+    for (seq, event) in events {
+        write_line(&mut out, Some(*seq), event)?;
+    }
+    if let Some(event) = footer {
+        let seq = events.last().map(|(s, _)| s + 1);
+        write_line(&mut out, seq, event)?;
+    }
+    out.flush()
+}
+
+fn write_line(out: &mut impl Write, seq: Option<u64>, event: &Event) -> std::io::Result<()> {
+    let mut fields = Vec::with_capacity(2);
+    if let Some(seq) = seq {
+        fields.push((Value::Str("seq".into()), Value::U64(seq)));
+    }
+    fields.push((Value::Str("event".into()), event.to_value()));
+    let line = serde_json::to_string(&Value::Map(fields))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writeln!(out, "{line}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> Event {
+        Event::new(Level::Debug, "supervisor", "checkpoint", "beat").with("cursor", n)
+    }
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_events() {
+        let ring = RingSubscriber::with_capacity(3);
+        for i in 0..5 {
+            ring.event(&ev(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.seen(), 5);
+        let got = ring.snapshot();
+        let seqs: Vec<u64> = got.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(got[0].1.field("cursor").unwrap().as_f64(), Some(2.0));
+        // Snapshot does not clear; drain does, but numbering continues.
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.drain().len(), 3);
+        assert!(ring.is_empty());
+        ring.event(&ev(99));
+        assert_eq!(ring.snapshot()[0].0, 5);
+    }
+
+    #[test]
+    fn ring_accepts_every_level() {
+        let ring = RingSubscriber::with_capacity(8);
+        for level in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert!(ring.enabled(level));
+        }
+    }
+
+    #[test]
+    fn postmortem_file_is_appendable_jsonl() {
+        let dir = std::env::temp_dir().join(format!(
+            "quicksand-ring-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("postmortem-cell0.jsonl");
+        let ring = RingSubscriber::with_capacity(4);
+        for i in 0..2 {
+            ring.event(&ev(i));
+        }
+        let footer =
+            Event::new(Level::Warn, "supervisor", "postmortem", "panic: boom").with("attempt", 0u64);
+        write_postmortem(&path, &ring.drain(), Some(&footer)).unwrap();
+        // Second attempt appends rather than truncating.
+        ring.event(&ev(7));
+        write_postmortem(&path, &ring.drain(), None).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).expect("valid JSON line");
+            assert!(v.field("event").is_some());
+        }
+        assert!(lines[2].contains("postmortem"));
+        assert!(lines[2].contains("\"seq\":2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -26,6 +26,16 @@ pub trait Subscriber: Send + Sync {
         true
     }
 
+    /// Would an event at `level` from `stage` be kept? Defaults to the
+    /// stage-blind [`Subscriber::enabled`]; subscribers with per-stage
+    /// overrides (a [`LevelFilter`]) refine it. `enabled` must stay
+    /// the *most permissive* answer across stages so a `true` from it
+    /// never suppresses an event some stage still wants.
+    fn enabled_for(&self, level: Level, stage: &str) -> bool {
+        let _ = stage;
+        self.enabled(level)
+    }
+
     /// Consume one event.
     fn event(&self, event: &Event);
 
@@ -151,17 +161,96 @@ impl<W: Write + Send> Subscriber for JsonlSubscriber<W> {
     }
 }
 
-/// Renders events at or above a minimum level to stderr — the
+/// A minimum level with optional per-stage overrides, parsed from the
+/// `--log-level` flag / `QUICKSAND_LOG` env spec: a bare level
+/// (`"info"`) and/or comma-separated `stage=level` pairs
+/// (`"warn,routing=debug,churn=error"`). Later entries win on
+/// duplicate stages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelFilter {
+    default_level: Level,
+    overrides: Vec<(String, Level)>,
+}
+
+impl LevelFilter {
+    /// Keep everything at `level` and above, for every stage.
+    pub fn uniform(level: Level) -> LevelFilter {
+        LevelFilter {
+            default_level: level,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Parse a spec like `"info"`, `"routing=debug"`, or
+    /// `"warn,routing=debug,churn=error"`. A bare level sets the
+    /// default (last bare entry wins); `stage=level` entries override
+    /// per stage. Errors name the offending token.
+    pub fn parse(spec: &str) -> Result<LevelFilter, String> {
+        let mut filter = LevelFilter::uniform(Level::Info);
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            match token.split_once('=') {
+                None => {
+                    filter.default_level = Level::parse(token)
+                        .ok_or_else(|| format!("unknown level {token:?}"))?;
+                }
+                Some((stage, level)) => {
+                    let stage = stage.trim();
+                    if stage.is_empty() {
+                        return Err(format!("empty stage in {token:?}"));
+                    }
+                    let level = Level::parse(level)
+                        .ok_or_else(|| format!("unknown level in {token:?}"))?;
+                    filter.retain_stage(stage);
+                    filter.overrides.push((stage.to_string(), level));
+                }
+            }
+        }
+        Ok(filter)
+    }
+
+    fn retain_stage(&mut self, stage: &str) {
+        self.overrides.retain(|(s, _)| s != stage);
+    }
+
+    /// The threshold for events from `stage`.
+    pub fn level_for(&self, stage: &str) -> Level {
+        self.overrides
+            .iter()
+            .find(|(s, _)| s == stage)
+            .map_or(self.default_level, |(_, l)| *l)
+    }
+
+    /// The most permissive threshold across every stage — what a
+    /// stage-blind `enabled(level)` check must answer so no stage's
+    /// events get suppressed early.
+    pub fn min_level(&self) -> Level {
+        self.overrides
+            .iter()
+            .map(|(_, l)| *l)
+            .fold(self.default_level, |a, b| a.min(b))
+    }
+}
+
+/// Renders events at or above a level filter to stderr — the
 /// replacement for the old scattered `eprintln!` progress chatter.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ConsoleSubscriber {
-    min_level: Level,
+    filter: LevelFilter,
 }
 
 impl ConsoleSubscriber {
-    /// Print events at `min_level` and above.
+    /// Print events at `min_level` and above, for every stage.
     pub fn new(min_level: Level) -> ConsoleSubscriber {
-        ConsoleSubscriber { min_level }
+        ConsoleSubscriber::with_filter(LevelFilter::uniform(min_level))
+    }
+
+    /// Print events passing `filter` (per-stage thresholds).
+    pub fn with_filter(filter: LevelFilter) -> ConsoleSubscriber {
+        ConsoleSubscriber { filter }
     }
 }
 
@@ -173,17 +262,23 @@ impl Default for ConsoleSubscriber {
 
 impl Subscriber for ConsoleSubscriber {
     fn enabled(&self, level: Level) -> bool {
-        level >= self.min_level
+        level >= self.filter.min_level()
+    }
+
+    fn enabled_for(&self, level: Level, stage: &str) -> bool {
+        level >= self.filter.level_for(stage)
     }
 
     fn event(&self, event: &Event) {
-        if self.enabled(event.level) {
+        // Self-filter: fanout broadcast reaches every sink whenever
+        // *any* sink wants the event.
+        if self.enabled_for(event.level, event.stage) {
             eprintln!("{}", event.render());
         }
     }
 
     fn span_end(&self, stage: &'static str, wall_ms: f64) {
-        if self.enabled(Level::Debug) {
+        if self.enabled_for(Level::Debug, stage) {
             eprintln!("[{stage}] span: done wall_ms={wall_ms:.1}");
         }
     }
@@ -205,6 +300,10 @@ impl FanoutSubscriber {
 impl Subscriber for FanoutSubscriber {
     fn enabled(&self, level: Level) -> bool {
         self.inner.iter().any(|s| s.enabled(level))
+    }
+
+    fn enabled_for(&self, level: Level, stage: &str) -> bool {
+        self.inner.iter().any(|s| s.enabled_for(level, stage))
     }
 
     fn event(&self, event: &Event) {
@@ -275,6 +374,51 @@ mod tests {
         assert!(!s.enabled(Level::Info));
         assert!(s.enabled(Level::Warn));
         assert!(s.enabled(Level::Error));
+    }
+
+    #[test]
+    fn level_filter_parses_specs_with_per_stage_overrides() {
+        let f = LevelFilter::parse("warn,routing=debug,churn=error").unwrap();
+        assert_eq!(f.level_for("routing"), Level::Debug);
+        assert_eq!(f.level_for("churn"), Level::Error);
+        assert_eq!(f.level_for("collector"), Level::Warn);
+        // The blanket answer must be the most permissive threshold.
+        assert_eq!(f.min_level(), Level::Debug);
+        // A bare level alone is a uniform filter.
+        assert_eq!(
+            LevelFilter::parse("ERROR").unwrap(),
+            LevelFilter::uniform(Level::Error)
+        );
+        // Later duplicate stages win; "warning" aliases warn.
+        let f = LevelFilter::parse("routing=debug,routing=warning").unwrap();
+        assert_eq!(f.level_for("routing"), Level::Warn);
+        // Empty segments are tolerated, garbage is not.
+        assert!(LevelFilter::parse("info,,churn=warn").is_ok());
+        assert!(LevelFilter::parse("loud").is_err());
+        assert!(LevelFilter::parse("churn=loud").is_err());
+        assert!(LevelFilter::parse("=debug").is_err());
+    }
+
+    #[test]
+    fn console_with_filter_applies_per_stage_thresholds() {
+        let s = ConsoleSubscriber::with_filter(
+            LevelFilter::parse("warn,routing=debug").unwrap(),
+        );
+        assert!(s.enabled_for(Level::Debug, "routing"));
+        assert!(!s.enabled_for(Level::Debug, "churn"));
+        assert!(!s.enabled_for(Level::Info, "churn"));
+        assert!(s.enabled_for(Level::Warn, "churn"));
+        // Stage-blind enabled() stays most-permissive.
+        assert!(s.enabled(Level::Debug));
+    }
+
+    #[test]
+    fn fanout_enabled_for_respects_stage_overrides() {
+        let f = FanoutSubscriber::new(vec![Arc::new(ConsoleSubscriber::with_filter(
+            LevelFilter::parse("error,monitor=info").unwrap(),
+        )) as Arc<dyn Subscriber>]);
+        assert!(f.enabled_for(Level::Info, "monitor"));
+        assert!(!f.enabled_for(Level::Info, "churn"));
     }
 
     #[test]

@@ -593,6 +593,49 @@ mod storm {
         }
     }
 
+    fn postmortem_path(dir: &std::path::Path, i: usize) -> PathBuf {
+        dir.join(format!("cell-{i}"))
+            .join(format!("postmortem-cell{i}.jsonl"))
+    }
+
+    /// Every storm victim leaves a flight-recorder post-mortem next to
+    /// its checkpoints: the per-cell ring drained at failure time plus
+    /// the failure footer, one JSON event per line, every line
+    /// independently parseable, the footer last.
+    fn assert_postmortem(dir: &std::path::Path, i: usize) {
+        let path = postmortem_path(dir, i);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("victim {i}: no post-mortem at {}: {e}", path.display())
+        });
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        assert!(!lines.is_empty(), "victim {i}: empty post-mortem");
+        let mut parsed = Vec::new();
+        for line in &lines {
+            let v: serde::Value = serde_json::from_str(line).unwrap_or_else(|e| {
+                panic!("victim {i}: unparseable post-mortem line {line:?}: {e}")
+            });
+            assert!(
+                v.field("event").is_some(),
+                "victim {i}: post-mortem line has no event object: {line:?}"
+            );
+            parsed.push(v);
+        }
+        let footer = parsed
+            .last()
+            .and_then(|v| v.field("event"))
+            .expect("non-empty");
+        assert_eq!(
+            footer.field("name").and_then(|v| v.as_str()),
+            Some("postmortem"),
+            "victim {i}: post-mortem does not end with the failure footer"
+        );
+        assert_eq!(
+            footer.field("level").and_then(|v| v.as_str()),
+            Some("warn"),
+            "victim {i}: footer severity"
+        );
+    }
+
     #[test]
     fn crash_storm_victims_recover_and_survivors_are_unperturbed() {
         let baselines = baselines();
@@ -651,12 +694,33 @@ mod storm {
                     stalls_seen += 1;
                 }
                 assert!(cell.degraded());
+                // The flight recorder caught the crash: a non-empty
+                // on-disk post-mortem and the same drained telemetry
+                // in the outcome, footer last.
+                assert_postmortem(&dir, i);
+                assert!(
+                    !cell.last_telemetry.is_empty(),
+                    "victim {i}: nothing drained from the flight recorder"
+                );
+                assert_eq!(
+                    cell.last_telemetry.last().map(|e| e.name),
+                    Some("postmortem"),
+                    "victim {i}: drained telemetry missing the failure footer"
+                );
             } else {
                 // Survivor: zero fault-path activity of any kind.
                 assert_eq!(cell.restarts, 0, "survivor {i} restarted");
                 assert_eq!(cell.watchdog_trips, 0, "survivor {i} tripped");
                 assert!(cell.failures.is_empty(), "survivor {i} recorded a failure");
                 assert!(!cell.degraded());
+                assert!(
+                    cell.last_telemetry.is_empty(),
+                    "survivor {i} drained flight-recorder telemetry"
+                );
+                assert!(
+                    !postmortem_path(&dir, i).exists(),
+                    "survivor {i} wrote a post-mortem"
+                );
             }
             // The bitwise gate, victims and survivors alike: field
             // equality first for readable diffs, then the canonical
@@ -722,11 +786,22 @@ mod storm {
                 );
                 assert_eq!(cell.restarts, 0);
                 assert_eq!(cell.failures.len(), 1);
+                // Quarantined victims get a post-mortem too — the one
+                // failed attempt's ring plus the footer.
+                assert_postmortem(&dir, i);
+                assert!(
+                    !cell.last_telemetry.is_empty(),
+                    "quarantined victim {i}: flight recorder drained nothing"
+                );
             } else {
                 let CellResult::Completed { month, .. } = &cell.result else {
                     panic!("survivor {i} must be untouched: {:?}", cell.result);
                 };
                 assert!(!cell.degraded());
+                assert!(
+                    !postmortem_path(&dir, i).exists(),
+                    "survivor {i} wrote a post-mortem"
+                );
                 assert_eq!(
                     encode(&month.raw),
                     encode(&baselines[i].raw),
