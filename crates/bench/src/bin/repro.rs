@@ -17,6 +17,12 @@
 //!        [--storm=K] [--storm-seed=S] [--stall-ms=MS] [--deadline-ms=MS]
 //!        [--queue-cap=Q] [--obs-out=run.json] [--telemetry-addr=HOST:PORT]
 //!        [--telemetry-addr-file=PATH] [--telemetry-linger-ms=MS]
+//!        [--feed-addr=HOST:PORT] [--feed-addr-file=PATH]
+//!        [--feed-hold-ms=MS] [--feed-restart-ms=MS]
+//!        [--log-level=SPEC] [-v|--verbose] [-q|--quiet]
+//! repro feed --connect=HOST:PORT [--peer=NAME] [--seed=S] [--small]
+//!        [--mrt=PATH] [--kill-after=N] [--hold-ms=MS] [--max-attempts=N]
+//!        [--backoff-base-ms=MS] [--backoff-cap-ms=MS] [--backoff-seed=S]
 //!        [--log-level=SPEC] [-v|--verbose] [-q|--quiet]
 //! ```
 //!
@@ -73,6 +79,30 @@
 //! keeps the endpoint up after the fleet completes so a scraper always
 //! gets a final snapshot.
 //!
+//! `--feed-addr=HOST:PORT` switches `serve` from generating churn
+//! in-process to *ingesting* it over the streaming feed plane
+//! (DESIGN.md §14): a framed TCP listener binds one session slot per
+//! cell (peer label `cell-<i>`, stamped with that cell's scenario
+//! fingerprint), and each cell replays events as they arrive —
+//! hold-timer reaping, graceful restart, and resume-exact reconnect
+//! included. Every feed-driven cell re-runs the month in batch mode
+//! after EOF and publishes `feed.identity_ok` /
+//! `feed.identity_mismatch` into the run report — the
+//! streamed-equals-batch bit CI greps for. `--feed-addr-file=PATH`
+//! writes the bound address (port 0 discovery, like the telemetry
+//! plane).
+//!
+//! `repro feed` is the matching client: it streams a churn schedule
+//! (built from `--seed`/`--small`, which must mirror the serving
+//! cell's scenario — cell `i` of `serve --seed=S` uses seed `S + i`)
+//! or a QSMRT001 update log (`--mrt=PATH`) into a feed listener,
+//! reconnecting with seeded decorrelated-jitter backoff until the
+//! server acks the EOF digest. `--kill-after=N` injects a scripted
+//! disconnect after the N-th event frame — the CI kill-and-reconnect
+//! smoke — which must leave the result bitwise identical to an
+//! uninterrupted stream. Exits [`exitcode::FEED_CONNECT`] (5) when the
+//! session cannot be established or the reconnect budget runs out.
+//!
 //! `chaos` (not part of `all`: it is a robustness diagnostic, not a
 //! paper artifact) replays the §4 pipeline with the collector feed
 //! degraded by [`quicksand_bgp::fault`] — drops, duplicates, reorders,
@@ -94,6 +124,9 @@ use quicksand_core::adversary::ObservationMode;
 use quicksand_core::ixp::{ixp_experiment, render_ixp, IxpMap};
 use quicksand_core::population::{render_population, run_population_attack, PopulationConfig};
 use quicksand_bench::exitcode;
+use quicksand_core::feed::{
+    FeedBinding, FeedClient, FeedConfig, FeedServer, FeedSlot, ReconnectPolicy,
+};
 use quicksand_core::parallel::Parallelism;
 use quicksand_core::report;
 use quicksand_core::scenario::{MonthResult, Scenario, ScenarioConfig};
@@ -102,7 +135,8 @@ use quicksand_core::supervise::{
 };
 use quicksand_core::telemetry::TelemetryServer;
 use quicksand_attack::monitord::{MonitorConfig, StreamingMonitor};
-use quicksand_bgp::fault::{FaultInjector, FaultProfile};
+use quicksand_bgp::fault::{ConnChaosPlan, ConnFaultKind, FaultInjector, FaultProfile};
+use quicksand_bgp::feed::{fnv64, ChurnFeedSource, FeedMode, FeedSource, MrtFeedSource};
 use quicksand_bgp::{
     clean_session_resets, metrics, CleaningConfig, ReplayChaosPlan, Route, UpdateMessage,
     UpdateRecord,
@@ -461,18 +495,6 @@ fn report_command(args: &[String]) -> i32 {
     }
 }
 
-/// FNV-1a over a byte slice: the digest `bench-snapshot` stamps on the
-/// MRT-encoded raw log, so before/after benchmark runs can prove the
-/// replay output stayed bitwise-identical across a refactor.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// One worker slot's attribution from a sharded replay: how busy it
 /// was and how much it allocated (the per-worker session counters
 /// `parallel.worker_busy_us` / `parallel.worker_allocs`).
@@ -783,6 +805,19 @@ fn serve_command(args: &[String]) -> i32 {
         );
         return exitcode::USAGE;
     }
+    let feed_addr = args.iter().find_map(|a| a.strip_prefix("--feed-addr="));
+    let feed_addr_file = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--feed-addr-file="));
+    let feed_cfg = FeedConfig {
+        hold_ms: parse("--feed-hold-ms=", FeedConfig::default().hold_ms).max(1),
+        restart_ms: parse("--feed-restart-ms=", FeedConfig::default().restart_ms).max(1),
+        ..FeedConfig::default()
+    };
+    if feed_addr.is_none() && feed_addr_file.is_some() {
+        eprintln!("error: --feed-addr-file requires --feed-addr");
+        return exitcode::USAGE;
+    }
     if cells == 0 {
         eprintln!("error: --cells must be >= 1");
         return exitcode::USAGE;
@@ -836,6 +871,12 @@ fn serve_command(args: &[String]) -> i32 {
             ..WatchdogConfig::default()
         },
     });
+    // Scrape plane: bind before the fleet starts so a scraper can watch
+    // cells move Pending → Running → terminal live. The fleet view is
+    // shared with the supervisor; `run()` consumes the supervisor, so
+    // grab it now (feed bindings also register their sessions on it).
+    let fleet = supervisor.telemetry();
+    let mut feed_bindings: Vec<FeedBinding> = Vec::new();
     for (i, plan) in chaos.into_iter().enumerate() {
         let seed = base_seed + i as u64;
         let config = if small {
@@ -843,6 +884,23 @@ fn serve_command(args: &[String]) -> i32 {
         } else {
             ScenarioConfig::medium(seed)
         };
+        // Feed-driven mode: one ingest slot per cell, bound to peer
+        // label `cell-<i>` and stamped with that cell's scenario
+        // fingerprint, so only the matching schedule can stream in.
+        // The cell verifies streamed-equals-batch after EOF.
+        let feed = feed_addr.map(|_| {
+            let peer = format!("cell-{i}");
+            let slot = Arc::new(FeedSlot::new(feed_cfg.clone()));
+            let telem = fleet.add_feed_session(Some(i), &peer, feed_cfg.hold_ms);
+            feed_bindings.push(FeedBinding::new(
+                peer,
+                FeedMode::Churn,
+                config.fingerprint(),
+                slot.clone(),
+                telem,
+            ));
+            slot
+        });
         let job = ScenarioJob {
             label: format!("cell-{i}"),
             config,
@@ -850,14 +908,11 @@ fn serve_command(args: &[String]) -> i32 {
                 std::path::Path::new(d).join(format!("cell-{i}"))
             }),
             chaos: plan,
+            feed_verify: feed.is_some(),
+            feed,
         };
         supervisor.submit(job);
     }
-    // Scrape plane: bind before the fleet starts so a scraper can watch
-    // cells move Pending → Running → terminal live. The fleet view is
-    // shared with the supervisor; `run()` consumes the supervisor, so
-    // grab it now.
-    let fleet = supervisor.telemetry();
     let mut server = match telemetry_addr {
         Some(addr) => match TelemetryServer::start(addr, fleet) {
             Ok(server) => {
@@ -880,12 +935,45 @@ fn serve_command(args: &[String]) -> i32 {
         },
         None => None,
     };
+    // Feed plane: bind before the fleet starts so a client can open
+    // its session while its cell is still pending — the slot buffers
+    // (bounded) until the cell consumes.
+    let mut feed_server = match feed_addr {
+        Some(addr) => match FeedServer::start(addr, feed_cfg.clone(), feed_bindings) {
+            Ok(server) => {
+                let bound = server.local_addr();
+                progress(format!(
+                    "feed: ingesting {cells} peer sessions on {bound} \
+                     (hold {} ms, restart {} ms)",
+                    feed_cfg.hold_ms, feed_cfg.restart_ms
+                ));
+                if let Some(path) = feed_addr_file {
+                    if let Err(e) = std::fs::write(path, format!("{bound}\n")) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        return exitcode::USAGE;
+                    }
+                }
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind feed listener {addr}: {e}");
+                return exitcode::USAGE;
+            }
+        },
+        None => None,
+    };
 
     progress(format!(
         "serve: {cells} cells (width {width}, storm {storm}), \
          checkpoint every {every} events"
     ));
     let outcome = supervisor.run();
+
+    // Every cell is terminal, so no slot will accept another event:
+    // reap the feed listener and its session threads first.
+    if let Some(server) = &mut feed_server {
+        server.stop();
+    }
 
     // Every cell is terminal now; hold the endpoint open for the
     // requested linger so an external scraper deterministically gets a
@@ -952,6 +1040,141 @@ fn serve_command(args: &[String]) -> i32 {
     }
 }
 
+/// `repro feed --connect=HOST:PORT`: the streaming-feed client. Builds
+/// the churn schedule of the scenario named by `--seed`/`--small` (or
+/// reads a QSMRT001 update log with `--mrt=PATH`) and streams it into
+/// a `serve --feed-addr` listener as peer `--peer` (default `cell-0`),
+/// resuming exactly from the server's acked cursor after every
+/// disconnect. `--kill-after=N` scripts a disconnect after the N-th
+/// event frame (the CI kill-and-reconnect smoke); the backoff flags
+/// pin the seeded reconnect policy. Exits [`exitcode::FEED_CONNECT`]
+/// when no session can be established, the reconnect budget runs out,
+/// or the server violates the protocol; local problems (bad flags,
+/// unreadable `--mrt` file) are [`exitcode::USAGE`].
+fn feed_command(args: &[String]) -> i32 {
+    let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    if !quiet {
+        obs::set_global_subscriber(Arc::new(obs::ConsoleSubscriber::with_filter(
+            log_filter(args, verbose),
+        )));
+    }
+    let parse = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .find_map(|a| a.strip_prefix(flag))
+            .map(|s| match s.parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("error: {flag} expects a non-negative integer, got {s:?}");
+                    std::process::exit(exitcode::USAGE);
+                }
+            })
+            .unwrap_or(default)
+    };
+    let Some(connect) = args.iter().find_map(|a| a.strip_prefix("--connect=")) else {
+        eprintln!("error: feed requires --connect=HOST:PORT");
+        return exitcode::USAGE;
+    };
+    let addr = match std::net::ToSocketAddrs::to_socket_addrs(connect) {
+        Ok(mut addrs) => match addrs.next() {
+            Some(a) => a,
+            None => {
+                eprintln!("error: --connect={connect} resolves to no address");
+                return exitcode::USAGE;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot resolve --connect={connect}: {e}");
+            return exitcode::USAGE;
+        }
+    };
+    let small = args.iter().any(|a| a == "--small");
+    let seed = parse("--seed=", 0xA11);
+    let peer = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--peer="))
+        .unwrap_or("cell-0");
+    let mrt = args.iter().find_map(|a| a.strip_prefix("--mrt="));
+    let kill_after = args
+        .iter()
+        .any(|a| a.starts_with("--kill-after="))
+        .then(|| parse("--kill-after=", 0));
+
+    // The stream: a churn schedule (identity-stamped with the scenario
+    // fingerprint the serving cell expects) or an MRT log (fingerprint
+    // 0 — MRT sinks carry their identity in the EOF digest alone).
+    let (source, config_hash): (Box<dyn FeedSource>, u64) = match mrt {
+        Some(path) => {
+            let mut file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: cannot open --mrt={path}: {e}");
+                    return exitcode::USAGE;
+                }
+            };
+            match MrtFeedSource::from_reader(&mut file) {
+                Ok(src) => (Box::new(src), 0),
+                Err(e) => {
+                    eprintln!("error: cannot parse --mrt={path}: {e}");
+                    return exitcode::USAGE;
+                }
+            }
+        }
+        None => {
+            let config = if small {
+                ScenarioConfig::small(seed)
+            } else {
+                ScenarioConfig::medium(seed)
+            };
+            let hash = config.fingerprint();
+            progress(format!(
+                "building scenario for peer {peer} (seed {seed:#x}, \
+                 fingerprint {hash:#018x})…"
+            ));
+            let scenario = Scenario::build(config);
+            (Box::new(ChurnFeedSource::new(scenario.churn_schedule())), hash)
+        }
+    };
+
+    let defaults = ReconnectPolicy::default();
+    let mut client = FeedClient::new(addr, peer, config_hash);
+    client.hold_ms = parse("--hold-ms=", FeedConfig::default().hold_ms).max(1);
+    client.reconnect = ReconnectPolicy {
+        base_ms: parse("--backoff-base-ms=", defaults.base_ms),
+        cap_ms: parse("--backoff-cap-ms=", defaults.cap_ms),
+        max_attempts: parse("--max-attempts=", u64::from(defaults.max_attempts)) as u32,
+        seed: parse("--backoff-seed=", defaults.seed),
+    };
+    if let Some(n) = kill_after {
+        client.chaos = ConnChaosPlan::single(n, ConnFaultKind::Disconnect);
+    }
+
+    progress(format!(
+        "streaming {} events to {addr} as {peer}{}…",
+        source.len(),
+        if kill_after.is_some() {
+            " (scripted disconnect armed)"
+        } else {
+            ""
+        }
+    ));
+    match client.stream(source.as_ref()) {
+        Ok(rep) => {
+            progress(format!(
+                "feed complete: {} sent, {} acked, {} connects, {} scripted faults",
+                rep.sent, rep.acked, rep.connects, rep.faults_fired
+            ));
+            obs::flush();
+            exitcode::OK
+        }
+        Err(e) => {
+            eprintln!("error: feed session failed: {e}");
+            obs::flush();
+            exitcode::FEED_CONNECT
+        }
+    }
+}
+
 fn main() {
     // Donate the counting allocator to the span profiler before any
     // subcommand runs: profiles (batch `--profile-out` and the
@@ -966,6 +1189,9 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "serve") {
         std::process::exit(serve_command(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "feed") {
+        std::process::exit(feed_command(&args[1..]));
     }
 
     let small = args.iter().any(|a| a == "--small");

@@ -27,6 +27,10 @@ pub mod exitcode {
     /// `repro serve` finished, but at least one supervised scenario
     /// cell was quarantined after exhausting its restart budget.
     pub const QUARANTINE: i32 = 4;
+    /// `repro feed` could not establish (or lost) its feed session:
+    /// connect failure, reconnect budget exhausted, or a protocol
+    /// violation from the server.
+    pub const FEED_CONNECT: i32 = 5;
 
     #[cfg(test)]
     mod tests {
@@ -42,7 +46,8 @@ pub mod exitcode {
             assert_eq!(USAGE, 2);
             assert_eq!(CRASH_SIM, 3);
             assert_eq!(QUARANTINE, 4);
-            let all = [OK, CHECK_FAILED, USAGE, CRASH_SIM, QUARANTINE];
+            assert_eq!(FEED_CONNECT, 5);
+            let all = [OK, CHECK_FAILED, USAGE, CRASH_SIM, QUARANTINE, FEED_CONNECT];
             for (i, a) in all.iter().enumerate() {
                 for b in &all[i + 1..] {
                     assert_ne!(a, b);

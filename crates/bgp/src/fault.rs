@@ -172,6 +172,7 @@ const DOM_REORDER: u64 = 0x03;
 const DOM_REORDER_BY: u64 = 0x04;
 const DOM_SKEW: u64 = 0x05;
 const DOM_FLAP: u64 = 0x06;
+const DOM_CONN_AT: u64 = 0x07;
 
 /// Applies a [`FaultProfile`] to whole logs.
 #[derive(Clone, Debug)]
@@ -670,6 +671,125 @@ impl ReplayChaosPlan {
     }
 }
 
+/// Connection-level fault kinds for the streaming feed plane
+/// (DESIGN.md §14): faults of the *transport* between a feed client and
+/// the ingest server, as opposed to faults of the record stream itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnFaultKind {
+    /// Drop the TCP connection cleanly before sending the event at the
+    /// scripted sequence number (the client then reconnects and
+    /// resumes from the server's acknowledged cursor).
+    Disconnect,
+    /// Write a strict prefix of the scripted event's frame, then drop
+    /// the connection — the receiver must reject the partial frame as a
+    /// typed truncation, never parse it.
+    TruncateFrame,
+    /// Stop sending for this many wall milliseconds while keeping the
+    /// connection open. A stall past the server's hold timer gets the
+    /// session deterministically reaped.
+    Stall {
+        /// Wall-clock length of the stall.
+        ms: u64,
+    },
+}
+
+/// One scripted connection fault, addressed by feed sequence number:
+/// it fires when the client is about to send the event with this
+/// 0-based sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnFault {
+    /// Fires before sending the event with this sequence number.
+    pub at_seq: u64,
+    /// What happens at the fault point.
+    pub kind: ConnFaultKind,
+}
+
+/// A deterministic schedule of connection faults for one feed client.
+///
+/// Like [`ReplayChaosPlan`], the plan is pure data drawn from the
+/// seeded fault model: the same `(seed, n_events, counts)` always
+/// yields the same faults at the same sequence numbers, so feed chaos
+/// tests can assert an exact disconnect/reap timeline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConnChaosPlan {
+    /// The scripted faults, sorted by `at_seq` (all distinct).
+    pub faults: Vec<ConnFault>,
+}
+
+impl ConnChaosPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        ConnChaosPlan::default()
+    }
+
+    /// True when no fault is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A plan with a single fault.
+    pub fn single(at_seq: u64, kind: ConnFaultKind) -> Self {
+        ConnChaosPlan {
+            faults: vec![ConnFault { at_seq, kind }],
+        }
+    }
+
+    /// A seeded plan over a feed of `n_events` events: `disconnects`
+    /// clean mid-stream disconnects, `truncates` partial frames, and
+    /// `stalls` stalls of `stall_ms`, at distinct sequence numbers
+    /// drawn deterministically from `[0, n_events)`. The total fault
+    /// count is clamped to `n_events` so every fault lands on a real
+    /// event.
+    pub fn seeded(
+        seed: u64,
+        n_events: u64,
+        disconnects: usize,
+        truncates: usize,
+        stalls: usize,
+        stall_ms: u64,
+    ) -> Self {
+        if n_events == 0 {
+            return ConnChaosPlan::none();
+        }
+        let want = (disconnects + truncates + stalls).min(n_events as usize);
+        let mut seqs: Vec<u64> = Vec::with_capacity(want);
+        let mut draw = splitmix64(seed ^ splitmix64(DOM_CONN_AT));
+        while seqs.len() < want {
+            draw = splitmix64(draw);
+            let seq = draw % n_events;
+            if !seqs.contains(&seq) {
+                seqs.push(seq);
+            }
+        }
+        let mut faults: Vec<ConnFault> = seqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, at_seq)| {
+                let kind = if i < disconnects {
+                    ConnFaultKind::Disconnect
+                } else if i < disconnects + truncates {
+                    ConnFaultKind::TruncateFrame
+                } else {
+                    ConnFaultKind::Stall { ms: stall_ms }
+                };
+                ConnFault { at_seq, kind }
+            })
+            .collect();
+        faults.sort_by_key(|f| f.at_seq);
+        ConnChaosPlan { faults }
+    }
+
+    /// The next unfired fault due at or before `seq`, given that
+    /// `fired` faults have already fired. Pure: the client threads its
+    /// own `fired` count, so identical histories see identical faults.
+    pub fn fire(&self, fired: usize, seq: u64) -> Option<ConnFault> {
+        self.faults
+            .get(fired)
+            .filter(|f| f.at_seq <= seq)
+            .copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -889,5 +1009,56 @@ mod tests {
         // Victim count clamps to the fleet size.
         let all = ReplayChaosPlan::storm(7, 2, 5, 0, 10, 1);
         assert_eq!(all.iter().flatten().count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod conn_tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_bounded() {
+        let a = ConnChaosPlan::seeded(0xFEED, 100, 2, 1, 1, 500);
+        let b = ConnChaosPlan::seeded(0xFEED, 100, 2, 1, 1, 500);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 4);
+        assert!(a.faults.iter().all(|f| f.at_seq < 100));
+        assert!(a.faults.windows(2).all(|w| w[0].at_seq < w[1].at_seq));
+        let c = ConnChaosPlan::seeded(0xFEED + 1, 100, 2, 1, 1, 500);
+        assert_ne!(a, c, "different seeds must draw different positions");
+    }
+
+    #[test]
+    fn seeded_plan_respects_kind_counts() {
+        let plan = ConnChaosPlan::seeded(9, 1000, 3, 2, 1, 250);
+        let count = |k: fn(&ConnFaultKind) -> bool| {
+            plan.faults.iter().filter(|f| k(&f.kind)).count()
+        };
+        assert_eq!(count(|k| matches!(k, ConnFaultKind::Disconnect)), 3);
+        assert_eq!(count(|k| matches!(k, ConnFaultKind::TruncateFrame)), 2);
+        assert_eq!(
+            count(|k| matches!(k, ConnFaultKind::Stall { ms: 250 })),
+            1
+        );
+    }
+
+    #[test]
+    fn seeded_plan_clamps_to_event_count() {
+        let plan = ConnChaosPlan::seeded(1, 3, 5, 5, 5, 10);
+        assert_eq!(plan.faults.len(), 3);
+        assert!(ConnChaosPlan::seeded(1, 0, 5, 5, 5, 10).is_empty());
+    }
+
+    #[test]
+    fn fire_walks_faults_in_sequence_order() {
+        let plan = ConnChaosPlan::seeded(0xFEED, 50, 1, 1, 0, 0);
+        let first = plan.faults[0];
+        let second = plan.faults[1];
+        assert_eq!(plan.fire(0, first.at_seq.saturating_sub(1)), None);
+        assert_eq!(plan.fire(0, first.at_seq), Some(first));
+        // Already-fired faults never refire; the next one waits its turn.
+        assert_eq!(plan.fire(1, first.at_seq), None);
+        assert_eq!(plan.fire(1, second.at_seq), Some(second));
+        assert_eq!(plan.fire(2, u64::MAX), None);
     }
 }

@@ -1,0 +1,616 @@
+//! The streaming feed protocol: typed messages over the frame codec.
+//!
+//! The paper's monitoring framework consumes live BGP feeds from
+//! collectors; this module defines the workspace's session-oriented
+//! equivalent (DESIGN.md §14). Messages ride [`quicksand_net::Frame`]s
+//! — length-prefixed and CRC-checksummed — and carry either churn
+//! events (link up/down transitions, the replay engine's input) or
+//! MRT-style update records (the collector's output), each tagged with
+//! a monotone 0-based sequence number so a reconnecting peer can resume
+//! exactly where the receiver's acknowledgement left off.
+//!
+//! Protocol sketch (client streams, server ingests):
+//!
+//! ```text
+//! client                               server
+//!   Open{peer, mode, config_hash} ──▶  validate, look up retained state
+//!   ◀── Resume{cursor}                 cursor = events already accepted
+//!   Event{seq=cursor}   ──▶            accept iff seq == accepted count
+//!   Event{seq=cursor+1} ──▶            (duplicates re-acked, gaps fatal)
+//!   ◀── Ack{cursor}                    every ack_every accepted events
+//!   Keepalive ──▶                      refreshes the hold timer
+//!   Eof{total, fnv} ──▶                digest check → identity bit
+//!   ◀── Ack{cursor}                    final acknowledgement
+//! ```
+//!
+//! Everything here is pure data and codec; the session FSM lives in
+//! `quicksand-core`'s feed server, the transport faults in
+//! [`crate::fault::ConnChaosPlan`].
+
+use crate::churn::{ChurnEvent, LinkChange};
+use crate::collector::UpdateRecord;
+use crate::mrt;
+use quicksand_net::{Asn, Frame, QsResult, QuicksandError, SimTime};
+use std::io::Read;
+
+/// Frame kind: session handshake (client → server).
+pub const KIND_OPEN: u8 = 1;
+/// Frame kind: resume position (server → client).
+pub const KIND_RESUME: u8 = 2;
+/// Frame kind: one feed event (client → server).
+pub const KIND_EVENT: u8 = 3;
+/// Frame kind: hold-timer refresh (client → server).
+pub const KIND_KEEPALIVE: u8 = 4;
+/// Frame kind: cumulative acknowledgement (server → client).
+pub const KIND_ACK: u8 = 5;
+/// Frame kind: end of feed with digest (client → server).
+pub const KIND_EOF: u8 = 6;
+
+/// What a feed session carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeedMode {
+    /// Churn events consumed by a live replay cell.
+    Churn,
+    /// MRT-style update records accumulated into a log sink.
+    Mrt,
+}
+
+impl FeedMode {
+    /// Wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            FeedMode::Churn => 1,
+            FeedMode::Mrt => 2,
+        }
+    }
+
+    /// Parse a wire tag.
+    pub fn from_tag(t: u8) -> QsResult<Self> {
+        match t {
+            1 => Ok(FeedMode::Churn),
+            2 => Ok(FeedMode::Mrt),
+            _ => Err(QuicksandError::FeedProtocol {
+                what: "mode",
+                detail: format!("unknown mode tag {t}"),
+            }),
+        }
+    }
+}
+
+/// One event on the wire: the unit the cursor counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FeedEvent {
+    /// A link state transition (churn mode).
+    Link(ChurnEvent),
+    /// A collector update record (MRT mode).
+    Update(UpdateRecord),
+}
+
+const EVENT_LINK: u8 = 1;
+const EVENT_UPDATE: u8 = 2;
+
+impl FeedEvent {
+    /// Appends the event's wire encoding (tag byte + body) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) -> QsResult<()> {
+        match self {
+            FeedEvent::Link(ev) => {
+                out.push(EVENT_LINK);
+                out.extend_from_slice(&ev.at.0.to_le_bytes());
+                out.extend_from_slice(&ev.change.a.0.to_le_bytes());
+                out.extend_from_slice(&ev.change.b.0.to_le_bytes());
+                out.push(u8::from(ev.change.up));
+            }
+            FeedEvent::Update(rec) => {
+                out.push(EVENT_UPDATE);
+                // Reuses the QSMRT001 record layout byte-for-byte, so a
+                // streamed log re-encodes to the same bytes as a batch
+                // written one.
+                mrt::encode_record(rec, out).map_err(|e| QuicksandError::FeedProtocol {
+                    what: "update_record",
+                    detail: e.to_string(),
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes an event from its full wire encoding.
+    pub fn decode(buf: &[u8]) -> QsResult<FeedEvent> {
+        let bad = |detail: String| QuicksandError::FeedProtocol {
+            what: "event",
+            detail,
+        };
+        let (&tag, body) = buf
+            .split_first()
+            .ok_or_else(|| bad("empty event payload".into()))?;
+        match tag {
+            EVENT_LINK => {
+                if body.len() != 17 {
+                    return Err(bad(format!("link event body {} bytes, want 17", body.len())));
+                }
+                let at = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+                let a = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
+                let b = u32::from_le_bytes(body[12..16].try_into().expect("4 bytes"));
+                let up = match body[16] {
+                    0 => false,
+                    1 => true,
+                    v => return Err(bad(format!("link up flag {v}"))),
+                };
+                Ok(FeedEvent::Link(ChurnEvent {
+                    at: SimTime(at),
+                    change: LinkChange {
+                        a: Asn(a),
+                        b: Asn(b),
+                        up,
+                    },
+                }))
+            }
+            EVENT_UPDATE => {
+                let (rec, consumed) = mrt::decode_record(body)
+                    .map_err(|e| bad(e.to_string()))?
+                    .ok_or_else(|| bad("empty update record".into()))?;
+                if consumed != body.len() {
+                    return Err(bad(format!(
+                        "update record trailing bytes: {} of {}",
+                        consumed,
+                        body.len()
+                    )));
+                }
+                Ok(FeedEvent::Update(rec))
+            }
+            _ => Err(bad(format!("unknown event tag {tag}"))),
+        }
+    }
+}
+
+/// A typed feed protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FeedMsg {
+    /// Session handshake: who is streaming, what, and against which
+    /// scenario configuration.
+    Open {
+        /// Peer label; the server matches it to a feed binding.
+        peer: String,
+        /// What the session carries.
+        mode: FeedMode,
+        /// The sender's scenario `config_hash` (0 in MRT mode) — a
+        /// mismatch means the peers would replay different months.
+        config_hash: u64,
+        /// The hold time the client intends to honour, in wall ms.
+        hold_ms: u64,
+    },
+    /// Server → client: resume streaming from this sequence number
+    /// (the count of events already accepted).
+    Resume {
+        /// Next expected sequence number.
+        cursor: u64,
+    },
+    /// One feed event at an explicit sequence number.
+    Event {
+        /// 0-based position in the feed.
+        seq: u64,
+        /// The event itself.
+        event: FeedEvent,
+    },
+    /// Hold-timer refresh carrying the client's send position.
+    Keepalive {
+        /// The client's next sequence number (informational).
+        at: u64,
+    },
+    /// Server → client: cumulative acknowledgement.
+    Ack {
+        /// Events accepted so far.
+        cursor: u64,
+    },
+    /// End of feed: total event count and an FNV-1a digest of the
+    /// concatenated event encodings, so the receiver can verify it
+    /// ingested the identical stream.
+    Eof {
+        /// Total events in the feed.
+        total: u64,
+        /// [`fnv64`]-style digest folded over every event encoding.
+        fnv: u64,
+    },
+}
+
+impl FeedMsg {
+    /// Encodes the message as a frame.
+    pub fn to_frame(&self) -> QsResult<Frame> {
+        Ok(match self {
+            FeedMsg::Open {
+                peer,
+                mode,
+                config_hash,
+                hold_ms,
+            } => {
+                let mut payload = Vec::with_capacity(19 + peer.len());
+                payload.push(mode.tag());
+                payload.extend_from_slice(&config_hash.to_le_bytes());
+                payload.extend_from_slice(&hold_ms.to_le_bytes());
+                let len = u16::try_from(peer.len()).map_err(|_| QuicksandError::FeedProtocol {
+                    what: "peer",
+                    detail: format!("peer label {} bytes long", peer.len()),
+                })?;
+                payload.extend_from_slice(&len.to_le_bytes());
+                payload.extend_from_slice(peer.as_bytes());
+                Frame::new(KIND_OPEN, 0, payload)
+            }
+            FeedMsg::Resume { cursor } => Frame::new(KIND_RESUME, *cursor, Vec::new()),
+            FeedMsg::Event { seq, event } => {
+                let mut payload = Vec::new();
+                event.encode(&mut payload)?;
+                Frame::new(KIND_EVENT, *seq, payload)
+            }
+            FeedMsg::Keepalive { at } => Frame::new(KIND_KEEPALIVE, *at, Vec::new()),
+            FeedMsg::Ack { cursor } => Frame::new(KIND_ACK, *cursor, Vec::new()),
+            FeedMsg::Eof { total, fnv } => {
+                Frame::new(KIND_EOF, *total, fnv.to_le_bytes().to_vec())
+            }
+        })
+    }
+
+    /// Decodes a frame into a typed message.
+    pub fn from_frame(f: &Frame) -> QsResult<FeedMsg> {
+        let bad = |what: &'static str, detail: String| QuicksandError::FeedProtocol {
+            what,
+            detail,
+        };
+        let expect_empty = |what: &'static str| {
+            if f.payload.is_empty() {
+                Ok(())
+            } else {
+                Err(bad(what, format!("{} payload bytes, want 0", f.payload.len())))
+            }
+        };
+        match f.kind {
+            KIND_OPEN => {
+                let p = &f.payload;
+                if p.len() < 19 {
+                    return Err(bad("open", format!("{} payload bytes, want >= 19", p.len())));
+                }
+                let mode = FeedMode::from_tag(p[0])?;
+                let config_hash = u64::from_le_bytes(p[1..9].try_into().expect("8 bytes"));
+                let hold_ms = u64::from_le_bytes(p[9..17].try_into().expect("8 bytes"));
+                let peer_len = u16::from_le_bytes(p[17..19].try_into().expect("2 bytes")) as usize;
+                if p.len() != 19 + peer_len {
+                    return Err(bad(
+                        "open",
+                        format!("peer length {} vs payload {}", peer_len, p.len() - 19),
+                    ));
+                }
+                let peer = std::str::from_utf8(&p[19..])
+                    .map_err(|_| bad("open", "peer label not utf-8".into()))?
+                    .to_string();
+                Ok(FeedMsg::Open {
+                    peer,
+                    mode,
+                    config_hash,
+                    hold_ms,
+                })
+            }
+            KIND_RESUME => {
+                expect_empty("resume")?;
+                Ok(FeedMsg::Resume { cursor: f.cursor })
+            }
+            KIND_EVENT => Ok(FeedMsg::Event {
+                seq: f.cursor,
+                event: FeedEvent::decode(&f.payload)?,
+            }),
+            KIND_KEEPALIVE => {
+                expect_empty("keepalive")?;
+                Ok(FeedMsg::Keepalive { at: f.cursor })
+            }
+            KIND_ACK => {
+                expect_empty("ack")?;
+                Ok(FeedMsg::Ack { cursor: f.cursor })
+            }
+            KIND_EOF => {
+                if f.payload.len() != 8 {
+                    return Err(bad(
+                        "eof",
+                        format!("{} payload bytes, want 8", f.payload.len()),
+                    ));
+                }
+                Ok(FeedMsg::Eof {
+                    total: f.cursor,
+                    fnv: u64::from_le_bytes(f.payload[..].try_into().expect("8 bytes")),
+                })
+            }
+            k => Err(bad("frame_kind", format!("unknown frame kind {k}"))),
+        }
+    }
+}
+
+/// FNV-1a, 64-bit — the workspace's cheap content digest (the same
+/// algorithm `repro` fingerprints raw logs with).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FnvHasher::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a so a receiver can fold a digest over events as
+/// they arrive, without retaining their encodings. Folding chunks
+/// incrementally equals hashing their concatenation.
+#[derive(Clone, Copy, Debug)]
+pub struct FnvHasher {
+    h: u64,
+}
+
+impl FnvHasher {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        FnvHasher {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= u64::from(b);
+            self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A feed a client can stream: addressable by sequence number, so a
+/// resume after disconnect is a plain index — no replay bookkeeping.
+pub trait FeedSource {
+    /// What the feed carries.
+    fn mode(&self) -> FeedMode;
+    /// Total events in the feed.
+    fn len(&self) -> u64;
+    /// True when the feed has no events.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The event at `seq`, if in range.
+    fn get(&self, seq: u64) -> Option<FeedEvent>;
+    /// FNV-1a digest over every event's wire encoding, in order —
+    /// what the [`FeedMsg::Eof`] frame carries.
+    fn digest(&self) -> QsResult<u64> {
+        let mut h = FnvHasher::new();
+        let mut buf = Vec::new();
+        for seq in 0..self.len() {
+            buf.clear();
+            self.get(seq)
+                .ok_or(QuicksandError::FeedProtocol {
+                    what: "source",
+                    detail: format!("event {seq} missing from source"),
+                })?
+                .encode(&mut buf)?;
+            h.update(&buf);
+        }
+        Ok(h.finish())
+    }
+}
+
+/// A feed of churn events — the generated month schedule, streamed.
+#[derive(Clone, Debug)]
+pub struct ChurnFeedSource {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnFeedSource {
+    /// Wraps a generated schedule.
+    pub fn new(events: Vec<ChurnEvent>) -> Self {
+        ChurnFeedSource { events }
+    }
+}
+
+impl FeedSource for ChurnFeedSource {
+    fn mode(&self) -> FeedMode {
+        FeedMode::Churn
+    }
+    fn len(&self) -> u64 {
+        self.events.len() as u64
+    }
+    fn get(&self, seq: u64) -> Option<FeedEvent> {
+        self.events
+            .get(usize::try_from(seq).ok()?)
+            .copied()
+            .map(FeedEvent::Link)
+    }
+}
+
+/// A feed of MRT-style update records, e.g. read from a QSMRT001 file.
+#[derive(Clone, Debug)]
+pub struct MrtFeedSource {
+    records: Vec<UpdateRecord>,
+}
+
+impl MrtFeedSource {
+    /// Wraps a record list.
+    pub fn new(records: Vec<UpdateRecord>) -> Self {
+        MrtFeedSource { records }
+    }
+
+    /// Reads a QSMRT001 stream (strict: corruption is an error).
+    pub fn from_reader(r: &mut impl Read) -> Result<Self, mrt::MrtError> {
+        Ok(MrtFeedSource {
+            records: mrt::read_log(r)?.records,
+        })
+    }
+}
+
+impl FeedSource for MrtFeedSource {
+    fn mode(&self) -> FeedMode {
+        FeedMode::Mrt
+    }
+    fn len(&self) -> u64 {
+        self.records.len() as u64
+    }
+    fn get(&self, seq: u64) -> Option<FeedEvent> {
+        self.records
+            .get(usize::try_from(seq).ok()?)
+            .cloned()
+            .map(FeedEvent::Update)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::SessionId;
+    use crate::msg::{Route, UpdateMessage};
+    use quicksand_net::Ipv4Prefix;
+
+    fn link(at_s: u64, a: u32, b: u32, up: bool) -> ChurnEvent {
+        ChurnEvent {
+            at: SimTime::from_secs(at_s),
+            change: LinkChange {
+                a: Asn(a),
+                b: Asn(b),
+                up,
+            },
+        }
+    }
+
+    fn update(at_s: u64) -> UpdateRecord {
+        let prefix: Ipv4Prefix = "78.46.0.0/15".parse().unwrap();
+        UpdateRecord {
+            at: SimTime::from_secs(at_s),
+            session: SessionId(3),
+            msg: UpdateMessage::Announce(Route {
+                prefix,
+                as_path: [Asn(3356), Asn(24940)].into_iter().collect(),
+                communities: Default::default(),
+            }),
+        }
+    }
+
+    #[test]
+    fn every_message_roundtrips_through_frames() {
+        let msgs = vec![
+            FeedMsg::Open {
+                peer: "cell-0".into(),
+                mode: FeedMode::Churn,
+                config_hash: 0xDEAD_BEEF,
+                hold_ms: 2000,
+            },
+            FeedMsg::Resume { cursor: 17 },
+            FeedMsg::Event {
+                seq: 41,
+                event: FeedEvent::Link(link(9, 1, 2, false)),
+            },
+            FeedMsg::Event {
+                seq: 42,
+                event: FeedEvent::Update(update(10)),
+            },
+            FeedMsg::Keepalive { at: 43 },
+            FeedMsg::Ack { cursor: 40 },
+            FeedMsg::Eof {
+                total: 44,
+                fnv: 0x1234_5678_9ABC_DEF0,
+            },
+        ];
+        for msg in msgs {
+            let frame = msg.to_frame().unwrap();
+            // Survives the actual wire codec, not just the type layer.
+            let wire = frame.encode().unwrap();
+            let mut dec = quicksand_net::FrameDecoder::new();
+            dec.push(&wire);
+            let back = dec.next_frame().unwrap().unwrap();
+            assert_eq!(FeedMsg::from_frame(&back).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_a_typed_protocol_error() {
+        let f = Frame::new(99, 0, Vec::new());
+        match FeedMsg::from_frame(&f) {
+            Err(QuicksandError::FeedProtocol { what, .. }) => assert_eq!(what, "frame_kind"),
+            other => panic!("expected FeedProtocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_protocol_errors() {
+        // Truncated open.
+        let f = Frame::new(KIND_OPEN, 0, vec![1, 2, 3]);
+        assert!(matches!(
+            FeedMsg::from_frame(&f),
+            Err(QuicksandError::FeedProtocol { what: "open", .. })
+        ));
+        // Event with an unknown tag.
+        let f = Frame::new(KIND_EVENT, 0, vec![9, 0, 0]);
+        assert!(matches!(
+            FeedMsg::from_frame(&f),
+            Err(QuicksandError::FeedProtocol { what: "event", .. })
+        ));
+        // Link event with a bad up flag.
+        let mut payload = Vec::new();
+        FeedEvent::Link(link(1, 2, 3, true)).encode(&mut payload).unwrap();
+        *payload.last_mut().unwrap() = 7;
+        assert!(FeedEvent::decode(&payload).is_err());
+        // Non-empty ack payload.
+        let f = Frame::new(KIND_ACK, 5, vec![0]);
+        assert!(FeedMsg::from_frame(&f).is_err());
+        // Eof with a short digest.
+        let f = Frame::new(KIND_EOF, 5, vec![0; 4]);
+        assert!(FeedMsg::from_frame(&f).is_err());
+        // Update event with trailing garbage.
+        let mut payload = Vec::new();
+        FeedEvent::Update(update(1)).encode(&mut payload).unwrap();
+        payload.push(0xFF);
+        assert!(FeedEvent::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn fnv64_matches_pinned_vector_and_incremental_fold() {
+        // FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let mut h = FnvHasher::new();
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finish(), fnv64(b"hello world"));
+    }
+
+    #[test]
+    fn sources_index_by_sequence_and_digest_deterministically() {
+        let churn = ChurnFeedSource::new(vec![link(1, 1, 2, false), link(2, 1, 2, true)]);
+        assert_eq!(churn.len(), 2);
+        assert_eq!(churn.mode(), FeedMode::Churn);
+        assert_eq!(
+            churn.get(1),
+            Some(FeedEvent::Link(link(2, 1, 2, true)))
+        );
+        assert_eq!(churn.get(2), None);
+        assert_eq!(churn.digest().unwrap(), churn.digest().unwrap());
+
+        let mrt_src = MrtFeedSource::new(vec![update(1), update(2)]);
+        assert_eq!(mrt_src.mode(), FeedMode::Mrt);
+        assert_eq!(mrt_src.get(0), Some(FeedEvent::Update(update(1))));
+        assert_ne!(
+            churn.digest().unwrap(),
+            mrt_src.digest().unwrap(),
+            "different feeds, different digests"
+        );
+    }
+
+    #[test]
+    fn mrt_source_reads_qsmrt_streams() {
+        use crate::collector::UpdateLog;
+        let log = UpdateLog {
+            records: vec![update(1), update(2), update(3)],
+        };
+        let mut buf = Vec::new();
+        mrt::write_log(&log, &mut buf).unwrap();
+        let src = MrtFeedSource::from_reader(&mut buf.as_slice()).unwrap();
+        assert_eq!(src.len(), 3);
+        assert_eq!(src.get(2), Some(FeedEvent::Update(update(3))));
+    }
+}

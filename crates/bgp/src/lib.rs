@@ -24,7 +24,12 @@
 //!   the phenomenon the paper measured).
 //! * [`fault`] — deterministic fault injection over collector feeds
 //!   (drops, duplicates, reordering, clock skew, session flaps, whole-
-//!   collector outages) for degraded-feed robustness studies.
+//!   collector outages) for degraded-feed robustness studies, plus
+//!   seeded connection-level faults for the streaming feed plane.
+//! * [`feed`] — the streaming feed protocol: typed session messages
+//!   (open/resume/event/keepalive/ack/eof) over the `quicksand-net`
+//!   frame codec, with cursor-addressable sources over churn schedules
+//!   and MRT logs.
 //! * [`metrics`] — the paper's §4 metrics: per-(session, prefix) path
 //!   changes, median-normalized ratios, and ≥5-minute extra-AS exposure.
 //! * [`mrt`] — a compact MRT-style binary format for persisting logs.
@@ -37,6 +42,7 @@ pub mod collector;
 mod event;
 mod fast;
 pub mod fault;
+pub mod feed;
 pub mod metrics;
 pub mod mrt;
 mod msg;
@@ -51,8 +57,11 @@ pub use collector::{
 pub use event::{EventSim, SimConfig, SimStats};
 pub use fast::FastConverge;
 pub use fault::{
-    CrashKind, FaultInjector, FaultProfile, FaultReport, FaultedFeed, ReplayChaosPlan,
-    ReplayCrash,
+    ConnChaosPlan, ConnFault, ConnFaultKind, CrashKind, FaultInjector, FaultProfile,
+    FaultReport, FaultedFeed, ReplayChaosPlan, ReplayCrash,
+};
+pub use feed::{
+    ChurnFeedSource, FeedEvent, FeedMode, FeedMsg, FeedSource, MrtFeedSource,
 };
 pub use msg::{Community, Route, UpdateMessage};
 pub use paths::{ExportCache, PathArena, PathId};

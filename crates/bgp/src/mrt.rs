@@ -83,52 +83,60 @@ fn get_u32(r: &mut impl Read) -> io::Result<u32> {
     Ok(u32::from_le_bytes(b))
 }
 
+/// Serialize one record in the QSMRT001 record layout (no magic
+/// header). This is the unit the streaming feed protocol ships per
+/// frame, so it is public: a record encoded here decodes with
+/// [`decode_record`] on the far side of the wire byte-identically.
+pub fn encode_record(rec: &UpdateRecord, w: &mut impl Write) -> Result<(), MrtError> {
+    put_u64(w, rec.at.0)?;
+    put_u32(w, rec.session.0)?;
+    match &rec.msg {
+        UpdateMessage::Announce(route) => {
+            w.write_all(&[1u8])?;
+            put_u32(w, route.prefix.network_u32())?;
+            w.write_all(&[route.prefix.len()])?;
+            let path = route.as_path.asns();
+            put_u16(
+                w,
+                u16::try_from(path.len()).map_err(|_| MrtError::Malformed("path too long"))?,
+            )?;
+            for a in path {
+                put_u32(w, a.0)?;
+            }
+            let comms: Vec<&Community> = route.communities.iter().collect();
+            w.write_all(&[u8::try_from(comms.len())
+                .map_err(|_| MrtError::Malformed("too many communities"))?])?;
+            for c in comms {
+                match c {
+                    Community::NoExport => {
+                        w.write_all(&[1u8])?;
+                        put_u32(w, 0)?;
+                    }
+                    Community::NoExportTo(a) => {
+                        w.write_all(&[2u8])?;
+                        put_u32(w, a.0)?;
+                    }
+                    Community::Opaque(v) => {
+                        w.write_all(&[3u8])?;
+                        put_u32(w, *v)?;
+                    }
+                }
+            }
+        }
+        UpdateMessage::Withdraw(p) => {
+            w.write_all(&[2u8])?;
+            put_u32(w, p.network_u32())?;
+            w.write_all(&[p.len()])?;
+        }
+    }
+    Ok(())
+}
+
 /// Serialize a log to a writer.
 pub fn write_log(log: &UpdateLog, w: &mut impl Write) -> Result<(), MrtError> {
     w.write_all(MAGIC)?;
     for rec in &log.records {
-        put_u64(w, rec.at.0)?;
-        put_u32(w, rec.session.0)?;
-        match &rec.msg {
-            UpdateMessage::Announce(route) => {
-                w.write_all(&[1u8])?;
-                put_u32(w, route.prefix.network_u32())?;
-                w.write_all(&[route.prefix.len()])?;
-                let path = route.as_path.asns();
-                put_u16(
-                    w,
-                    u16::try_from(path.len())
-                        .map_err(|_| MrtError::Malformed("path too long"))?,
-                )?;
-                for a in path {
-                    put_u32(w, a.0)?;
-                }
-                let comms: Vec<&Community> = route.communities.iter().collect();
-                w.write_all(&[u8::try_from(comms.len())
-                    .map_err(|_| MrtError::Malformed("too many communities"))?])?;
-                for c in comms {
-                    match c {
-                        Community::NoExport => {
-                            w.write_all(&[1u8])?;
-                            put_u32(w, 0)?;
-                        }
-                        Community::NoExportTo(a) => {
-                            w.write_all(&[2u8])?;
-                            put_u32(w, a.0)?;
-                        }
-                        Community::Opaque(v) => {
-                            w.write_all(&[3u8])?;
-                            put_u32(w, *v)?;
-                        }
-                    }
-                }
-            }
-            UpdateMessage::Withdraw(p) => {
-                w.write_all(&[2u8])?;
-                put_u32(w, p.network_u32())?;
-                w.write_all(&[p.len()])?;
-            }
-        }
+        encode_record(rec, w)?;
     }
     Ok(())
 }
@@ -208,8 +216,9 @@ pub fn read_log(r: &mut impl Read) -> Result<UpdateLog, MrtError> {
 /// Parse one record from `buf`, returning it and the bytes consumed.
 ///
 /// `Ok(None)` means `buf` is empty (clean end of stream). `Err` means
-/// the bytes are malformed or a record was cut off mid-field.
-fn parse_record(buf: &[u8]) -> Result<Option<(UpdateRecord, usize)>, MrtError> {
+/// the bytes are malformed or a record was cut off mid-field. Public
+/// counterpart of [`encode_record`] for the streaming feed plane.
+pub fn decode_record(buf: &[u8]) -> Result<Option<(UpdateRecord, usize)>, MrtError> {
     if buf.is_empty() {
         return Ok(None);
     }
@@ -287,7 +296,7 @@ pub fn read_log_lossy(r: &mut impl Read) -> Result<(UpdateLog, u64), MrtError> {
     let mut pos = MAGIC.len();
     let mut records = Vec::new();
     loop {
-        match parse_record(&buf[pos..]) {
+        match decode_record(&buf[pos..]) {
             Ok(None) => break,
             Ok(Some((rec, consumed))) => {
                 records.push(rec);

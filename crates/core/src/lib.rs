@@ -33,6 +33,7 @@ pub mod longterm;
 pub mod parallel;
 pub mod population;
 pub mod experiments;
+pub mod feed;
 pub mod report;
 pub mod scenario;
 pub mod supervise;
@@ -40,6 +41,10 @@ pub mod telemetry;
 pub mod temporal;
 
 pub use adversary::{ObservationMode, SegmentObservers};
+pub use feed::{
+    month_fnv, FeedBinding, FeedClient, FeedConfig, FeedServer, FeedSlot, PushOutcome,
+    ReconnectPolicy, StreamReport,
+};
 pub use parallel::{Parallelism, WorkerPool};
 pub use scenario::{MonthResult, Scenario, ScenarioConfig};
 pub use supervise::{
@@ -47,7 +52,10 @@ pub use supervise::{
     RestartPolicy, ScenarioJob, SuperviseConfig, Supervisor, SupervisorOutcome,
     WatchdogConfig,
 };
-pub use telemetry::{CellState, CellTelemetry, FleetTelemetry, TelemetryServer};
+pub use telemetry::{
+    CellState, CellTelemetry, FeedSessionTelemetry, FleetTelemetry, SessionState,
+    TelemetryServer,
+};
 
 #[cfg(test)]
 pub(crate) mod testworld {

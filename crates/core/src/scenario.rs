@@ -15,7 +15,7 @@
 
 use quicksand_bgp::metrics::PathTimeline;
 use quicksand_bgp::{
-    clean_session_resets, ChurnConfig, ChurnGenerator, CleaningConfig, Collector,
+    clean_session_resets, ChurnConfig, ChurnEvent, ChurnGenerator, CleaningConfig, Collector,
     CollectorConfig, ExportCache, FastConverge, FaultInjector, FaultProfile, FaultReport,
     LinkChange, PrefixTable, UpdateLog,
 };
@@ -31,6 +31,17 @@ use quicksand_tor::{
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Where the month replay's churn events come from: generated in-span
+/// from the scenario seed (batch mode), or delivered by a streaming
+/// feed session. Both drive the identical replay loop.
+enum ReplaySource<'a> {
+    /// Generate the pure-seeded schedule locally.
+    Generate,
+    /// Consume events as a feed session delivers them; an `Err` item
+    /// aborts the replay typed.
+    Stream(&'a mut dyn Iterator<Item = QsResult<ChurnEvent>>),
+}
 
 /// Configuration for [`Scenario::build`].
 #[derive(Clone, Debug)]
@@ -114,6 +125,18 @@ impl ScenarioConfig {
         cfg.n_sessions = 30;
         cfg.n_control_origins = 150;
         cfg
+    }
+
+    /// The scenario fingerprint checkpoints and feed sessions are
+    /// stamped with. Execution width is not scenario identity — output
+    /// is bitwise identical at any jobs count — so `parallelism` is
+    /// normalized away before fingerprinting. Equals
+    /// [`Scenario::config_hash`] of the built scenario, without the
+    /// cost of building it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut identity = self.clone();
+        identity.parallelism = Parallelism::default();
+        config_fingerprint(&identity)
     }
 }
 
@@ -270,9 +293,7 @@ impl Scenario {
     /// away before fingerprinting: a checkpoint taken at one `--jobs`
     /// value resumes under any other.
     pub fn config_hash(&self) -> u64 {
-        let mut identity = self.config.clone();
-        identity.parallelism = Parallelism::default();
-        config_fingerprint(&identity)
+        self.config.fingerprint()
     }
 
     /// Build the pipeline snapshot for a run of this scenario that has
@@ -315,6 +336,48 @@ impl Scenario {
     /// configuration, with only its mutable state carried over.
     pub fn run_month_checkpointed(
         &self,
+        resume: Option<&PipelineSnapshot>,
+        every: u64,
+        hook: impl FnMut(&PipelineSnapshot) -> HookAction,
+    ) -> QsResult<MonthResult> {
+        self.run_month_impl(ReplaySource::Generate, resume, every, hook)
+    }
+
+    /// The month's churn schedule, exactly as the batch replay would
+    /// generate it: a pure function of the scenario configuration, so
+    /// a feed client built from the same config streams the identical
+    /// event sequence the receiver would have generated locally.
+    pub fn churn_schedule(&self) -> Vec<ChurnEvent> {
+        ChurnGenerator::new(self.config.churn.clone())
+            .generate(&self.topo.graph, &self.topo.hosting)
+    }
+
+    /// [`Scenario::run_month_checkpointed`] over an externally supplied
+    /// event stream instead of the locally generated schedule — the
+    /// consumption side of the streaming feed plane (DESIGN.md §14).
+    ///
+    /// The stream yields churn events in schedule order; an `Err` item
+    /// (feed lost, graceful-restart expiry) aborts the run typed. When
+    /// the streamed events equal the generated schedule — which the
+    /// feed handshake's `config_hash` check establishes — the result is
+    /// bitwise identical to [`Scenario::run_month`]: the replay loop is
+    /// the same code either way, parameterized only by where events
+    /// come from. Resume semantics are unchanged: the stream always
+    /// starts at sequence 0 and events before the checkpoint cursor are
+    /// skipped, exactly as the batch path skips them.
+    pub fn run_month_streamed(
+        &self,
+        events: &mut dyn Iterator<Item = QsResult<ChurnEvent>>,
+        resume: Option<&PipelineSnapshot>,
+        every: u64,
+        hook: impl FnMut(&PipelineSnapshot) -> HookAction,
+    ) -> QsResult<MonthResult> {
+        self.run_month_impl(ReplaySource::Stream(events), resume, every, hook)
+    }
+
+    fn run_month_impl(
+        &self,
+        source: ReplaySource<'_>,
         resume: Option<&PipelineSnapshot>,
         every: u64,
         mut hook: impl FnMut(&PipelineSnapshot) -> HookAction,
@@ -434,22 +497,38 @@ impl Scenario {
         let replay_started = std::time::Instant::now();
         let n_events = obs::timed("churn", || -> QsResult<usize> {
             let _replay_span = obs::prof::span("churn", "replay");
-            let events = ChurnGenerator::new(self.config.churn.clone())
-                .generate(&self.topo.graph, &self.topo.hosting);
-            let n = events.len();
-            if cursor as usize > n {
-                return Err(QuicksandError::ResumeMismatch {
-                    what: "cursor",
-                    detail: format!(
-                        "checkpoint at event {cursor}, schedule has {n}"
-                    ),
-                });
+            // Batch mode generates the schedule inside the span (a pure
+            // function of the seed); streaming mode consumes whatever
+            // the feed session delivers. The replay below is identical
+            // either way.
+            let (known_total, mut events): (
+                Option<usize>,
+                Box<dyn Iterator<Item = QsResult<ChurnEvent>> + '_>,
+            ) = match source {
+                ReplaySource::Generate => {
+                    let events = self.churn_schedule();
+                    (Some(events.len()), Box::new(events.into_iter().map(Ok)))
+                }
+                ReplaySource::Stream(iter) => (None, Box::new(iter)),
+            };
+            if let Some(n) = known_total {
+                if cursor as usize > n {
+                    return Err(QuicksandError::ResumeMismatch {
+                        what: "cursor",
+                        detail: format!(
+                            "checkpoint at event {cursor}, schedule has {n}"
+                        ),
+                    });
+                }
             }
             // One prefix scratch for the whole replay: per-event lists
             // reuse its capacity instead of allocating.
             let mut prefixes: Vec<Ipv4Prefix> = Vec::new();
             let mut origin_of: Vec<Asn> = Vec::new();
-            for (i, ev) in events.into_iter().enumerate() {
+            let mut seen = 0usize;
+            for (i, ev) in events.by_ref().enumerate() {
+                let ev = ev?;
+                seen = i + 1;
                 // Events before the cursor were fully processed in the
                 // interrupted run; their routing effect is encoded in
                 // the restored down-link set and their records are in
@@ -488,6 +567,16 @@ impl Scenario {
                         return Err(QuicksandError::Interrupted { events_done: done });
                     }
                 }
+            }
+            let n = known_total.unwrap_or(seen);
+            if cursor as usize > n {
+                // A streamed feed's length is only known at EOF; a
+                // checkpoint past it is the same mismatch the batch
+                // path rejects up front.
+                return Err(QuicksandError::ResumeMismatch {
+                    what: "cursor",
+                    detail: format!("checkpoint at event {cursor}, schedule has {n}"),
+                });
             }
             Ok(n)
         })?;

@@ -35,6 +35,7 @@
 //! folded into the `supervisor` section of the run report
 //! (DESIGN.md §12).
 
+use crate::feed::FeedSlot;
 use crate::scenario::{MonthResult, Scenario, ScenarioConfig};
 use crate::telemetry::{CellState, CellTelemetry, FleetTelemetry};
 use quicksand_bgp::{CrashKind, ReplayChaosPlan};
@@ -283,16 +284,30 @@ pub struct ScenarioJob {
     /// Scripted crash injection (tests/chaos smoke). `None` in
     /// production.
     pub chaos: Option<ReplayChaosPlan>,
+    /// Streamed ingest: when set, the cell replays churn from this
+    /// feed slot (fed by a [`crate::feed::FeedServer`] session)
+    /// instead of generating the schedule locally. The replay loop is
+    /// identical either way, so a feed that streams the generated
+    /// schedule yields a bitwise-identical [`MonthResult`].
+    pub feed: Option<Arc<FeedSlot>>,
+    /// After a streamed run completes, re-run the month from the
+    /// locally generated schedule and compare fingerprints
+    /// ([`crate::feed::month_fnv`] plus the cleaned log), publishing
+    /// `feed.identity_ok` / `feed.identity_mismatch` on the
+    /// supervisor's registry. Ignored without `feed`.
+    pub feed_verify: bool,
 }
 
 impl ScenarioJob {
-    /// A job with no checkpoint store and no chaos.
+    /// A job with no checkpoint store, no chaos, and no feed.
     pub fn new(label: impl Into<String>, config: ScenarioConfig) -> Self {
         ScenarioJob {
             label: label.into(),
             config,
             store_dir: None,
             chaos: None,
+            feed: None,
+            feed_verify: false,
         }
     }
 }
@@ -530,10 +545,7 @@ impl ScenarioCell<'_> {
                         })?,
                         None => None,
                     };
-                    scenario.run_month_checkpointed(
-                        resume.as_ref().map(|(snap, _)| snap),
-                        self.cfg.checkpoint_every,
-                        |snap| {
+                    let hook = |snap: &quicksand_recover::PipelineSnapshot| {
                             // Persist BEFORE anything can fail, so a
                             // crash at cursor K restarts from K.
                             if let Some(s) = &store {
@@ -587,14 +599,76 @@ impl ScenarioCell<'_> {
                             } else {
                                 HookAction::Continue
                             }
-                        },
-                    )
+                        };
+                    let resume_snap = resume.as_ref().map(|(snap, _)| snap);
+                    match &self.job.feed {
+                        None => scenario.run_month_checkpointed(
+                            resume_snap,
+                            self.cfg.checkpoint_every,
+                            hook,
+                        ),
+                        Some(slot) => {
+                            // Streamed ingest: the cell consumes its
+                            // feed slot, beating the watchdog on every
+                            // poll tick so waiting-for-the-network is
+                            // not mistaken for a stall — the slot's own
+                            // graceful-restart timer is the typed
+                            // escape from a feed that never returns.
+                            let beat = &self.beat;
+                            let telem = &self.telem;
+                            let mut events = slot.churn_iter(|| {
+                                let cursor = beat.cursor.load(Ordering::Acquire);
+                                beat.beat(cursor);
+                                telem.touch(cursor);
+                            });
+                            scenario.run_month_streamed(
+                                &mut events,
+                                resume_snap,
+                                self.cfg.checkpoint_every,
+                                hook,
+                            )
+                        }
+                    }
                 }))
             }));
             self.beat.set_running(false);
             let cursor = self.beat.cursor.load(Ordering::Acquire);
             let (kind, detail) = match run {
                 Ok(Ok(month)) => {
+                    if self.job.feed.is_some() && self.job.feed_verify {
+                        // The streamed month must be bitwise-identical
+                        // to a batch replay of the same config: re-run
+                        // from the locally generated schedule (under a
+                        // scratch registry so the verification replay
+                        // pollutes no one's metrics) and compare raw-
+                        // log fingerprints plus the cleaned log.
+                        let scratch = Arc::new(Registry::new());
+                        let batch = obs::with_metrics(scratch, || scenario.run_month());
+                        let identical = match &batch {
+                            Ok(b) => {
+                                crate::feed::month_fnv(b) == crate::feed::month_fnv(&month)
+                                    && b.cleaned.records == month.cleaned.records
+                            }
+                            Err(_) => false,
+                        };
+                        if identical {
+                            self.parent
+                                .incr(Key::stage(crate::feed::STAGE, "identity_ok"), 1);
+                        } else {
+                            self.parent.incr(
+                                Key::stage(crate::feed::STAGE, "identity_mismatch"),
+                                1,
+                            );
+                            self.emit(
+                                "feed-identity-mismatch",
+                                format!(
+                                    "cell {} streamed month diverges from its batch twin",
+                                    self.id
+                                ),
+                                cursor,
+                            );
+                        }
+                    }
                     self.parent.incr(Key::stage(STAGE, "completed"), 1);
                     self.telem.set_state(CellState::Completed);
                     self.telem.set_counts(

@@ -5,12 +5,16 @@
 //! debugger. This module publishes the fleet's state over plain HTTP:
 //!
 //! * `/metrics` — Prometheus text exposition: the supervisor registry
-//!   unlabeled, every cell registry labeled `cell="K"`, plus synthetic
-//!   per-cell series (state, heartbeat age, cursor, restarts, trips);
+//!   unlabeled, every cell registry labeled `cell="K"`, synthetic
+//!   per-cell series (state, heartbeat age, cursor, restarts, trips),
+//!   and per-feed-session series (`quicksand_feed_*`: FSM state,
+//!   staleness, acked cursor, connects, reaps, dead letters);
 //! * `/healthz` — `200 ok` while every running cell has beaten within
-//!   2× the watchdog deadline, `503` otherwise (load balancers and CI
+//!   2× the watchdog deadline *and* at least one live feed session is
+//!   within its hold time, `503` otherwise (load balancers and CI
 //!   probes need a yes/no, not a metrics dump);
-//! * `/cells` — one JSON object per cell for humans and scripts.
+//! * `/cells` — one JSON object per cell for humans and scripts, with
+//!   feed session state embedded under `"feed"` where one is bound.
 //!
 //! [`FleetTelemetry`] is the shared state: the supervisor updates it
 //! from [`crate::supervise`] at every admission, heartbeat, failure,
@@ -81,6 +85,178 @@ impl CellState {
             self,
             CellState::Completed | CellState::Quarantined | CellState::Failed
         )
+    }
+}
+
+/// FSM state of one streaming feed session (DESIGN.md §14): `Idle`
+/// between connections, `Connect` while the handshake is in flight,
+/// `Established` while events stream. A reaped or disconnected session
+/// returns to `Idle` and waits out the graceful-restart window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SessionState {
+    /// No peer connected.
+    Idle = 0,
+    /// A peer connected, handshake (Open/Resume) not yet complete.
+    Connect = 1,
+    /// Events streaming; the hold timer is armed.
+    Established = 2,
+}
+
+impl SessionState {
+    /// Stable lowercase name (`"idle"`, `"connect"`, `"established"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SessionState::Idle => "idle",
+            SessionState::Connect => "connect",
+            SessionState::Established => "established",
+        }
+    }
+
+    fn from_u8(v: u8) -> SessionState {
+        match v {
+            1 => SessionState::Connect,
+            2 => SessionState::Established,
+            _ => SessionState::Idle,
+        }
+    }
+}
+
+/// Live view of one feed session, updated by the feed server's session
+/// threads and read by the scrape endpoint. All fields are atomics, so
+/// scraping never blocks ingest.
+pub struct FeedSessionTelemetry {
+    /// The supervised cell this feed drives, if any (MRT sink sessions
+    /// have no cell).
+    pub cell: Option<usize>,
+    /// The peer label from the session's `Open` handshake binding.
+    pub peer: String,
+    hold_ms: AtomicU64,
+    state: AtomicU8,
+    last_frame_ms: AtomicU64,
+    acked: AtomicU64,
+    connects: AtomicU64,
+    reaps: AtomicU64,
+    last_reap_cursor: AtomicU64,
+    dead_letters: AtomicU64,
+    eof: AtomicBool,
+}
+
+impl FeedSessionTelemetry {
+    pub(crate) fn new(cell: Option<usize>, peer: String, hold_ms: u64) -> FeedSessionTelemetry {
+        FeedSessionTelemetry {
+            cell,
+            peer,
+            hold_ms: AtomicU64::new(hold_ms),
+            state: AtomicU8::new(SessionState::Idle as u8),
+            // Registration counts as activity: a binding nobody has
+            // connected to yet ages from now, not from the epoch.
+            last_frame_ms: AtomicU64::new(monotonic_ms()),
+            acked: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+            reaps: AtomicU64::new(0),
+            last_reap_cursor: AtomicU64::new(0),
+            dead_letters: AtomicU64::new(0),
+            eof: AtomicBool::new(false),
+        }
+    }
+
+    /// Transition the session FSM; entering any connected state also
+    /// counts as frame activity.
+    pub fn set_state(&self, state: SessionState) {
+        self.state.store(state as u8, Ordering::Release);
+        if state != SessionState::Idle {
+            self.touch();
+        }
+    }
+
+    /// Publish the negotiated hold time (BGP-style: the smaller of the
+    /// server's configured hold and the client's proposal).
+    pub fn set_hold_ms(&self, hold_ms: u64) {
+        self.hold_ms.store(hold_ms, Ordering::Release);
+    }
+
+    /// Record frame activity (any frame refreshes the hold timer).
+    pub fn touch(&self) {
+        self.last_frame_ms.store(monotonic_ms(), Ordering::Release);
+    }
+
+    /// Publish the cumulative acknowledged cursor.
+    pub fn set_acked(&self, acked: u64) {
+        self.acked.store(acked, Ordering::Release);
+    }
+
+    /// Count a (re)connection.
+    pub fn on_connect(&self) {
+        self.connects.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Count a hold-timer reap at the given acknowledged cursor.
+    pub fn on_reap(&self, cursor: u64) {
+        self.last_reap_cursor.store(cursor, Ordering::Release);
+        self.reaps.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Count a quarantined malformed frame / protocol violation.
+    pub fn on_dead_letter(&self) {
+        self.dead_letters.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Mark the feed complete (EOF accepted); complete sessions are
+    /// excluded from staleness health.
+    pub fn set_eof(&self) {
+        self.eof.store(true, Ordering::Release);
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> SessionState {
+        SessionState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// The session's hold time in wall milliseconds.
+    pub fn hold_ms(&self) -> u64 {
+        self.hold_ms.load(Ordering::Acquire)
+    }
+
+    /// Milliseconds since the last frame (or registration).
+    pub fn staleness_ms(&self) -> u64 {
+        monotonic_ms().saturating_sub(self.last_frame_ms.load(Ordering::Acquire))
+    }
+
+    /// Cumulative acknowledged cursor.
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Acquire)
+    }
+
+    /// Total (re)connections.
+    pub fn connects(&self) -> u64 {
+        self.connects.load(Ordering::Acquire)
+    }
+
+    /// Total hold-timer reaps.
+    pub fn reaps(&self) -> u64 {
+        self.reaps.load(Ordering::Acquire)
+    }
+
+    /// The acknowledged cursor at the most recent reap.
+    pub fn last_reap_cursor(&self) -> u64 {
+        self.last_reap_cursor.load(Ordering::Acquire)
+    }
+
+    /// Total dead-lettered frames.
+    pub fn dead_letters(&self) -> u64 {
+        self.dead_letters.load(Ordering::Acquire)
+    }
+
+    /// True once EOF was accepted.
+    pub fn eof(&self) -> bool {
+        self.eof.load(Ordering::Acquire)
+    }
+
+    /// True while the session counts toward staleness health: not yet
+    /// complete and silent past its hold time.
+    pub fn past_hold(&self) -> bool {
+        !self.eof() && self.staleness_ms() > self.hold_ms()
     }
 }
 
@@ -175,6 +351,7 @@ pub struct FleetTelemetry {
     supervisor: Mutex<Arc<Registry>>,
     deadline_ms: AtomicU64,
     cells: Mutex<Vec<Arc<CellTelemetry>>>,
+    feeds: Mutex<Vec<Arc<FeedSessionTelemetry>>>,
 }
 
 impl FleetTelemetry {
@@ -185,6 +362,7 @@ impl FleetTelemetry {
             supervisor: Mutex::new(supervisor),
             deadline_ms: AtomicU64::new(0),
             cells: Mutex::new(Vec::new()),
+            feeds: Mutex::new(Vec::new()),
         }
     }
 
@@ -206,6 +384,30 @@ impl FleetTelemetry {
     /// Snapshot the registered cells.
     pub fn cells(&self) -> Vec<Arc<CellTelemetry>> {
         self.cells
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Register a feed session bound to `peer` (optionally driving cell
+    /// `cell`) with the given hold time; returns its live view.
+    pub fn add_feed_session(
+        &self,
+        cell: Option<usize>,
+        peer: &str,
+        hold_ms: u64,
+    ) -> Arc<FeedSessionTelemetry> {
+        let sess = Arc::new(FeedSessionTelemetry::new(cell, peer.to_string(), hold_ms));
+        self.feeds
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(sess.clone());
+        sess
+    }
+
+    /// Snapshot the registered feed sessions.
+    pub fn feed_sessions(&self) -> Vec<Arc<FeedSessionTelemetry>> {
+        self.feeds
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
@@ -263,14 +465,45 @@ impl FleetTelemetry {
                 );
             }
         }
+        for sess in self.feed_sessions() {
+            let peer = escape_label(&sess.peer);
+            let labels = format!("{{peer=\"{peer}\"}}");
+            let _ = writeln!(
+                out,
+                "quicksand_feed_state{{peer=\"{peer}\",state=\"{}\"}} 1",
+                sess.state().as_str()
+            );
+            let _ = writeln!(
+                out,
+                "quicksand_feed_staleness_ms{labels} {}",
+                sess.staleness_ms()
+            );
+            let _ = writeln!(out, "quicksand_feed_acked{labels} {}", sess.acked());
+            let _ = writeln!(
+                out,
+                "quicksand_feed_connects_total{labels} {}",
+                sess.connects()
+            );
+            let _ = writeln!(out, "quicksand_feed_reaps_total{labels} {}", sess.reaps());
+            let _ = writeln!(
+                out,
+                "quicksand_feed_dead_letters_total{labels} {}",
+                sess.dead_letters()
+            );
+            let _ = writeln!(out, "quicksand_feed_eof{labels} {}", u64::from(sess.eof()));
+        }
         out
     }
 
     /// The `/healthz` verdict: `(healthy, body)`. Healthy while every
     /// *running* cell has beaten within 2× the watchdog deadline (the
     /// watchdog itself needs one full deadline to trip; the probe only
-    /// alarms when even that failed). A fleet with no running cells is
-    /// vacuously healthy.
+    /// alarms when even that failed) AND, when feed sessions exist, at
+    /// least one incomplete session is still within its hold time
+    /// (graceful restart tolerates individual peers dropping; the probe
+    /// alarms only when *every* live feed has gone silent past hold). A
+    /// fleet with no running cells and no live feeds is vacuously
+    /// healthy.
     pub fn healthz(&self) -> (bool, String) {
         let deadline = self.deadline_ms.load(Ordering::Acquire).max(1);
         let mut stale = Vec::new();
@@ -282,22 +515,36 @@ impl FleetTelemetry {
             // (set_state(Running) touched the beat), so this is Some.
             let age = cell.beat_age_ms().unwrap_or(u64::MAX);
             if age > deadline.saturating_mul(2) {
-                stale.push((cell.id, age));
+                stale.push(format!("cell {} stale for {}ms", cell.id, age));
+            }
+        }
+        let live: Vec<Arc<FeedSessionTelemetry>> = self
+            .feed_sessions()
+            .into_iter()
+            .filter(|s| !s.eof())
+            .collect();
+        if !live.is_empty() && live.iter().all(|s| s.past_hold()) {
+            for sess in &live {
+                stale.push(format!(
+                    "feed {} silent for {}ms (hold {}ms)",
+                    sess.peer,
+                    sess.staleness_ms(),
+                    sess.hold_ms()
+                ));
             }
         }
         if stale.is_empty() {
             (true, "ok\n".to_string())
         } else {
-            let lines: Vec<String> = stale
-                .iter()
-                .map(|(id, age)| format!("cell {id} stale for {age}ms"))
-                .collect();
-            (false, format!("stale\n{}\n", lines.join("\n")))
+            (false, format!("stale\n{}\n", stale.join("\n")))
         }
     }
 
-    /// The `/cells` page: a JSON array, one object per cell.
+    /// The `/cells` page: a JSON array, one object per cell. A cell
+    /// driven by a streaming feed session embeds that session's state
+    /// under a `"feed"` key.
     pub fn render_cells_json(&self) -> String {
+        let feeds = self.feed_sessions();
         let mut out = String::from("[");
         for (i, cell) in self.cells().iter().enumerate() {
             if i > 0 {
@@ -305,7 +552,7 @@ impl FleetTelemetry {
             }
             out.push_str(&format!(
                 "{{\"cell\":{},\"label\":\"{}\",\"state\":\"{}\",\"cursor\":{},\
-                 \"beat_age_ms\":{},\"restarts\":{},\"watchdog_trips\":{}}}",
+                 \"beat_age_ms\":{},\"restarts\":{},\"watchdog_trips\":{}",
                 cell.id,
                 escape_json(&cell.label),
                 cell.state().as_str(),
@@ -314,10 +561,32 @@ impl FleetTelemetry {
                 cell.restarts.load(Ordering::Acquire),
                 cell.trips.load(Ordering::Acquire),
             ));
+            if let Some(sess) = feeds.iter().find(|s| s.cell == Some(cell.id)) {
+                out.push_str(&format!(",\"feed\":{}", feed_session_json(sess)));
+            }
+            out.push('}');
         }
         out.push_str("]\n");
         out
     }
+}
+
+fn feed_session_json(sess: &FeedSessionTelemetry) -> String {
+    format!(
+        "{{\"peer\":\"{}\",\"state\":\"{}\",\"acked\":{},\"staleness_ms\":{},\
+         \"hold_ms\":{},\"connects\":{},\"reaps\":{},\"last_reap_cursor\":{},\
+         \"dead_letters\":{},\"eof\":{}}}",
+        escape_json(&sess.peer),
+        sess.state().as_str(),
+        sess.acked(),
+        sess.staleness_ms(),
+        sess.hold_ms(),
+        sess.connects(),
+        sess.reaps(),
+        sess.last_reap_cursor(),
+        sess.dead_letters(),
+        sess.eof(),
+    )
 }
 
 fn escape_label(v: &str) -> String {
@@ -589,5 +858,83 @@ mod tests {
         let b = monotonic_ms();
         assert!(a >= 1);
         assert!(b >= a);
+    }
+
+    #[test]
+    fn feed_session_state_round_trips_and_counts() {
+        let (fleet, _cell) = fleet_with_one_cell();
+        let sess = fleet.add_feed_session(Some(0), "ris-peer", 2_000);
+        assert_eq!(sess.state(), SessionState::Idle);
+        sess.on_connect();
+        sess.set_state(SessionState::Connect);
+        sess.set_state(SessionState::Established);
+        sess.set_acked(17);
+        sess.on_dead_letter();
+        sess.on_reap(17);
+        assert_eq!(sess.state(), SessionState::Established);
+        assert_eq!(sess.acked(), 17);
+        assert_eq!(sess.connects(), 1);
+        assert_eq!(sess.reaps(), 1);
+        assert_eq!(sess.last_reap_cursor(), 17);
+        assert_eq!(sess.dead_letters(), 1);
+        assert!(!sess.eof());
+        for (tag, state) in [
+            (0u8, SessionState::Idle),
+            (1, SessionState::Connect),
+            (2, SessionState::Established),
+            (99, SessionState::Idle),
+        ] {
+            assert_eq!(SessionState::from_u8(tag), state);
+        }
+    }
+
+    #[test]
+    fn healthz_alarms_only_when_all_live_feeds_pass_hold() {
+        let (fleet, _cell) = fleet_with_one_cell();
+        // Hold of 0ms: stale as soon as any time passes.
+        let a = fleet.add_feed_session(Some(0), "peer-a", 0);
+        let b = fleet.add_feed_session(None, "peer-b", 3_600_000);
+        std::thread::sleep(Duration::from_millis(5));
+        // One fresh session keeps the fleet healthy.
+        assert!(fleet.healthz().0, "peer-b within hold keeps healthz ok");
+        // Mark the fresh one complete: only the stale one is live.
+        b.set_eof();
+        let (healthy, body) = fleet.healthz();
+        assert!(!healthy, "all live feeds past hold must 503");
+        assert!(body.contains("feed peer-a silent"), "body: {body}");
+        // Activity on the stale session restores health.
+        a.touch();
+        assert!(fleet.healthz().0);
+        // All sessions complete: vacuously healthy.
+        a.set_eof();
+        assert!(fleet.healthz().0);
+    }
+
+    #[test]
+    fn metrics_and_cells_json_carry_feed_series() {
+        let (fleet, _cell) = fleet_with_one_cell();
+        let sess = fleet.add_feed_session(Some(0), "ris-peer", 2_000);
+        sess.set_state(SessionState::Established);
+        sess.set_acked(42);
+        let page = fleet.render_metrics();
+        assert!(page.contains("quicksand_feed_state{peer=\"ris-peer\",state=\"established\"} 1"));
+        assert!(page.contains("quicksand_feed_acked{peer=\"ris-peer\"} 42"));
+        assert!(page.contains("quicksand_feed_eof{peer=\"ris-peer\"} 0"));
+        let json = fleet.render_cells_json();
+        let v: serde::Value = serde_json::from_str(json.trim()).expect("valid JSON");
+        let cells = v.as_seq().expect("array");
+        let feed = cells[0].field("feed").expect("cell 0 embeds its feed");
+        assert_eq!(
+            feed.field("state").and_then(|v| v.as_str()),
+            Some("established")
+        );
+        assert_eq!(
+            match feed.field("acked") {
+                Some(serde::Value::U64(n)) => Some(*n),
+                Some(serde::Value::I64(n)) => Some(*n as u64),
+                _ => None,
+            },
+            Some(42)
+        );
     }
 }

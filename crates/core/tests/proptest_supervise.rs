@@ -143,6 +143,8 @@ fn kill_and_auto_restart_matches_uninterrupted_run_bitwise() {
             config: ScenarioConfig::small(seed),
             store_dir: Some(dir.clone()),
             chaos: Some(ReplayChaosPlan::single(0, 40, CrashKind::Panic)),
+            feed: None,
+            feed_verify: false,
         });
         sup.run()
     });
@@ -218,6 +220,8 @@ fn persistent_crasher_is_quarantined_after_the_budget() {
             store_dir: Some(dir.clone()),
             // Crashes attempts 0, 1, 2, ... — more than the budget.
             chaos: Some(ReplayChaosPlan::persistent(8, 40, CrashKind::Panic)),
+            feed: None,
+            feed_verify: false,
         });
         sup.run()
     });

@@ -52,6 +52,30 @@ pub enum QuicksandError {
         /// Expected vs found.
         detail: String,
     },
+    /// A streaming feed peer violated the session protocol (bad
+    /// handshake, cursor gap, wrong event kind for the session mode).
+    FeedProtocol {
+        /// The violated rule (e.g. `config_hash`, `cursor_gap`).
+        what: &'static str,
+        /// What the peer actually sent.
+        detail: String,
+    },
+    /// The graceful-restart window expired: every peer stayed gone past
+    /// the restart timer, so retained stale state was abandoned.
+    FeedRestartExpired {
+        /// Events fully delivered before the feed went silent.
+        cursor: u64,
+        /// How long the feed was silent, in wall milliseconds.
+        silent_ms: u64,
+    },
+    /// A feed client exhausted its reconnect budget without
+    /// re-establishing a session.
+    FeedLost {
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The last transport-level failure observed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for QuicksandError {
@@ -79,6 +103,17 @@ impl fmt::Display for QuicksandError {
             QuicksandError::ResumeMismatch { what, detail } => {
                 write!(f, "resume mismatch: {what}: {detail}")
             }
+            QuicksandError::FeedProtocol { what, detail } => {
+                write!(f, "feed protocol violation: {what}: {detail}")
+            }
+            QuicksandError::FeedRestartExpired { cursor, silent_ms } => write!(
+                f,
+                "feed graceful-restart window expired at cursor {cursor} \
+                 after {silent_ms}ms of silence"
+            ),
+            QuicksandError::FeedLost { attempts, detail } => {
+                write!(f, "feed lost after {attempts} connect attempts: {detail}")
+            }
         }
     }
 }
@@ -104,5 +139,20 @@ mod tests {
             silent_for: SimDuration::from_secs(90),
         };
         assert!(e.to_string().contains("session 3"));
+        let e = QuicksandError::FeedProtocol {
+            what: "cursor_gap",
+            detail: "expected 7, got 12".into(),
+        };
+        assert!(e.to_string().contains("cursor_gap"));
+        let e = QuicksandError::FeedRestartExpired {
+            cursor: 41,
+            silent_ms: 5000,
+        };
+        assert!(e.to_string().contains("cursor 41"));
+        let e = QuicksandError::FeedLost {
+            attempts: 4,
+            detail: "connection refused".into(),
+        };
+        assert!(e.to_string().contains("4 connect attempts"));
     }
 }

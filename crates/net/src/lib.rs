@@ -15,6 +15,8 @@
 //! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time.
 //! * [`QuicksandError`] — the typed error vocabulary of the collector →
 //!   monitor pipeline (invalid config, downed sessions, stale feeds).
+//! * [`frame`] — the length-prefixed, CRC-checksummed frame codec the
+//!   streaming feed plane speaks over TCP.
 //!
 //! Everything is plain data: `Copy` where cheap, deterministic `Ord`
 //! implementations so collections iterate reproducibly, and `serde`
@@ -27,6 +29,7 @@
 mod asn;
 mod aspath;
 mod error;
+pub mod frame;
 mod prefix;
 mod time;
 mod trie;
@@ -34,6 +37,7 @@ mod trie;
 pub use asn::Asn;
 pub use aspath::AsPath;
 pub use error::{QsResult, QuicksandError};
+pub use frame::{read_frame, Frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
 pub use prefix::{Ipv4Prefix, PrefixParseError};
 pub use time::{SimDuration, SimTime};
 pub use trie::PrefixTrie;

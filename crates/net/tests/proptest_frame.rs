@@ -1,0 +1,137 @@
+//! Property tests for the feed frame codec, mirroring the checkpoint
+//! codec gates in `quicksand-recover`: arbitrary frames round-trip
+//! bit-exactly through any chunking, and *any* single-byte corruption
+//! or truncation of the wire bytes is rejected with a typed error —
+//! never a panic, never a silently different frame.
+
+use proptest::prelude::*;
+use quicksand_net::frame::FRAME_OVERHEAD;
+use quicksand_net::{Frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        any::<u8>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(kind, cursor, payload)| Frame::new(kind, cursor, payload))
+}
+
+/// Decodes a complete buffer: every frame must parse and no partial
+/// frame may remain. This is exactly what a session does over the life
+/// of one connection, so "this buffer is corrupt" and "this function
+/// errors" coincide.
+fn decode_all(bytes: &[u8]) -> Result<Vec<Frame>, FrameError> {
+    let mut dec = FrameDecoder::new();
+    dec.push(bytes);
+    let mut out = Vec::new();
+    while let Some(f) = dec.next_frame()? {
+        out.push(f);
+    }
+    dec.finish()?;
+    Ok(out)
+}
+
+proptest! {
+    /// Any frame survives encode → decode bit-exactly, regardless of
+    /// how the transport chunks the bytes.
+    #[test]
+    fn arbitrary_frame_roundtrips_under_any_chunking(
+        frame in arb_frame(),
+        chunk in 1usize..32,
+    ) {
+        let wire = frame.encode().unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            dec.push(piece);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        dec.finish().unwrap();
+        prop_assert_eq!(got, vec![frame]);
+    }
+
+    /// Flipping any byte with any nonzero mask is caught typed. Bytes
+    /// inside the checksummed span (kind/cursor/payload/crc) trip the
+    /// CRC deterministically — CRC-32 detects every ≤32-bit burst — and
+    /// a corrupted length prefix either declares an impossible size,
+    /// leaves the buffer mid-frame, or shifts the CRC window onto bytes
+    /// that no longer checksum.
+    #[test]
+    fn any_single_byte_corruption_is_rejected(
+        frame in arb_frame(),
+        idx in any::<prop::sample::Index>(),
+        mask in 1u8..=255,
+    ) {
+        let mut wire = frame.encode().unwrap();
+        let i = idx.index(wire.len());
+        wire[i] ^= mask;
+        let err = decode_all(&wire).expect_err("corrupted frame must not decode");
+        if i >= 4 {
+            // Inside the checksummed span: must be the CRC, specifically.
+            prop_assert!(
+                matches!(err, FrameError::ChecksumMismatch { .. }),
+                "byte {}: {}", i, err
+            );
+        } else {
+            prop_assert!(
+                matches!(
+                    err,
+                    FrameError::Oversize { .. }
+                        | FrameError::Malformed(_)
+                        | FrameError::Truncated(_)
+                        | FrameError::ChecksumMismatch { .. }
+                ),
+                "byte {}: {}", i, err
+            );
+        }
+    }
+
+    /// Any strict prefix of the wire bytes is a typed truncation: the
+    /// decoder reports "need more", and declaring end-of-stream there
+    /// fails rather than yielding a partial frame.
+    #[test]
+    fn any_truncation_is_rejected(
+        frame in arb_frame(),
+        idx in any::<prop::sample::Index>(),
+    ) {
+        let wire = frame.encode().unwrap();
+        // cut in [1, len): empty input is legitimately "no frames yet",
+        // so start at one byte.
+        let cut = 1 + idx.index(wire.len() - 1);
+        let err = decode_all(&wire[..cut]).expect_err("partial frame must not decode");
+        prop_assert!(
+            matches!(err, FrameError::Truncated(_)),
+            "cut {}: {}", cut, err
+        );
+    }
+
+    /// A declared length past the ceiling is rejected before any
+    /// buffering, whatever follows it.
+    #[test]
+    fn oversize_declarations_are_rejected(
+        frame in arb_frame(),
+        excess in 1u32..1024,
+    ) {
+        let mut wire = frame.encode().unwrap();
+        wire[..4].copy_from_slice(&(MAX_FRAME_LEN + excess).to_le_bytes());
+        prop_assert!(matches!(
+            decode_all(&wire),
+            Err(FrameError::Oversize { .. })
+        ));
+    }
+
+    /// A declared length below the frame's own fixed fields is
+    /// structurally malformed.
+    #[test]
+    fn undersize_declarations_are_rejected(
+        frame in arb_frame(),
+        len in 0u32..(FRAME_OVERHEAD as u32),
+    ) {
+        let mut wire = frame.encode().unwrap();
+        wire[..4].copy_from_slice(&len.to_le_bytes());
+        prop_assert!(matches!(decode_all(&wire), Err(FrameError::Malformed(_))));
+    }
+}

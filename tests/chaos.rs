@@ -589,6 +589,8 @@ mod storm {
                 config: ScenarioConfig::small(BASE_SEED + i as u64),
                 store_dir: Some(dir.join(format!("cell-{i}"))),
                 chaos: plan.clone(),
+                feed: None,
+                feed_verify: false,
             });
         }
     }
