@@ -4,15 +4,17 @@
 //! ```text
 //! repro [all|table1|fig2-left|fig2-right|fig3-left|fig3-right|model|
 //!        hijack|intercept|convergence|ixp|population|static-vs-dynamic|
-//!        stealth|longterm|countermeasures|chaos] [--small] [--jobs=N]
+//!        stealth|longterm|countermeasures|chaos]
+//!        [--small|--medium|--large|--scale=SPEC] [--jobs=N]
 //!        [--intensity=<0..1>] [--obs-out=run.json] [--obs-jsonl=run.jsonl]
 //!        [--profile-out=PATH] [--profile-sample=N] [--log-level=SPEC]
 //!        [--checkpoint-every=N] [--checkpoint-dir=DIR] [--resume-from=PATH]
 //!        [--halt-after=K] [-v|--verbose] [-q|--quiet]
 //! repro report [--check] <run.json> [other.json]
-//! repro bench-snapshot [--small|--medium] [--jobs=N]
+//! repro bench-snapshot [--small|--medium|--large|--scale=SPEC] [--jobs=N]
 //!        [--bench-out=BENCH_monthreplay.json] [--baseline=PATH]
-//! repro serve [--small] [--cells=N] [--width=K] [--seed=S]
+//! repro serve [--small|--medium|--large|--scale=SPEC]
+//!        [--cells=N] [--width=K] [--seed=S]
 //!        [--checkpoint-every=N] [--checkpoint-dir=DIR] [--max-restarts=R]
 //!        [--storm=K] [--storm-seed=S] [--stall-ms=MS] [--deadline-ms=MS]
 //!        [--queue-cap=Q] [--obs-out=run.json] [--telemetry-addr=HOST:PORT]
@@ -20,14 +22,22 @@
 //!        [--feed-addr=HOST:PORT] [--feed-addr-file=PATH]
 //!        [--feed-hold-ms=MS] [--feed-restart-ms=MS]
 //!        [--log-level=SPEC] [-v|--verbose] [-q|--quiet]
-//! repro feed --connect=HOST:PORT [--peer=NAME] [--seed=S] [--small]
+//! repro feed --connect=HOST:PORT [--peer=NAME] [--seed=S]
+//!        [--small|--medium|--large|--scale=SPEC]
 //!        [--mrt=PATH] [--kill-after=N] [--hold-ms=MS] [--max-attempts=N]
 //!        [--backoff-base-ms=MS] [--backoff-cap-ms=MS] [--backoff-seed=S]
 //!        [--log-level=SPEC] [-v|--verbose] [-q|--quiet]
 //! ```
 //!
-//! `--small` runs the test-scale configuration (seconds instead of
-//! minutes); the default full scale is what EXPERIMENTS.md records.
+//! One scale knob sizes every scenario-building subcommand:
+//! `--scale=small|medium|large` (or the `--small`/`--medium`/`--large`
+//! shorthands) selects a tier, and `--scale=key=value,...` overrides
+//! individual [`ScaleSpec`](quicksand_core::ScaleSpec) fields on top of
+//! the large tier (e.g. `--scale=n_ases=30000,horizon_days=1`). `small`
+//! runs in seconds, `medium` in tens of seconds, `large` is the
+//! ~20k-AS / ~100k-prefix Internet-scale tier. Without a scale flag the
+//! batch mode runs the full EXPERIMENTS.md configuration and
+//! `serve`/`feed` default to medium (their historical behavior).
 //! `--jobs=N` shards the month replay across N worker threads
 //! (DESIGN.md §10) with output bitwise-identical to the serial default;
 //! `bench-snapshot` measures the replay serial *and* sharded, verifies
@@ -129,7 +139,7 @@ use quicksand_core::feed::{
 };
 use quicksand_core::parallel::Parallelism;
 use quicksand_core::report;
-use quicksand_core::scenario::{MonthResult, Scenario, ScenarioConfig};
+use quicksand_core::scenario::{MonthResult, Scale, Scenario, ScenarioConfig};
 use quicksand_core::supervise::{
     CellResult, RestartPolicy, ScenarioJob, SuperviseConfig, Supervisor, WatchdogConfig,
 };
@@ -233,8 +243,30 @@ fn full_config() -> ScenarioConfig {
     ScenarioConfig::default()
 }
 
-fn small_config() -> ScenarioConfig {
-    ScenarioConfig::small(0xA11)
+/// Resolve the scenario scale from the command line: `--scale=SPEC`
+/// (a tier name or a `key=value,...` override list over the large
+/// tier — see [`Scale::parse`]) wins, then the `--small`/`--medium`/
+/// `--large` shorthands. `None` means no scale flag was given, and
+/// each subcommand keeps its historical default.
+fn scale_arg(args: &[String]) -> Option<Scale> {
+    if let Some(spec) = args.iter().find_map(|a| a.strip_prefix("--scale=")) {
+        match Scale::parse(spec) {
+            Ok(s) => return Some(s),
+            Err(e) => {
+                eprintln!("error: --scale: {e}");
+                std::process::exit(exitcode::USAGE);
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--small") {
+        Some(Scale::Small)
+    } else if args.iter().any(|a| a == "--medium") {
+        Some(Scale::Medium)
+    } else if args.iter().any(|a| a == "--large") {
+        Some(Scale::Large)
+    } else {
+        None
+    }
 }
 
 /// Progress note: an obs event, rendered to stderr by the console
@@ -311,13 +343,20 @@ impl RecoverOpts {
 struct Ctx {
     scenario: Scenario,
     month: Option<MonthResult>,
+    /// Reduced experiment sampling: set for every explicit scale tier
+    /// (anything but the flag-less full default) — the scaled scenarios
+    /// either don't need full sampling (small/medium) or can't afford
+    /// it (large).
     small: bool,
     recover: RecoverOpts,
 }
 
 impl Ctx {
-    fn new(small: bool, jobs: usize, recover: RecoverOpts) -> Ctx {
-        let mut cfg = if small { small_config() } else { full_config() };
+    fn new(scale: Option<&Scale>, jobs: usize, recover: RecoverOpts) -> Ctx {
+        let mut cfg = match scale {
+            Some(sc) => ScenarioConfig::at_scale(sc, 0xA11),
+            None => full_config(),
+        };
         cfg.parallelism = Parallelism::with_jobs(jobs);
         progress(format!(
             "building scenario ({} ASes, {} relays)…",
@@ -326,7 +365,7 @@ impl Ctx {
         Ctx {
             scenario: Scenario::build(cfg),
             month: None,
-            small,
+            small: scale.is_some(),
             recover,
         }
     }
@@ -507,6 +546,11 @@ struct WorkerStat {
 /// Everything `bench-snapshot` measures about one month replay.
 struct BenchRun {
     month: MonthResult,
+    /// Scenario sizing (ASes, tracked prefixes, collector sessions) —
+    /// recorded in the tier JSON so CI can assert scale floors.
+    ases: usize,
+    tracked: usize,
+    sessions: usize,
     wall_s: f64,
     events: u64,
     /// Events/sec over the replay loop alone (the `churn.replay_rate`
@@ -519,21 +563,22 @@ struct BenchRun {
     workers: Vec<WorkerStat>,
 }
 
-/// `repro bench-snapshot [--small|--medium] [--jobs=N] [--bench-out=PATH]
-/// [--baseline=PATH]`: the month-replay hot-path benchmark. Runs the
-/// replay once serial (the reference) and once sharded across N threads
-/// (default 4), verifies the two runs produce byte-identical update
-/// logs (exit 1 otherwise — the differential gate), and writes
-/// wall-clock, replay events/sec, tree recomputes, and counting-
-/// allocator totals as JSON (`BENCH_monthreplay.json`) for CI to upload
-/// as an artifact. `--baseline=PATH` embeds a previously captured
-/// snapshot verbatim under `"baseline"`, recording a before/after pair
-/// from the same container. Each run uses a scoped metrics registry, so
-/// the measurement does not pollute (and is not polluted by) the global
-/// registry.
+/// `repro bench-snapshot [--small|--medium|--large|--scale=SPEC]
+/// [--jobs=N] [--bench-out=PATH] [--baseline=PATH]`: the month-replay
+/// hot-path benchmark. Runs the replay once serial (the reference) and
+/// once sharded across N threads (default 4), verifies the two runs
+/// produce byte-identical update logs (exit 1 otherwise — the
+/// differential gate), and writes wall-clock, replay events/sec, tree
+/// recomputes, and counting-allocator totals as one tier of the tiered
+/// `BENCH_monthreplay.json` (other tiers already in the file are
+/// preserved — see [`quicksand_bench::snapshot`]). `--baseline=PATH`
+/// embeds a previously captured snapshot under `"baseline"` with its
+/// own baseline stripped (one-level cap), recording a before/after
+/// pair from the same container. Each run uses a scoped metrics
+/// registry, so the measurement does not pollute (and is not polluted
+/// by) the global registry.
 fn bench_snapshot_command(args: &[String]) -> i32 {
-    let small = args.iter().any(|a| a == "--small");
-    let medium = args.iter().any(|a| a == "--medium");
+    let scale = scale_arg(args);
     let jobs = args
         .iter()
         .find_map(|a| a.strip_prefix("--jobs="))
@@ -550,18 +595,18 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
         .find_map(|a| a.strip_prefix("--bench-out="))
         .unwrap_or("BENCH_monthreplay.json");
     let baseline = args.iter().find_map(|a| a.strip_prefix("--baseline="));
-    let (scenario_name, base) = if small {
-        ("small", small_config())
-    } else if medium {
-        ("medium", ScenarioConfig::medium(0xA11))
-    } else {
-        ("full", full_config())
+    let (scenario_name, base) = match &scale {
+        Some(sc) => (sc.to_string(), ScenarioConfig::at_scale(sc, 0xA11)),
+        None => ("full".to_string(), full_config()),
     };
 
     let timed_run = |n_jobs: usize, profiled: bool| -> BenchRun {
         let mut cfg = base.clone();
         cfg.parallelism = Parallelism::with_jobs(n_jobs);
         let scenario = Scenario::build(cfg);
+        let ases = scenario.topo.graph.len();
+        let tracked = scenario.tracked_prefixes().len();
+        let sessions = scenario.session_peers.len();
         let registry = Arc::new(obs::Registry::default());
         if profiled {
             obs::prof::reset();
@@ -617,6 +662,9 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
                 .collect();
             BenchRun {
                 month,
+                ases,
+                tracked,
+                sessions,
                 wall_s,
                 events,
                 replay_events_per_s,
@@ -671,15 +719,15 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
             per_event(r.alloc_bytes),
         )
     };
-    let baseline_json = match baseline {
+    let baseline_text = match baseline {
         Some(path) => match std::fs::read_to_string(path) {
-            Ok(text) => text.trim().to_string(),
+            Ok(text) => Some(text),
             Err(e) => {
                 eprintln!("error: cannot read baseline {path}: {e}");
                 return exitcode::USAGE;
             }
         },
-        None => "null".to_string(),
+        None => None,
     };
     // Per-worker attribution: where the parallel run's extra
     // allocations over serial come from (each worker slot's scratch
@@ -705,23 +753,41 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
         / per_event(serial.allocs).max(f64::MIN_POSITIVE)
         - 1.0)
         * 100.0;
-    let json = format!(
-        "{{\n  \"bench\": \"month_replay\",\n  \"scenario\": \"{scenario_name}\",\n  \
-         \"jobs\": {jobs},\n  \"events\": {events},\n  \"raw_records\": {},\n  \
-         \"raw_log_fnv\": \"{raw_log_fnv:#018x}\",\n  \
-         \"serial\": {},\n  \
-         \"serial_profiled\": {},\n  \
-         \"telemetry_overhead_pct\": {telemetry_overhead_pct:.3},\n  \
-         \"parallel\": {},\n  \
-         \"parallel_workers\": {workers_json},\n  \
-         \"speedup\": {speedup:.4},\n  \"identical\": {identical},\n  \
-         \"baseline\": {baseline_json}\n}}\n",
+    let tier_json = format!(
+        "{{ \"scenario\": \"{scenario_name}\", \"jobs\": {jobs}, \
+         \"ases\": {}, \"tracked_prefixes\": {}, \"sessions\": {}, \
+         \"events\": {events}, \"raw_records\": {}, \
+         \"raw_log_fnv\": \"{raw_log_fnv:#018x}\", \
+         \"serial\": {}, \
+         \"serial_profiled\": {}, \
+         \"telemetry_overhead_pct\": {telemetry_overhead_pct:.3}, \
+         \"parallel\": {}, \
+         \"parallel_workers\": {workers_json}, \
+         \"speedup\": {speedup:.4}, \"identical\": {identical} }}",
+        serial.ases,
+        serial.tracked,
+        serial.sessions,
         serial.month.raw.len(),
         run_json(&serial),
         run_json(&profiled),
         run_json(&parallel),
     );
-    if let Err(e) = std::fs::write(out_path, &json) {
+    // Merge this tier into the artifact, preserving the other tiers
+    // (and, absent --baseline, the recorded baseline).
+    let existing = std::fs::read_to_string(out_path).ok();
+    let json = match quicksand_bench::snapshot::merge_snapshot(
+        existing.as_deref(),
+        &scenario_name,
+        &tier_json,
+        baseline_text.as_deref(),
+    ) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return exitcode::USAGE;
+        }
+    };
+    if let Err(e) = std::fs::write(out_path, json + "\n") {
         eprintln!("error: cannot write {out_path}: {e}");
         return 2;
     }
@@ -762,7 +828,7 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
 /// [`RunReport`] (with its `supervisor` section) to `--obs-out`.
 /// Exits [`exitcode::QUARANTINE`] when any cell was quarantined.
 fn serve_command(args: &[String]) -> i32 {
-    let small = args.iter().any(|a| a == "--small");
+    let scale = scale_arg(args);
     let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
     let obs_out = args.iter().find_map(|a| a.strip_prefix("--obs-out="));
@@ -879,10 +945,9 @@ fn serve_command(args: &[String]) -> i32 {
     let mut feed_bindings: Vec<FeedBinding> = Vec::new();
     for (i, plan) in chaos.into_iter().enumerate() {
         let seed = base_seed + i as u64;
-        let config = if small {
-            ScenarioConfig::small(seed)
-        } else {
-            ScenarioConfig::medium(seed)
+        let config = match &scale {
+            Some(sc) => ScenarioConfig::at_scale(sc, seed),
+            None => ScenarioConfig::medium(seed),
         };
         // Feed-driven mode: one ingest slot per cell, bound to peer
         // label `cell-<i>` and stamped with that cell's scenario
@@ -1088,7 +1153,7 @@ fn feed_command(args: &[String]) -> i32 {
             return exitcode::USAGE;
         }
     };
-    let small = args.iter().any(|a| a == "--small");
+    let scale = scale_arg(args);
     let seed = parse("--seed=", 0xA11);
     let peer = args
         .iter()
@@ -1121,10 +1186,9 @@ fn feed_command(args: &[String]) -> i32 {
             }
         }
         None => {
-            let config = if small {
-                ScenarioConfig::small(seed)
-            } else {
-                ScenarioConfig::medium(seed)
+            let config = match &scale {
+                Some(sc) => ScenarioConfig::at_scale(sc, seed),
+                None => ScenarioConfig::medium(seed),
             };
             let hash = config.fingerprint();
             progress(format!(
@@ -1194,7 +1258,7 @@ fn main() {
         std::process::exit(feed_command(&args[1..]));
     }
 
-    let small = args.iter().any(|a| a == "--small");
+    let scale = scale_arg(&args);
     let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
     let obs_out = args.iter().find_map(|a| a.strip_prefix("--obs-out="));
@@ -1280,7 +1344,7 @@ fn main() {
     }
     let out = Out { quiet };
 
-    let mut ctx = Ctx::new(small, jobs, recover);
+    let mut ctx = Ctx::new(scale.as_ref(), jobs, recover);
 
     if want("table1") {
         ctx.ensure_month();
@@ -1602,7 +1666,10 @@ fn main() {
         let label = format!(
             "repro {}{}",
             which.join(","),
-            if small { " --small" } else { "" }
+            scale
+                .as_ref()
+                .map(|sc| format!(" --scale={sc}"))
+                .unwrap_or_default()
         );
         let snapshot = obs::global_metrics().snapshot();
         let mut run_report = RunReport::assemble(label, &snapshot, &memory.events());

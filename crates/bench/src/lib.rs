@@ -6,6 +6,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod snapshot;
+
 pub mod exitcode {
     //! The `repro` binary's typed exit codes.
     //!

@@ -46,7 +46,7 @@ pub use feed::{
     ReconnectPolicy, StreamReport,
 };
 pub use parallel::{Parallelism, WorkerPool};
-pub use scenario::{MonthResult, Scenario, ScenarioConfig};
+pub use scenario::{MonthResult, Scale, ScaleSpec, Scenario, ScenarioConfig};
 pub use supervise::{
     Admission, CellFailure, CellOutcome, CellResult, FailureKind, RestartDecision,
     RestartPolicy, ScenarioJob, SuperviseConfig, Supervisor, SupervisorOutcome,

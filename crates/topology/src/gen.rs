@@ -20,9 +20,10 @@ use crate::graph::{AsGraph, Tier};
 use quicksand_net::Asn;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::fmt;
 
 /// Configuration for [`TopologyGenerator`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct TopologyConfig {
     /// Total number of ASes.
     pub n_ases: usize,
@@ -33,7 +34,10 @@ pub struct TopologyConfig {
     /// Fraction of non-tier-1 ASes that are hosting ASes.
     pub frac_hosting: f64,
     /// Probability that a pair of tier-2 ASes peers (sampled per pair up
-    /// to a cap, so density stays sane at scale).
+    /// to a cap, so density stays sane at scale). Only used by the
+    /// legacy quadratic path; the regional path uses [`t2_peer_degree`].
+    ///
+    /// [`t2_peer_degree`]: TopologyConfig::t2_peer_degree
     pub t2_peering_prob: f64,
     /// Maximum providers for ordinary stubs (min is always 1).
     pub max_stub_providers: usize,
@@ -42,6 +46,18 @@ pub struct TopologyConfig {
     pub max_hosting_providers: usize,
     /// RNG seed; same seed ⇒ identical topology.
     pub seed: u64,
+    /// Number of geographic regions. `0` selects the legacy per-pair
+    /// generation path (bit-stable with earlier releases); any positive
+    /// value selects the streamed regional path that scales to ~50k
+    /// ASes without quadratic pair scans.
+    pub n_regions: usize,
+    /// Probability that a peering or provider draw is restricted to the
+    /// drawing AS's own region (regional locality). Ignored on the
+    /// legacy path.
+    pub peer_locality: f64,
+    /// Expected settlement-free peering degree per tier-2 on the
+    /// regional path (replaces the per-pair `t2_peering_prob` scan).
+    pub t2_peer_degree: f64,
 }
 
 impl Default for TopologyConfig {
@@ -55,7 +71,34 @@ impl Default for TopologyConfig {
             max_stub_providers: 3,
             max_hosting_providers: 5,
             seed: 0xC0FFEE,
+            n_regions: 0,
+            peer_locality: 0.0,
+            t2_peer_degree: 0.0,
         }
+    }
+}
+
+// Checkpoint/feed fingerprints hash the `Debug` output of this config
+// (see `quicksand_recover::config_fingerprint`). The regional-path
+// fields are printed only when set, so every pre-existing configuration
+// keeps its exact historical fingerprint.
+impl fmt::Debug for TopologyConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("TopologyConfig");
+        d.field("n_ases", &self.n_ases)
+            .field("n_tier1", &self.n_tier1)
+            .field("frac_tier2", &self.frac_tier2)
+            .field("frac_hosting", &self.frac_hosting)
+            .field("t2_peering_prob", &self.t2_peering_prob)
+            .field("max_stub_providers", &self.max_stub_providers)
+            .field("max_hosting_providers", &self.max_hosting_providers)
+            .field("seed", &self.seed);
+        if self.n_regions != 0 || self.peer_locality != 0.0 || self.t2_peer_degree != 0.0 {
+            d.field("n_regions", &self.n_regions)
+                .field("peer_locality", &self.peer_locality)
+                .field("t2_peer_degree", &self.t2_peer_degree);
+        }
+        d.finish()
     }
 }
 
@@ -68,6 +111,78 @@ impl TopologyConfig {
             seed,
             ..Default::default()
         }
+    }
+
+    /// An Internet-sized configuration on the regional path: `n_ases`
+    /// total with a 12-wide tier-1 clique, 8 regions, and strong
+    /// peering locality. `n_ases` may go up to the address-plan limit
+    /// of 2^16.
+    pub fn internet(n_ases: usize, seed: u64) -> Self {
+        TopologyConfig {
+            n_ases,
+            n_tier1: 12,
+            frac_tier2: 0.12,
+            frac_hosting: 0.02,
+            max_stub_providers: 3,
+            max_hosting_providers: 5,
+            seed,
+            n_regions: 8,
+            peer_locality: 0.7,
+            t2_peer_degree: 4.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// Fenwick (binary indexed) tree over per-AS attachment weights, used
+/// for O(log n) preferential-attachment draws on the regional path.
+/// The legacy path's repeated linear scans are O(n) per draw, which is
+/// fine at 2k ASes and hopeless at 50k.
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Add `delta` to slot `i`.
+    fn add(&mut self, i: usize, delta: u64) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Total weight across all slots.
+    fn total(&self) -> u64 {
+        let mut sum = 0;
+        let mut i = self.tree.len() - 1;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Index of the slot whose cumulative weight range contains `x`
+    /// (`0 <= x < total()`).
+    fn find(&self, mut x: u64) -> usize {
+        let mut pos = 0;
+        let mut step = (self.tree.len() - 1).next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] <= x {
+                x -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos
     }
 }
 
@@ -105,11 +220,27 @@ impl TopologyGenerator {
             config.n_ases > config.n_tier1,
             "need more ASes than tier-1s"
         );
+        assert!(
+            (0.0..=1.0).contains(&config.peer_locality),
+            "peer_locality must be a probability"
+        );
         TopologyGenerator { config }
     }
 
     /// Generate the topology.
+    ///
+    /// `n_regions == 0` runs the original per-pair path unchanged (same
+    /// seed ⇒ byte-identical graph as before the regional path
+    /// existed); `n_regions > 0` runs the streamed regional path.
     pub fn generate(&self) -> GeneratedTopology {
+        if self.config.n_regions == 0 {
+            self.generate_legacy()
+        } else {
+            self.generate_regional()
+        }
+    }
+
+    fn generate_legacy(&self) -> GeneratedTopology {
         let c = &self.config;
         let mut rng = StdRng::seed_from_u64(c.seed);
         let mut graph = AsGraph::new();
@@ -253,6 +384,311 @@ impl TopologyGenerator {
         // garbage in the CSR arena; compacting here makes replay-time
         // link churn allocation-free (every span starts dense and
         // remove/re-add cycles stay within it).
+        graph.compact();
+
+        GeneratedTopology {
+            graph,
+            tier1,
+            tier2,
+            stubs,
+            hosting,
+        }
+    }
+
+    /// The streamed regional path: preferential attachment via Fenwick
+    /// draws (O(log n) per provider pick instead of O(n) scans),
+    /// expected-degree tier-2 peering (O(E) instead of O(n² ) pair
+    /// scans), and region-local bias for both. Links stream straight
+    /// into the CSR arena and `compact()` runs exactly once.
+    fn generate_regional(&self) -> GeneratedTopology {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let mut graph = AsGraph::new();
+
+        // ASNs are assigned 1..=n, tier-1s first, then tier-2s, then
+        // stubs — same layout as the legacy path.
+        let n_t2 = ((c.n_ases - c.n_tier1) as f64 * c.frac_tier2).round() as usize;
+        let n_stub = c.n_ases - c.n_tier1 - n_t2;
+
+        let tier1: Vec<Asn> = (1..=c.n_tier1 as u32).map(Asn).collect();
+        let tier2: Vec<Asn> = (0..n_t2)
+            .map(|i| Asn((c.n_tier1 + i) as u32 + 1))
+            .collect();
+        let stubs: Vec<Asn> = (0..n_stub)
+            .map(|i| Asn((c.n_tier1 + n_t2 + i) as u32 + 1))
+            .collect();
+
+        for &a in &tier1 {
+            graph.add_as(a, Tier::Tier1).unwrap();
+        }
+        for &a in &tier2 {
+            graph.add_as(a, Tier::Tier2).unwrap();
+        }
+        for &a in &stubs {
+            graph.add_as(a, Tier::Stub).unwrap();
+        }
+
+        // Tier-1 full peering clique (provider-free by construction).
+        for i in 0..tier1.len() {
+            for j in (i + 1)..tier1.len() {
+                graph.add_peering(tier1[i], tier1[j]).unwrap();
+            }
+        }
+
+        // Every non-tier-1 AS lives in one region; tier-1s are global.
+        // Regions drive peering and provider locality below.
+        let mut region = vec![0usize; c.n_ases + 1];
+        for a in tier2.iter().chain(stubs.iter()) {
+            region[a.0 as usize] = rng.gen_range(0..c.n_regions);
+        }
+        let mut t2_by_region: Vec<Vec<Asn>> = vec![Vec::new(); c.n_regions];
+        for &a in &tier2 {
+            t2_by_region[region[a.0 as usize]].push(a);
+        }
+
+        // Hosting role assignment: the same deterministic sample the
+        // legacy path uses.
+        let n_hosting =
+            (((n_t2 + n_stub) as f64) * c.frac_hosting).round().max(1.0) as usize;
+        let mut non_t1: Vec<Asn> = tier2.iter().chain(stubs.iter()).copied().collect();
+        non_t1.shuffle(&mut rng);
+        let mut hosting: Vec<Asn> = non_t1.into_iter().take(n_hosting).collect();
+        hosting.sort();
+
+        // Attachment weight = 1 + customer count, maintained in three
+        // Fenwick views: all transit (tier-1 + tier-2), tier-2 only
+        // (stubs buy tier-2 transit 80% of the time), and tier-2 per
+        // region (locality-biased draws). Transit slot index = ASN - 1
+        // for the first two; the regional view indexes into the
+        // region's own tier-2 list.
+        let n_transit = c.n_tier1 + n_t2;
+        let mut customer_count: Vec<u64> = vec![0; c.n_ases + 1];
+        let mut fw_all = Fenwick::new(n_transit);
+        let mut fw_t2 = Fenwick::new(n_t2);
+        let mut fw_t2_region: Vec<Fenwick> = t2_by_region
+            .iter()
+            .map(|members| Fenwick::new(members.len()))
+            .collect();
+        // Position of each tier-2 inside its region's member list.
+        let mut region_pos = vec![0usize; c.n_ases + 1];
+        for members in &t2_by_region {
+            for (pos, &a) in members.iter().enumerate() {
+                region_pos[a.0 as usize] = pos;
+            }
+        }
+        for &a in &tier1 {
+            fw_all.add(a.0 as usize - 1, 1);
+        }
+
+        // Bump an eligible transit AS's weight in every view that
+        // tracks it.
+        let bump = |fw_all: &mut Fenwick,
+                    fw_t2: &mut Fenwick,
+                    fw_t2_region: &mut [Fenwick],
+                    region: &[usize],
+                    region_pos: &[usize],
+                    a: Asn,
+                    delta: u64| {
+            let slot = a.0 as usize - 1;
+            fw_all.add(slot, delta);
+            if slot >= c.n_tier1 {
+                fw_t2.add(slot - c.n_tier1, delta);
+                fw_t2_region[region[a.0 as usize]].add(region_pos[a.0 as usize], delta);
+            }
+        };
+
+        // One weighted draw from a Fenwick view, mapped back to an ASN.
+        enum Pool {
+            All,
+            T2,
+            T2Region(usize),
+        }
+        let draw = |rng: &mut StdRng,
+                    fw_all: &Fenwick,
+                    fw_t2: &Fenwick,
+                    fw_t2_region: &[Fenwick],
+                    t2_by_region: &[Vec<Asn>],
+                    pool: &Pool|
+         -> Option<Asn> {
+            let (fw, base): (&Fenwick, Option<&[Asn]>) = match pool {
+                Pool::All => (fw_all, None),
+                Pool::T2 => (fw_t2, None),
+                Pool::T2Region(r) => (&fw_t2_region[*r], Some(&t2_by_region[*r])),
+            };
+            let total = fw.total();
+            if total == 0 {
+                return None;
+            }
+            let slot = fw.find(rng.gen_range(0..total));
+            Some(match (pool, base) {
+                (Pool::All, _) => Asn(slot as u32 + 1),
+                (Pool::T2, _) => Asn((c.n_tier1 + slot) as u32 + 1),
+                (_, Some(members)) => members[slot],
+                _ => unreachable!(),
+            })
+        };
+
+        // Pick up to `n_providers` distinct providers from `pool`.
+        // Collisions are re-drawn (≤5 picks against thousands of
+        // candidates, so retries are rare); weight restoration is
+        // unnecessary because duplicates are rejected by `chosen`.
+        let mut chosen: Vec<Asn> = Vec::with_capacity(c.max_hosting_providers);
+
+        // Tier-2s attach to 1..=max providers among already-eligible
+        // transit, preferring their own region.
+        for &a in &tier2 {
+            let is_hosting = hosting.binary_search(&a).is_ok();
+            let max_p = if is_hosting {
+                c.max_hosting_providers
+            } else {
+                3
+            };
+            let n_p = rng.gen_range(1..=max_p.max(1));
+            chosen.clear();
+            let mut guard = 0;
+            while chosen.len() < n_p && guard < 200 {
+                guard += 1;
+                let pool = if rng.gen_bool(c.peer_locality) {
+                    Pool::T2Region(region[a.0 as usize])
+                } else {
+                    Pool::All
+                };
+                let Some(p) = draw(&mut rng, &fw_all, &fw_t2, &fw_t2_region, &t2_by_region, &pool)
+                    .or_else(|| {
+                        // A region with no eligible tier-2 yet falls
+                        // back to the global transit pool.
+                        draw(
+                            &mut rng,
+                            &fw_all,
+                            &fw_t2,
+                            &fw_t2_region,
+                            &t2_by_region,
+                            &Pool::All,
+                        )
+                    })
+                else {
+                    break;
+                };
+                if p == a || chosen.contains(&p) {
+                    continue;
+                }
+                chosen.push(p);
+            }
+            for &p in &chosen {
+                graph.add_customer_provider(a, p).unwrap();
+                customer_count[p.0 as usize] += 1;
+                bump(
+                    &mut fw_all,
+                    &mut fw_t2,
+                    &mut fw_t2_region,
+                    &region,
+                    &region_pos,
+                    p,
+                    1,
+                );
+            }
+            // `a` becomes eligible transit only after choosing its own
+            // providers, so the provider DAG follows creation order and
+            // customer cones stay acyclic.
+            bump(
+                &mut fw_all,
+                &mut fw_t2,
+                &mut fw_t2_region,
+                &region,
+                &region_pos,
+                a,
+                1 + customer_count[a.0 as usize],
+            );
+        }
+
+        // Tier-2 settlement-free peering: expected `t2_peer_degree`
+        // links per tier-2, drawn uniformly from the own region with
+        // probability `peer_locality`, globally otherwise. O(n·d)
+        // instead of the legacy O(n²) pair scan.
+        if n_t2 > 1 {
+            let half = c.t2_peer_degree / 2.0;
+            let base_links = half.floor() as usize;
+            let extra_prob = half - half.floor();
+            for &a in &tier2 {
+                let k = base_links + usize::from(extra_prob > 0.0 && rng.gen_bool(extra_prob));
+                for _ in 0..k {
+                    let members = &t2_by_region[region[a.0 as usize]];
+                    let b = if members.len() > 1 && rng.gen_bool(c.peer_locality) {
+                        members[rng.gen_range(0..members.len())]
+                    } else {
+                        tier2[rng.gen_range(0..tier2.len())]
+                    };
+                    if b != a && graph.relationship(a, b).is_none() {
+                        graph.add_peering(a, b).unwrap();
+                    }
+                }
+            }
+        }
+
+        // Stubs multihome to transit, biased 80% toward tier-2 (real
+        // stubs rarely buy direct tier-1 transit) and toward their own
+        // region.
+        for &a in &stubs {
+            let is_hosting = hosting.binary_search(&a).is_ok();
+            let max_p = if is_hosting {
+                c.max_hosting_providers
+            } else {
+                c.max_stub_providers
+            };
+            let n_p = if is_hosting {
+                rng.gen_range(2..=max_p.max(2))
+            } else {
+                rng.gen_range(1..=max_p.max(1))
+            };
+            chosen.clear();
+            let mut guard = 0;
+            while chosen.len() < n_p && guard < 200 {
+                guard += 1;
+                let pool = if n_t2 > 0 && rng.gen_bool(0.8) {
+                    if rng.gen_bool(c.peer_locality) {
+                        Pool::T2Region(region[a.0 as usize])
+                    } else {
+                        Pool::T2
+                    }
+                } else {
+                    Pool::All
+                };
+                let Some(p) = draw(&mut rng, &fw_all, &fw_t2, &fw_t2_region, &t2_by_region, &pool)
+                    .or_else(|| {
+                        draw(
+                            &mut rng,
+                            &fw_all,
+                            &fw_t2,
+                            &fw_t2_region,
+                            &t2_by_region,
+                            &Pool::All,
+                        )
+                    })
+                else {
+                    break;
+                };
+                if chosen.contains(&p) {
+                    continue;
+                }
+                chosen.push(p);
+            }
+            for &p in &chosen {
+                graph.add_customer_provider(a, p).unwrap();
+                customer_count[p.0 as usize] += 1;
+                bump(
+                    &mut fw_all,
+                    &mut fw_t2,
+                    &mut fw_t2_region,
+                    &region,
+                    &region_pos,
+                    p,
+                    1,
+                );
+            }
+        }
+
+        // Single compaction after streamed construction (see the legacy
+        // path's comment): replay-time churn then stays allocation-free.
         graph.compact();
 
         GeneratedTopology {

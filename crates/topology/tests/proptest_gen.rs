@@ -1,0 +1,267 @@
+//! Property tests for the tiered topology generator (DESIGN.md §15).
+//!
+//! The regional generator behind `TopologyConfig::internet` is what the
+//! large bench tier and every `--scale` scenario stand on, so its
+//! structural invariants are pinned here across a seed × scale sweep:
+//!
+//! * the tier-1 clique is provider-free and fully peered;
+//! * every stub is multihomed to at least one transit AS;
+//! * customer cones are acyclic (provider/customer edges form a DAG);
+//! * exported paths are valley-free under Gao-Rexford export rules;
+//! * ASN and announced-prefix assignments are duplicate-free;
+//! * the same (seed, scale) is bitwise-reproducible.
+//!
+//! `QUICKSAND_TEST_SEEDS` (comma-separated, decimal or `0x`-hex) widens
+//! the sweep without code edits, mirroring the workspace chaos suite.
+
+use proptest::prelude::*;
+use quicksand_net::Asn;
+use quicksand_topology::{
+    GeneratedTopology, Relationship, RoutingTree, Tier, TopologyConfig, TopologyGenerator,
+};
+use quicksand_tor::{AddressPlan, AddressPlanConfig};
+use std::collections::BTreeSet;
+
+/// Seeds for the sweep tests; `QUICKSAND_TEST_SEEDS` overrides.
+fn env_seeds(default: &[u64]) -> Vec<u64> {
+    match std::env::var("QUICKSAND_TEST_SEEDS") {
+        Ok(s) if !s.trim().is_empty() => s
+            .split(',')
+            .map(|tok| {
+                let tok = tok.trim();
+                let parsed = match tok.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => tok.parse(),
+                };
+                parsed.unwrap_or_else(|_| {
+                    panic!("QUICKSAND_TEST_SEEDS: bad seed {tok:?}")
+                })
+            })
+            .collect(),
+        _ => default.to_vec(),
+    }
+}
+
+/// The scale ladder each seed sweeps: the legacy small config (regional
+/// extensions off), a mid-size regional config, and a reduced
+/// Internet-shape config exercising every tier parameter at once.
+fn scale_ladder(seed: u64) -> Vec<(&'static str, TopologyConfig)> {
+    vec![
+        ("small-legacy", TopologyConfig::small(seed)),
+        ("regional-2k", TopologyConfig::internet(2_000, seed)),
+        ("regional-8k", TopologyConfig::internet(8_000, seed)),
+    ]
+}
+
+/// Every structural invariant the scenario layer relies on.
+fn check_invariants(label: &str, t: &GeneratedTopology) {
+    let g = &t.graph;
+
+    // ASN assignments are duplicate-free (and the graph agrees on size).
+    let asns: BTreeSet<Asn> = g.asns().collect();
+    assert_eq!(asns.len(), g.len(), "{label}: duplicate ASNs");
+
+    // Tier-1 clique: provider-free, fully peered.
+    for &a in &t.tier1 {
+        assert_eq!(g.tier(a), Some(Tier::Tier1), "{label}: {a} mis-tiered");
+        assert_eq!(
+            g.providers(a).count(),
+            0,
+            "{label}: tier-1 {a} has a provider"
+        );
+        for &b in &t.tier1 {
+            if a < b {
+                assert_eq!(
+                    g.relationship(a, b),
+                    Some(Relationship::Peer),
+                    "{label}: tier-1 pair ({a}, {b}) not peered"
+                );
+            }
+        }
+    }
+
+    // Every stub buys transit from at least one tier-1/tier-2 AS.
+    let transit: BTreeSet<Asn> =
+        t.tier1.iter().chain(t.tier2.iter()).copied().collect();
+    for &s in &t.stubs {
+        let provs: Vec<Asn> = g.providers(s).collect();
+        assert!(!provs.is_empty(), "{label}: stub {s} has no provider");
+        assert!(
+            provs.iter().all(|p| transit.contains(p)),
+            "{label}: stub {s} buys transit from a non-transit AS"
+        );
+    }
+    // Tier-2 ASes are multihomed into the clique/other transit too.
+    for &a in &t.tier2 {
+        assert!(
+            g.providers(a).count() >= 1,
+            "{label}: tier-2 {a} has no provider"
+        );
+    }
+
+    // Customer cones are acyclic: iterative DFS over provider→customer
+    // edges, tracking the active stack to catch back edges.
+    let n = g.len();
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    for root in 0..n {
+        if state[root] != 0 {
+            continue;
+        }
+        // (index, next-neighbor cursor)
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        state[root] = 1;
+        while let Some(&(i, cursor)) = stack.last() {
+            let nbrs = g.neighbors_idx(i);
+            if cursor < nbrs.len() {
+                stack.last_mut().expect("non-empty").1 += 1;
+                let (j, rel) = nbrs[cursor];
+                if rel != Relationship::Customer {
+                    continue;
+                }
+                assert_ne!(
+                    state[j],
+                    1,
+                    "{label}: customer-cone cycle through {:?}",
+                    g.asn_of(j)
+                );
+                if state[j] == 0 {
+                    state[j] = 1;
+                    stack.push((j, 0));
+                }
+            } else {
+                state[i] = 2;
+                stack.pop();
+            }
+        }
+    }
+
+    // Exported paths are valley-free: for a spread of destinations,
+    // every path the routing tree exports walks uphill, at most one
+    // peer hop, then downhill.
+    let dests = [
+        t.tier1[0],
+        t.tier2[t.tier2.len() / 2],
+        t.stubs[0],
+        t.stubs[t.stubs.len() / 2],
+    ];
+    for dest in dests {
+        let tree = RoutingTree::compute(g, dest).expect("destination exists");
+        let step = (n / 64).max(1);
+        for i in (0..n).step_by(step) {
+            let src = g.asn_of(i);
+            if let Some(path) = tree.path_from(g, src) {
+                assert_eq!(
+                    g.is_valley_free(&path),
+                    Some(true),
+                    "{label}: exported path {path:?} to {dest} has a valley"
+                );
+            }
+        }
+    }
+}
+
+/// Generate + re-generate: the topology must be bitwise-identical —
+/// same tier rosters, same adjacency in the same order.
+fn check_reproducible(label: &str, config: &TopologyConfig, t: &GeneratedTopology) {
+    let again = TopologyGenerator::new(config.clone()).generate();
+    assert_eq!(t.tier1, again.tier1, "{label}: tier1 roster diverged");
+    assert_eq!(t.tier2, again.tier2, "{label}: tier2 roster diverged");
+    assert_eq!(t.stubs, again.stubs, "{label}: stub roster diverged");
+    assert_eq!(t.hosting, again.hosting, "{label}: hosting roster diverged");
+    assert_eq!(t.graph.len(), again.graph.len());
+    assert_eq!(t.graph.link_count(), again.graph.link_count());
+    for i in 0..t.graph.len() {
+        assert_eq!(
+            t.graph.neighbors_idx(i),
+            again.graph.neighbors_idx(i),
+            "{label}: adjacency of {:?} diverged",
+            t.graph.asn_of(i)
+        );
+    }
+}
+
+#[test]
+fn generator_invariants_hold_across_seed_and_scale_sweep() {
+    for seed in env_seeds(&[0xA11, 0xA12, 5, 7]) {
+        for (name, config) in scale_ladder(seed) {
+            let label = format!("{name}/seed={seed:#x}");
+            let t = TopologyGenerator::new(config.clone()).generate();
+            check_invariants(&label, &t);
+            check_reproducible(&label, &config, &t);
+        }
+    }
+}
+
+/// The headline scale target: ~50k ASes whose address plan announces
+/// ~500k duplicate-free prefixes, each inside its origin's own /16
+/// block (block disjointness then makes cross-AS duplicates
+/// impossible). One seed — this is the expensive end of the sweep.
+#[test]
+fn internet_scale_topology_and_prefix_plan() {
+    let seed = env_seeds(&[0xA11])[0];
+    let config = TopologyConfig::internet(50_000, seed);
+    let t = TopologyGenerator::new(config).generate();
+    assert_eq!(t.graph.len(), 50_000);
+    check_invariants(&format!("internet-50k/seed={seed:#x}"), &t);
+
+    let plan = AddressPlan::generate(
+        &t.graph,
+        &t.hosting,
+        &AddressPlanConfig {
+            dense_origins: 1_500,
+            extra_specifics_max: 2,
+            ..AddressPlanConfig::default()
+        },
+    );
+    let announced: Vec<_> = plan.table.iter().collect();
+    let distinct: BTreeSet<_> = announced.iter().copied().collect();
+    assert_eq!(
+        announced.len(),
+        distinct.len(),
+        "duplicate announced (prefix, origin) pairs"
+    );
+    assert!(
+        announced.len() >= 500_000,
+        "expected ~500k announced prefixes, got {}",
+        announced.len()
+    );
+    // Per-origin containment: every announced prefix sits inside its
+    // origin's /16 block, so disjoint blocks ⇒ no prefix is announced
+    // by two origins.
+    for (prefix, origin) in &announced {
+        let block = plan.blocks[origin];
+        assert_eq!(
+            prefix.network_u32() >> 16,
+            block.network_u32() >> 16,
+            "{prefix} announced by {origin} outside its block {block}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized tier parameters: whatever the knobs, the structural
+    /// invariants hold and regeneration is bitwise-stable.
+    #[test]
+    fn invariants_hold_for_arbitrary_tier_parameters(
+        n_ases in 150usize..600,
+        n_tier1 in 3usize..10,
+        n_regions in 1usize..12,
+        peer_locality in 0.0f64..1.0,
+        t2_peer_degree in 0.0f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let config = TopologyConfig {
+            n_ases,
+            n_tier1,
+            n_regions,
+            peer_locality,
+            t2_peer_degree,
+            ..TopologyConfig::internet(n_ases, seed)
+        };
+        let t = TopologyGenerator::new(config.clone()).generate();
+        check_invariants(&format!("prop/seed={seed:#x}"), &t);
+        check_reproducible("prop", &config, &t);
+    }
+}

@@ -22,10 +22,11 @@ use quicksand_topology::AsGraph;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::net::Ipv4Addr;
 
 /// Configuration for [`AddressPlan::generate`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct AddressPlanConfig {
     /// Probability that an ordinary AS splits its /16 into two /17s.
     pub split_17_prob: f64,
@@ -33,6 +34,16 @@ pub struct AddressPlanConfig {
     pub more_specific_prob: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Number of non-hosting ASes that fully deaggregate their /16 into
+    /// 256 /24s plus the covering /16 (~257 announced prefixes each).
+    /// These "dense origins" are how the large tiers reach Internet-like
+    /// tracked-prefix counts without multiplying origin ASes. `0`
+    /// disables deaggregation (the historical behavior).
+    pub dense_origins: usize,
+    /// Each ordinary AS additionally announces `rng(0..=max)` /24s
+    /// carved from the high end of its block. `0` disables (the
+    /// historical behavior).
+    pub extra_specifics_max: u32,
 }
 
 impl Default for AddressPlanConfig {
@@ -41,7 +52,27 @@ impl Default for AddressPlanConfig {
             split_17_prob: 0.35,
             more_specific_prob: 0.1,
             seed: 0xADD7,
+            dense_origins: 0,
+            extra_specifics_max: 0,
         }
+    }
+}
+
+// Checkpoint/feed fingerprints hash the `Debug` output of this config
+// (see `quicksand_recover::config_fingerprint`). The deaggregation
+// fields are printed only when set, so every pre-existing configuration
+// keeps its exact historical fingerprint.
+impl fmt::Debug for AddressPlanConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("AddressPlanConfig");
+        d.field("split_17_prob", &self.split_17_prob)
+            .field("more_specific_prob", &self.more_specific_prob)
+            .field("seed", &self.seed);
+        if self.dense_origins != 0 || self.extra_specifics_max != 0 {
+            d.field("dense_origins", &self.dense_origins)
+                .field("extra_specifics_max", &self.extra_specifics_max);
+        }
+        d.finish()
     }
 }
 
@@ -52,6 +83,10 @@ pub struct AddressPlan {
     pub table: PrefixTable,
     /// Per AS: its /16 block (for address assignment).
     pub blocks: BTreeMap<Asn, Ipv4Prefix>,
+    /// The dense origins (ascending): non-hosting ASes that deaggregate
+    /// into 256 /24s. Empty unless
+    /// [`AddressPlanConfig::dense_origins`] is set.
+    pub dense: Vec<Asn>,
 }
 
 impl AddressPlan {
@@ -69,6 +104,17 @@ impl AddressPlan {
     ) -> AddressPlan {
         assert!(graph.len() <= 1 << 16, "too many ASes for /16 blocks");
         let hosting: BTreeSet<Asn> = hosting.iter().copied().collect();
+        // Dense origins are drawn from their own rng stream so that
+        // `dense_origins: 0` leaves the historical prefix plan
+        // byte-identical.
+        let dense: BTreeSet<Asn> = if config.dense_origins > 0 {
+            let mut pool: Vec<Asn> = graph.asns().filter(|a| !hosting.contains(a)).collect();
+            pool.shuffle(&mut StdRng::seed_from_u64(config.seed ^ 0xDE45E));
+            pool.truncate(config.dense_origins);
+            pool.into_iter().collect()
+        } else {
+            BTreeSet::new()
+        };
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut table = PrefixTable::new();
         let mut blocks = BTreeMap::new();
@@ -83,6 +129,13 @@ impl AddressPlan {
                 for k in 0..4u32 {
                     table.insert(Ipv4Prefix::from_u32(base | (k << 14), 18), asn);
                 }
+            } else if dense.contains(&asn) {
+                // Full deaggregation: the covering /16 plus all 256
+                // /24s, the way leaky route optimizers advertise.
+                table.insert(block, asn);
+                for k in 0..256u32 {
+                    table.insert(Ipv4Prefix::from_u32(base | (k << 8), 24), asn);
+                }
             } else if rng.gen_bool(config.split_17_prob) {
                 table.insert(Ipv4Prefix::from_u32(base, 17), asn);
                 table.insert(Ipv4Prefix::from_u32(base | (1 << 15), 17), asn);
@@ -93,8 +146,22 @@ impl AddressPlan {
                 // A /20 carved out of the low end of the block.
                 table.insert(Ipv4Prefix::from_u32(base, 20), asn);
             }
+            if config.extra_specifics_max > 0 && !dense.contains(&asn) {
+                // Scattered /24s from the high end of the block (clear
+                // of the /20 above), thickening the table toward real
+                // RIB densities without changing LPM winners for relay
+                // or dense-origin addresses.
+                let n = rng.gen_range(0..=config.extra_specifics_max);
+                for k in 0..n {
+                    table.insert(Ipv4Prefix::from_u32(base | ((255 - k) << 8), 24), asn);
+                }
+            }
         }
-        AddressPlan { table, blocks }
+        AddressPlan {
+            table,
+            blocks,
+            dense: dense.into_iter().collect(),
+        }
     }
 
     /// A deterministic-with-rng address inside `asn`'s block.

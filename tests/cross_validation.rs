@@ -156,6 +156,73 @@ fn fast_converge_equals_event_sim_under_generated_churn() {
     }
 }
 
+/// Cross-validation at Internet scale: on the `large` tier's 20k-AS
+/// regional topology, the incremental `FastConverge` trees must equal a
+/// from-scratch `RoutingTree` recompute after every generated churn
+/// event, and the message-level `EventSim` must agree with the static
+/// tree at initial convergence. (Per-event message-level quiescence at
+/// 20k ASes is what the fast engine exists to avoid, so the event-sim
+/// leg checks the converged state once.) `#[ignore]` by default and
+/// gated on `QUICKSAND_TEST_LARGE=1`, like the parallel-equivalence
+/// large gate.
+#[test]
+#[ignore = "large tier: minutes of CPU; QUICKSAND_TEST_LARGE=1 cargo test -- --ignored"]
+fn large_tier_engines_agree_under_generated_churn() {
+    if std::env::var("QUICKSAND_TEST_LARGE").as_deref() != Ok("1") {
+        eprintln!("skipped: set QUICKSAND_TEST_LARGE=1 to run the large cross-validation");
+        return;
+    }
+    let t = TopologyGenerator::new(TopologyConfig::internet(20_000, 0xD1FF)).generate();
+    assert!(t.graph.len() >= 20_000);
+    let asns: Vec<Asn> = t.graph.asns().collect();
+    let origins: Vec<Asn> =
+        asns.iter().copied().step_by(asns.len() / 3).take(3).collect();
+    let pfx = |i: usize| -> Ipv4Prefix {
+        format!("198.{}.0.0/16", 51 + i).parse().unwrap()
+    };
+
+    // Message-level leg: initial convergence for one origin equals the
+    // static Gao-Rexford tree at every sampled AS.
+    let mut sim = EventSim::new(&t.graph, SimConfig::default());
+    sim.originate(origins[0], Route::originate(pfx(0), origins[0]), None);
+    sim.run_to_quiescence();
+    let tree = RoutingTree::compute(&t.graph, origins[0]).unwrap();
+    for &src in asns.iter().step_by(97) {
+        assert_eq!(
+            sim.path_at(src, &pfx(0)),
+            tree.as_path_at(&t.graph, src),
+            "event sim diverged from static tree at {src}"
+        );
+    }
+    drop(sim);
+
+    // Incremental leg: FastConverge vs from-scratch recompute across a
+    // generated churn schedule.
+    let mut events = ChurnGenerator::new(ChurnConfig {
+        horizon: SimDuration::from_days(1),
+        seed: 1717,
+        ..Default::default()
+    })
+    .generate(&t.graph, &t.hosting);
+    assert!(events.len() > 60, "churn schedule unexpectedly sparse");
+    events.truncate(60);
+    let mut fc = FastConverge::new(t.graph.clone(), origins.iter().copied());
+    for (step, ev) in events.iter().enumerate() {
+        fc.apply(ev.change);
+        for &o in &origins {
+            let fresh = RoutingTree::compute(fc.graph(), o).unwrap();
+            for &src in asns.iter().step_by(157) {
+                assert_eq!(
+                    fc.tree(o).unwrap().as_path_at(fc.graph(), src),
+                    fresh.as_path_at(fc.graph(), src),
+                    "fastconverge diverged at {src} → {o} (event {step}, {:?})",
+                    ev.change
+                );
+            }
+        }
+    }
+}
+
 /// The static multi-origin split equals what the message-level
 /// simulator converges to under a hijack.
 #[test]
