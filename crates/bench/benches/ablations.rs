@@ -9,10 +9,10 @@
 //!   claim by measuring both predicates over the same circuits.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use quicksand_bgp::{EventSim, Route, SimConfig};
+use quicksand_bgp::{Collector, CollectorConfig, EventSim, Route, SimConfig, UpdateLog};
 use quicksand_core::adversary::{ObservationMode, SegmentObservers};
-use quicksand_net::{Ipv4Prefix, SimDuration, SimTime};
-use quicksand_topology::{RoutingTree, TopologyConfig, TopologyGenerator};
+use quicksand_net::{AsPath, Asn, Ipv4Prefix, SimDuration, SimTime};
+use quicksand_topology::{RouteClass, RoutingTree, TopologyConfig, TopologyGenerator};
 use quicksand_traffic::correlate::{correlate, CorrelationConfig};
 use quicksand_traffic::{Capture, TcpConfig, TcpSim};
 use std::hint::black_box;
@@ -100,10 +100,94 @@ fn ablate_observation_mode(c: &mut Criterion) {
     g.finish();
 }
 
+/// Micro-bench for the collector's flat-table merge-diff: a full-feed
+/// observation over a sorted prefix table, driven through
+/// [`Collector::observe`] so the galloped `diff_session` cursor walk
+/// and the batched `apply_ops` table merge are both on the measured
+/// path.
+///
+/// * `replace_all` — every entry re-announces with an alternating path:
+///   one op per (session, prefix), applied by the in-place replacement
+///   fast path.
+/// * `churn_half` — half the table flips between announced and
+///   withdrawn each iteration: removals force the two-pointer rebuild
+///   into the reused merge scratch.
+fn bench_diff_merge(c: &mut Criterion) {
+    let peers = [Asn(64500), Asn(64501)];
+    let cfg = CollectorConfig {
+        frac_full: 1.0,
+        resets_per_session: 0.0,
+        ..Default::default()
+    };
+    let n = 8192usize;
+    let prefixes: Vec<Ipv4Prefix> = (0..n)
+        .map(|i| format!("10.{}.{}.0/24", i / 256, i % 256).parse().unwrap())
+        .collect();
+    let path_a: AsPath = [Asn(100), Asn(200)].into_iter().collect();
+    let path_b: AsPath = [Asn(100), Asn(300)].into_iter().collect();
+    let cut = prefixes[n / 2];
+
+    let mut g = c.benchmark_group("diff_merge");
+    g.sample_size(10);
+    g.bench_function("replace_all", |b| {
+        let mut collector = Collector::new(&peers, &cfg).expect("valid config");
+        let mut log = UpdateLog::default();
+        collector.observe(
+            SimTime::ZERO,
+            &prefixes,
+            |_, _| Some((path_a.clone(), RouteClass::Customer)),
+            &mut log,
+        );
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let path = if flip { &path_b } else { &path_a };
+            collector.observe(
+                SimTime::ZERO,
+                &prefixes,
+                |_, _| Some((path.clone(), RouteClass::Customer)),
+                &mut log,
+            );
+            let appended = log.len();
+            log.records.clear();
+            black_box(appended)
+        })
+    });
+    g.bench_function("churn_half", |b| {
+        let mut collector = Collector::new(&peers, &cfg).expect("valid config");
+        let mut log = UpdateLog::default();
+        collector.observe(
+            SimTime::ZERO,
+            &prefixes,
+            |_, _| Some((path_a.clone(), RouteClass::Customer)),
+            &mut log,
+        );
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let withdrawn = flip;
+            collector.observe(
+                SimTime::ZERO,
+                &prefixes,
+                |_, prefix| {
+                    (!(withdrawn && prefix < cut))
+                        .then(|| (path_a.clone(), RouteClass::Customer))
+                },
+                &mut log,
+            );
+            let appended = log.len();
+            log.records.clear();
+            black_box(appended)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     ablations,
     ablate_mrai,
     ablate_bin_width,
-    ablate_observation_mode
+    ablate_observation_mode,
+    bench_diff_merge
 );
 criterion_main!(ablations);

@@ -691,6 +691,30 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
     // profiled replay must stay within 5% of the serial allocation
     // budget (the `alloc_budget` tripwire enforces this in CI).
     let profiled = timed_run(1, true);
+    // Per-stage replay split from the profiled run's span tree: the
+    // apply/refresh/observe µs under the replay span (t=0 and final
+    // full dumps excluded — they are not per-event work). This is the
+    // split the dirty-set work (DESIGN.md §16) attacks, so the snapshot
+    // tracks it per tier.
+    let stage_us = {
+        let profile = obs::prof::capture();
+        let stage_total = |suffix: &str| -> f64 {
+            profile
+                .entries
+                .iter()
+                .filter(|e| e.path.starts_with("churn.replay;") && e.path.ends_with(suffix))
+                .map(|e| e.total_ns)
+                .sum::<u64>() as f64
+                / 1e3
+        };
+        format!(
+            "{{ \"apply\": {:.1}, \"refresh\": {:.1}, \"observe\": {:.1} }}",
+            stage_total("churn.apply"),
+            stage_total("collector.refresh"),
+            stage_total("collector.observe"),
+        )
+    };
+    obs::prof::reset();
     let same_month = |a: &BenchRun, b: &BenchRun| {
         a.month.raw == b.month.raw
             && a.month.cleaned == b.month.cleaned
@@ -760,6 +784,7 @@ fn bench_snapshot_command(args: &[String]) -> i32 {
          \"raw_log_fnv\": \"{raw_log_fnv:#018x}\", \
          \"serial\": {}, \
          \"serial_profiled\": {}, \
+         \"stage_us\": {stage_us}, \
          \"telemetry_overhead_pct\": {telemetry_overhead_pct:.3}, \
          \"parallel\": {}, \
          \"parallel_workers\": {workers_json}, \

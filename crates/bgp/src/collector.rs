@@ -166,6 +166,50 @@ pub struct SessionInfo {
     pub kind: FeedKind,
 }
 
+/// One session's recorded table: `(prefix, path id)` entries sorted
+/// ascending by prefix. The replay's access mix is merge-shaped — long
+/// ascending probe runs from the diff, batched ascending writes from
+/// the apply — where a flat sorted vec beats the pointer-chasing
+/// `BTreeMap` it replaced, and iteration stays in the ascending prefix
+/// order the log and checkpoint formats rely on.
+#[derive(Clone, Debug, Default)]
+struct FlatTable {
+    entries: Vec<(Ipv4Prefix, PathId)>,
+}
+
+impl FlatTable {
+    fn get(&self, prefix: &Ipv4Prefix) -> Option<PathId> {
+        self.entries
+            .binary_search_by(|e| e.0.cmp(prefix))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Index of the first entry of `table` with prefix `>= p`, by
+/// exponential probing from the front. The diff walks ascending query
+/// runs against the table with a moving cursor, so the answer is
+/// usually within a step or two of the start — O(log distance) per
+/// probe, O(n + m) over a whole lockstep run.
+fn gallop(table: &[(Ipv4Prefix, PathId)], p: Ipv4Prefix) -> usize {
+    let mut lo = 0usize;
+    let mut step = 1usize;
+    loop {
+        let probe = lo + step;
+        if probe > table.len() || table[probe - 1].0 >= p {
+            break;
+        }
+        lo = probe;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(table.len());
+    lo + table[lo..hi].partition_point(|e| e.0 < p)
+}
+
 /// A set of collector sessions that observes route changes and appends
 /// them to an [`UpdateLog`].
 ///
@@ -179,11 +223,11 @@ pub struct SessionInfo {
 pub struct Collector {
     sessions: Vec<SessionInfo>,
     /// Last announced path per prefix, interned, one sorted table per
-    /// session (parallel to `sessions`). Per-session maps keep the
+    /// session (parallel to `sessions`). Per-session tables keep the
     /// hot-path lookup short — the diff probes its own session's table
     /// millions of times per replay — while iteration stays in the
     /// ascending (session, prefix) order the log format relies on.
-    state: Vec<BTreeMap<Ipv4Prefix, PathId>>,
+    state: Vec<FlatTable>,
     /// Arena of every distinct recorded path; `state` and [`SessionOps`]
     /// refer into it, and records resolve through it on append.
     arena: PathArena,
@@ -198,6 +242,21 @@ pub struct Collector {
     next_reset: usize,
     /// Per-session liveness (parallel to `sessions`).
     liveness: Vec<SessionState>,
+    /// Indices of the sessions currently up, ascending — maintained on
+    /// every up/down transition so the per-event observe reads a slice
+    /// instead of rebuilding a `Vec`.
+    live_idx: Vec<usize>,
+    /// One reusable [`SessionOps`] slot per session (slot `si` has
+    /// `session == si`), lent out by [`Collector::take_ops_scratch`] so
+    /// per-event diffs reuse warm op buffers instead of allocating.
+    ops_scratch: Vec<SessionOps>,
+    /// Reusable `(prefix, op seq, entry)` buffer for sorting a batch of
+    /// table deltas in [`Collector::apply_ops`].
+    delta_scratch: Vec<(Ipv4Prefix, u32, Option<PathId>)>,
+    /// Reusable rebuild target for the merge in
+    /// [`Collector::apply_ops`]; swapped with the live table, so the
+    /// two buffers ping-pong with no steady-state allocation.
+    merge_scratch: Vec<(Ipv4Prefix, PathId)>,
     retry_base: SimDuration,
     retry_cap: SimDuration,
 }
@@ -310,7 +369,8 @@ impl Collector {
         }
         resets.sort();
         let liveness = vec![SessionState::Up; sessions.len()];
-        let state = vec![BTreeMap::new(); sessions.len()];
+        let state = vec![FlatTable::default(); sessions.len()];
+        let live_idx = (0..sessions.len()).collect();
         Ok(Collector {
             sessions,
             state,
@@ -319,6 +379,10 @@ impl Collector {
             resets,
             next_reset: 0,
             liveness,
+            live_idx,
+            ops_scratch: Vec::new(),
+            delta_scratch: Vec::new(),
+            merge_scratch: Vec::new(),
             retry_base: config.retry_base,
             retry_cap: config.retry_cap,
         })
@@ -345,13 +409,7 @@ impl Collector {
         tree: &RoutingTree,
         cache: &mut ExportCache,
     ) {
-        if self.peer_idx.len() != self.sessions.len() {
-            self.peer_idx = self
-                .sessions
-                .iter()
-                .map(|s| graph.index_of(s.peer))
-                .collect();
-        }
+        self.ensure_peer_idx(graph);
         for i in 0..self.sessions.len() {
             cache.refresh_at(
                 graph,
@@ -360,6 +418,47 @@ impl Collector {
                 self.peer_idx[i],
                 &mut self.arena,
             );
+        }
+    }
+
+    /// [`Collector::refresh_exports`] that also reports *where* the
+    /// refresh mattered: for every session whose `(origin, peer)`
+    /// export **value** changed, pushes the origin onto that session's
+    /// list in `dirty` (indexed by session, `len >= sessions`). The
+    /// per-event observe then diffs exactly those (session, origin)
+    /// pairs — an epoch bump that leaves a peer's export identical can
+    /// produce no log record, so skipping it is invisible in the log.
+    pub fn refresh_exports_dirty(
+        &mut self,
+        graph: &AsGraph,
+        tree: &RoutingTree,
+        cache: &mut ExportCache,
+        dirty: &mut [Vec<Asn>],
+    ) {
+        debug_assert!(dirty.len() >= self.sessions.len());
+        self.ensure_peer_idx(graph);
+        let origin = tree.dest();
+        for (i, d) in dirty.iter_mut().enumerate().take(self.sessions.len()) {
+            let changed = cache.refresh_at(
+                graph,
+                tree,
+                self.sessions[i].peer,
+                self.peer_idx[i],
+                &mut self.arena,
+            );
+            if changed {
+                d.push(origin);
+            }
+        }
+    }
+
+    fn ensure_peer_idx(&mut self, graph: &AsGraph) {
+        if self.peer_idx.len() != self.sessions.len() {
+            self.peer_idx = self
+                .sessions
+                .iter()
+                .map(|s| graph.index_of(s.peer))
+                .collect();
         }
     }
 
@@ -398,6 +497,9 @@ impl Collector {
                 attempts: 0,
                 next_retry: at + self.retry_base,
             };
+            if let Ok(pos) = self.live_idx.binary_search(&i) {
+                self.live_idx.remove(pos);
+            }
             obs::incr("collector", "session_down", 1);
             obs::incr_session("collector", "session_down", id.0, 1);
         }
@@ -433,6 +535,9 @@ impl Collector {
             obs::incr("collector", "reconnect_attempts", 1);
             if link_up(id) {
                 self.liveness[i] = SessionState::Up;
+                if let Err(pos) = self.live_idx.binary_search(&i) {
+                    self.live_idx.insert(pos, i);
+                }
                 // Forget the session's table: the peer re-dumps on
                 // re-establishment, so the next observe re-announces
                 // every live route.
@@ -474,8 +579,8 @@ impl Collector {
     pub fn export_state(&self) -> CollectorState {
         let mut routes = Vec::new();
         for (si, table) in self.state.iter().enumerate() {
-            for (p, id) in table {
-                routes.push((si as u32, *p, self.arena.resolve(*id).clone()));
+            for &(p, id) in &table.entries {
+                routes.push((si as u32, p, self.arena.resolve(id).clone()));
             }
         }
         CollectorState {
@@ -528,9 +633,9 @@ impl Collector {
                 ),
             });
         }
-        let mut table: Vec<BTreeMap<Ipv4Prefix, PathId>> =
-            vec![BTreeMap::new(); self.sessions.len()];
-        for (si, prefix, path) in &state.routes {
+        let mut tables: Vec<Vec<(Ipv4Prefix, u32, PathId)>> =
+            vec![Vec::new(); self.sessions.len()];
+        for (seq, (si, prefix, path)) in state.routes.iter().enumerate() {
             let si = *si as usize;
             if si >= self.sessions.len() {
                 return Err(QuicksandError::ResumeMismatch {
@@ -538,9 +643,26 @@ impl Collector {
                     detail: format!("route on unknown session index {si}"),
                 });
             }
-            table[si].insert(*prefix, self.arena.intern(path.clone()));
+            tables[si].push((*prefix, seq as u32, self.arena.intern(path.clone())));
         }
-        self.state = table;
+        self.state = tables
+            .into_iter()
+            .map(|mut v| {
+                // Checkpoints written by `export_state` are already
+                // sorted and duplicate-free; sorting by (prefix, input
+                // order) with a last-wins collapse keeps the old
+                // map-insert semantics for any well-typed input.
+                v.sort_unstable_by_key(|&(p, s, _)| (p, s));
+                let mut entries: Vec<(Ipv4Prefix, PathId)> = Vec::with_capacity(v.len());
+                for (p, _, id) in v {
+                    match entries.last_mut() {
+                        Some(last) if last.0 == p => last.1 = id,
+                        _ => entries.push((p, id)),
+                    }
+                }
+                FlatTable { entries }
+            })
+            .collect();
         self.next_reset = state.resets_done as usize;
         self.liveness = state
             .liveness
@@ -557,6 +679,9 @@ impl Collector {
                     next_retry,
                 },
             })
+            .collect();
+        self.live_idx = (0..self.sessions.len())
+            .filter(|&si| matches!(self.liveness[si], SessionState::Up))
             .collect();
         Ok(())
     }
@@ -585,8 +710,8 @@ impl Collector {
         // with an [`ExportCache`]-backed closure directly.
         let peers: Vec<Asn> = self
             .live_session_indices()
-            .into_iter()
-            .map(|si| self.sessions[si].peer)
+            .iter()
+            .map(|&si| self.sessions[si].peer)
             .collect();
         let arena = &mut self.arena;
         let mut table: BTreeMap<(Asn, Ipv4Prefix), Option<(PathId, RouteClass)>> =
@@ -628,13 +753,86 @@ impl Collector {
         let _span = obs::prof::span("collector", "observe");
         let recorded_before = log.records.len();
         self.emit_due_resets(at, log);
-        let ops: Vec<SessionOps> = self
-            .live_session_indices()
-            .into_iter()
-            .map(|si| self.diff_session(si, prefixes, exported))
-            .collect();
+        let mut ops = self.take_ops_scratch();
+        for idx in 0..self.live_idx.len() {
+            let si = self.live_idx[idx];
+            self.diff_session_into(si, prefixes, exported, &mut ops[si]);
+        }
         self.apply_ops(at, &ops, log);
+        self.restore_ops_scratch(ops);
         Self::count_observation(log.records.len() - recorded_before);
+    }
+
+    /// Observe at time `at` only the **dirty** part of the routing
+    /// state: `dirty[si]` lists, ascending, the origins whose export
+    /// toward session `si`'s peer changed since the last observe (as
+    /// reported by [`Collector::refresh_exports_dirty`]), and
+    /// `prefixes_of` maps an origin to its tracked prefixes (ascending;
+    /// an origin's prefixes must not appear under another origin).
+    /// `exported` answers `(peer, origin)` queries, typically
+    /// [`ExportCache::get`].
+    ///
+    /// Produces byte-for-byte the records a full
+    /// [`Collector::observe_interned`] over all tracked prefixes would
+    /// append: a record is emitted only when a session's recorded entry
+    /// changes, which requires that (origin, peer) export to have
+    /// changed — membership in `dirty` — and clean origins' prefix runs
+    /// diff to nothing. This is the replay hot path: per event it
+    /// touches only changed (session, origin) pairs.
+    pub fn observe_dirty<'a, F, P>(
+        &mut self,
+        at: SimTime,
+        dirty: &[Vec<Asn>],
+        prefixes_of: &P,
+        exported: &F,
+        log: &mut UpdateLog,
+    ) where
+        F: Fn(Asn, Asn) -> Option<(PathId, RouteClass)>,
+        P: Fn(Asn) -> &'a [Ipv4Prefix],
+    {
+        let _span = obs::prof::span("collector", "observe");
+        let recorded_before = log.records.len();
+        self.emit_due_resets(at, log);
+        let mut ops = self.take_ops_scratch();
+        for idx in 0..self.live_idx.len() {
+            let si = self.live_idx[idx];
+            if dirty[si].is_empty() {
+                continue;
+            }
+            self.diff_dirty_into(si, &dirty[si], prefixes_of, exported, &mut ops[si]);
+        }
+        self.apply_ops(at, &ops, log);
+        self.restore_ops_scratch(ops);
+        Self::count_observation(log.records.len() - recorded_before);
+    }
+
+    /// Lend out the per-session [`SessionOps`] scratch: one slot per
+    /// session, `ops[si].session == si`, every op list cleared but with
+    /// its warm capacity. Callers (the observe entry points and the
+    /// parallel engine, which hands disjoint slots to worker shards)
+    /// fill slots, run [`Collector::apply_ops`] over the whole slice —
+    /// untouched slots are empty and apply as no-ops — and give the
+    /// buffer back via [`Collector::restore_ops_scratch`].
+    pub fn take_ops_scratch(&mut self) -> Vec<SessionOps> {
+        let mut ops = std::mem::take(&mut self.ops_scratch);
+        if ops.len() != self.sessions.len() {
+            ops = (0..self.sessions.len())
+                .map(|si| SessionOps {
+                    session: si,
+                    ops: Vec::new(),
+                })
+                .collect();
+        } else {
+            for so in ops.iter_mut() {
+                so.ops.clear();
+            }
+        }
+        ops
+    }
+
+    /// Return the buffer borrowed by [`Collector::take_ops_scratch`].
+    pub fn restore_ops_scratch(&mut self, ops: Vec<SessionOps>) {
+        self.ops_scratch = ops;
     }
 
     /// First phase of [`Collector::observe`]: emit every scheduled
@@ -654,7 +852,7 @@ impl Collector {
                 continue;
             }
             let id = self.sessions[si].id;
-            for (&prefix, &pid) in &self.state[si] {
+            for &(prefix, pid) in &self.state[si].entries {
                 log.records.push(UpdateRecord {
                     at: rt,
                     session: id,
@@ -670,10 +868,9 @@ impl Collector {
 
     /// Indices of the sessions currently up, ascending — the sessions
     /// [`Collector::observe`] diffs, in the order it diffs them.
-    pub fn live_session_indices(&self) -> Vec<usize> {
-        (0..self.sessions.len())
-            .filter(|&si| matches!(self.liveness[si], SessionState::Up))
-            .collect()
+    /// Maintained on up/down transitions; reading it allocates nothing.
+    pub fn live_session_indices(&self) -> &[usize] {
+        &self.live_idx
     }
 
     /// Pure per-session half of [`Collector::observe`]: diff the
@@ -695,9 +892,37 @@ impl Collector {
     where
         F: Fn(Asn, usize) -> Option<(PathId, RouteClass)>,
     {
+        let mut out = SessionOps {
+            session: si,
+            ops: Vec::new(),
+        };
+        self.diff_session_into(si, prefixes, exported, &mut out);
+        out
+    }
+
+    /// [`Collector::diff_session`] into a caller-owned [`SessionOps`]
+    /// (cleared first), typically a slot from
+    /// [`Collector::take_ops_scratch`], so the per-event hot path reuses
+    /// warm op buffers.
+    pub fn diff_session_into<F>(
+        &self,
+        si: usize,
+        prefixes: &[Ipv4Prefix],
+        exported: &F,
+        out: &mut SessionOps,
+    ) where
+        F: Fn(Asn, usize) -> Option<(PathId, RouteClass)>,
+    {
         let _span = obs::prof::span("collector", "diff_session");
         let info = &self.sessions[si];
-        let mut ops: Vec<(Ipv4Prefix, Option<PathId>)> = Vec::new();
+        out.session = si;
+        out.ops.clear();
+        let table = &self.state[si].entries;
+        // Queries usually arrive in long ascending runs (table dumps are
+        // fully sorted); a moving cursor turns each run into a lockstep
+        // merge instead of a per-query search of the whole table.
+        let mut cursor = 0usize;
+        let mut max_seen: Option<Ipv4Prefix> = None;
         for (pi, &prefix) in prefixes.iter().enumerate() {
             let now = exported(info.peer, pi).and_then(|(id, class)| {
                 let visible = match info.kind {
@@ -708,26 +933,96 @@ impl Collector {
                 };
                 visible.then_some(id)
             });
-            // Duplicate prefixes in one call must see their own effect:
-            // the latest not-yet-applied op for this prefix overlays the
-            // table. `ops` mirrors the pending set exactly — an op is
-            // pushed iff the entry changes — so a reverse scan replaces
-            // the allocating overlay map the untuned diff kept.
-            let prev = match ops.iter().rev().find(|&&(p, _)| p == prefix) {
-                Some(&(_, overlaid)) => overlaid,
-                None => self.state[si].get(&prefix).copied(),
+            let prev = if max_seen.map_or(true, |m| m < prefix) {
+                // Strictly above everything queried so far: this prefix
+                // cannot repeat an earlier query, so there is no pending
+                // op to overlay, and the answer sits at or right of the
+                // cursor.
+                max_seen = Some(prefix);
+                let pos = cursor + gallop(&table[cursor..], prefix);
+                let hit = pos < table.len() && table[pos].0 == prefix;
+                cursor = if hit { pos + 1 } else { pos };
+                hit.then(|| table[pos].1)
+            } else {
+                // Query order regressed. Duplicate prefixes in one call
+                // must see their own effect: the latest not-yet-applied
+                // op for this prefix overlays the table — `out.ops`
+                // mirrors the pending set exactly, since an op is pushed
+                // iff the entry changes. The cursor no longer bounds the
+                // search, so fall back to a full binary search.
+                cursor = 0;
+                match out.ops.iter().rev().find(|&&(q, _)| q == prefix) {
+                    Some(&(_, overlaid)) => overlaid,
+                    None => self.state[si].get(&prefix),
+                }
             };
             match (prev, now) {
                 (None, None) => {}
-                (Some(_), None) => ops.push((prefix, None)),
+                (Some(_), None) => out.ops.push((prefix, None)),
                 (prev, Some(id)) => {
                     if prev != Some(id) {
-                        ops.push((prefix, Some(id)));
+                        out.ops.push((prefix, Some(id)));
                     }
                 }
             }
         }
-        SessionOps { session: si, ops }
+    }
+
+    /// Dirty-set twin of [`Collector::diff_session_into`]: diff only the
+    /// prefix runs of `dirty_origins` against session `si`'s table,
+    /// probing `exported` once per origin (every prefix of an origin
+    /// shares one export). Requirements, both guaranteed by the replay's
+    /// `tracked_prefixes`-derived indexes: each `prefixes_of(origin)`
+    /// slice is ascending, and no prefix appears under two origins.
+    /// Mutates nothing; shards can run it concurrently against the same
+    /// pre-observe state, exactly like `diff_session`.
+    pub fn diff_dirty_into<'a, F, P>(
+        &self,
+        si: usize,
+        dirty_origins: &[Asn],
+        prefixes_of: &P,
+        exported: &F,
+        out: &mut SessionOps,
+    ) where
+        F: Fn(Asn, Asn) -> Option<(PathId, RouteClass)>,
+        P: Fn(Asn) -> &'a [Ipv4Prefix],
+    {
+        let _span = obs::prof::span("collector", "diff_session");
+        let info = &self.sessions[si];
+        out.session = si;
+        out.ops.clear();
+        let table = &self.state[si].entries;
+        for &origin in dirty_origins {
+            let prefixes = prefixes_of(origin);
+            if prefixes.is_empty() {
+                continue;
+            }
+            let now = exported(info.peer, origin).and_then(|(id, class)| {
+                let visible = match info.kind {
+                    FeedKind::Full => true,
+                    FeedKind::Partial => {
+                        matches!(class, RouteClass::Origin | RouteClass::Customer)
+                    }
+                };
+                visible.then_some(id)
+            });
+            let mut cursor = 0usize;
+            for &prefix in prefixes {
+                let pos = cursor + gallop(&table[cursor..], prefix);
+                let hit = pos < table.len() && table[pos].0 == prefix;
+                cursor = if hit { pos + 1 } else { pos };
+                let prev = hit.then(|| table[pos].1);
+                match (prev, now) {
+                    (None, None) => {}
+                    (Some(_), None) => out.ops.push((prefix, None)),
+                    (prev, Some(id)) => {
+                        if prev != Some(id) {
+                            out.ops.push((prefix, Some(id)));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Final phase of [`Collector::observe`]: apply per-session diffs
@@ -741,32 +1036,86 @@ impl Collector {
             "session diffs must apply in ascending session order"
         );
         for so in ops {
+            if so.ops.is_empty() {
+                continue;
+            }
             let sid = self.sessions[so.session].id;
-            for (prefix, entry) in &so.ops {
+            for &(prefix, entry) in &so.ops {
                 match entry {
-                    None => {
-                        self.state[so.session].remove(prefix);
-                        log.records.push(UpdateRecord {
-                            at,
-                            session: sid,
-                            msg: UpdateMessage::Withdraw(*prefix),
-                        });
-                    }
-                    Some(id) => {
-                        self.state[so.session].insert(*prefix, *id);
-                        log.records.push(UpdateRecord {
-                            at,
-                            session: sid,
-                            msg: UpdateMessage::Announce(Route {
-                                prefix: *prefix,
-                                as_path: self.arena.resolve(*id).clone(),
-                                communities: Default::default(),
-                            }),
-                        });
-                    }
+                    None => log.records.push(UpdateRecord {
+                        at,
+                        session: sid,
+                        msg: UpdateMessage::Withdraw(prefix),
+                    }),
+                    Some(id) => log.records.push(UpdateRecord {
+                        at,
+                        session: sid,
+                        msg: UpdateMessage::Announce(Route {
+                            prefix,
+                            as_path: self.arena.resolve(id).clone(),
+                            communities: Default::default(),
+                        }),
+                    }),
+                }
+            }
+            self.apply_table_ops(so.session, &so.ops);
+        }
+    }
+
+    /// Apply one session's ops to its flat table as a batch merge.
+    /// Replacements of existing entries update in place; once an op
+    /// inserts or removes, the remainder is handled by sorting the ops
+    /// `(prefix, seq)` (later ops on a duplicate prefix win) and
+    /// two-pointer merging table and ops into a reused scratch buffer —
+    /// O(n + k log k) for k ops instead of k O(n) `Vec` shifts.
+    fn apply_table_ops(&mut self, si: usize, ops: &[(Ipv4Prefix, Option<PathId>)]) {
+        let table = &mut self.state[si].entries;
+        let mut needs_merge = false;
+        for (i, &(prefix, entry)) in ops.iter().enumerate() {
+            match (entry, table.binary_search_by(|e| e.0.cmp(&prefix))) {
+                (Some(id), Ok(pos)) => table[pos].1 = id,
+                _ => {
+                    // Insert or remove: fall to the merge path for this
+                    // and all remaining ops. In-place replacements done
+                    // so far are safe — the merge re-applies the same
+                    // last-wins values over the updated table.
+                    self.delta_scratch.clear();
+                    self.delta_scratch
+                        .extend(ops[i..].iter().enumerate().map(|(j, &(p, e))| (p, j as u32, e)));
+                    needs_merge = true;
+                    break;
                 }
             }
         }
+        if !needs_merge {
+            return;
+        }
+        self.delta_scratch.sort_unstable_by_key(|&(p, seq, _)| (p, seq));
+        let merged = &mut self.merge_scratch;
+        merged.clear();
+        let mut ti = 0usize;
+        let mut j = 0usize;
+        while j < self.delta_scratch.len() {
+            // Collapse the equal-prefix group to its last op (last wins).
+            let prefix = self.delta_scratch[j].0;
+            while j + 1 < self.delta_scratch.len() && self.delta_scratch[j + 1].0 == prefix {
+                j += 1;
+            }
+            let entry = self.delta_scratch[j].2;
+            j += 1;
+            while ti < table.len() && table[ti].0 < prefix {
+                merged.push(table[ti]);
+                ti += 1;
+            }
+            if ti < table.len() && table[ti].0 == prefix {
+                ti += 1; // superseded by the op
+            }
+            if let Some(id) = entry {
+                merged.push((prefix, id));
+            }
+        }
+        merged.extend_from_slice(&table[ti..]);
+        std::mem::swap(table, merged);
     }
 
     /// Record the metrics of one completed observation, where `appended`

@@ -16,24 +16,113 @@
 //!   tie-break) its current one under the decision process.
 
 use crate::churn::LinkChange;
+use crate::paths::FxMap;
 use quicksand_net::Asn;
 use quicksand_obs as obs;
-use quicksand_topology::{AsGraph, ReconvergeScratch, Relationship, RouteClass, RoutingTree};
-use std::collections::BTreeMap;
+use quicksand_topology::{
+    AsGraph, ReconvergeScratch, Relationship, RouteClass, RoutingTree, TRACE_UNROUTED,
+};
+
+/// Inverted link→trees index: for every *directed* tree edge
+/// `from → to` (a node and its next hop), which tracked trees currently
+/// contain it. A link-down event's candidate set is then the union of
+/// the two directed bitmaps for the failed link — no per-tree
+/// `uses_link` scan.
+///
+/// Seeded from [`RoutingTree::next_hops`] at construction and kept
+/// current by replaying each reconvergence's next-hop trace
+/// ([`RoutingTree::trace`]); `FastConverge::index_is_consistent`
+/// cross-checks the two in tests.
+struct LinkIndex {
+    /// Bitmap length in u64 words (`ceil(n_slots / 64)`).
+    words: usize,
+    /// `(from << 32) | to` → bitmap over tree slots.
+    map: FxMap<Vec<u64>>,
+}
+
+fn edge_key(from: usize, to: usize) -> u64 {
+    ((from as u64) << 32) | to as u64
+}
+
+impl LinkIndex {
+    fn new(n_slots: usize) -> Self {
+        LinkIndex {
+            words: n_slots.div_ceil(64),
+            map: FxMap::default(),
+        }
+    }
+
+    fn set(&mut self, from: usize, to: usize, slot: usize) {
+        let words = self.words;
+        let bits = self
+            .map
+            .entry(edge_key(from, to))
+            .or_insert_with(|| vec![0u64; words]);
+        bits[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    fn clear(&mut self, from: usize, to: usize, slot: usize) {
+        if let Some(bits) = self.map.get_mut(&edge_key(from, to)) {
+            bits[slot / 64] &= !(1u64 << (slot % 64));
+        }
+    }
+
+    /// Push (ascending) every slot whose tree uses the undirected link
+    /// `a`–`b`, i.e. has `a → b` or `b → a` as a tree edge.
+    fn union_into(&self, a: usize, b: usize, out: &mut Vec<usize>) {
+        let x = self.map.get(&edge_key(a, b));
+        let y = self.map.get(&edge_key(b, a));
+        if x.is_none() && y.is_none() {
+            return;
+        }
+        for w in 0..self.words {
+            let mut bits = x.map_or(0, |v| v[w]) | y.map_or(0, |v| v[w]);
+            while bits != 0 {
+                out.push(w * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Equal as a set of (edge, slot) pairs — all-zero bitmaps and
+    /// absent entries are the same thing.
+    fn same_bits(&self, other: &LinkIndex) -> bool {
+        let zeros = vec![0u64; self.words];
+        let covered = |a: &LinkIndex, b: &LinkIndex| {
+            a.map.iter().all(|(k, bits)| {
+                let theirs = b.map.get(k).unwrap_or(&zeros);
+                bits == theirs || (bits.iter().all(|&w| w == 0) && theirs.iter().all(|&w| w == 0))
+            })
+        };
+        self.words == other.words && covered(self, other) && covered(other, self)
+    }
+}
 
 /// Incrementally maintained routing trees for tracked origins.
 pub struct FastConverge {
     graph: AsGraph,
-    trees: BTreeMap<Asn, RoutingTree>,
-    /// Relationships of currently-down links, so recovery restores the
-    /// original business relationship. Keyed `(lo, hi)` by ASN; value is
-    /// the relationship of `hi` from `lo`'s point of view.
-    down: BTreeMap<(Asn, Asn), Relationship>,
+    /// Tracked trees, ascending by origin ASN. Slot order (ascending
+    /// origin) is the candidate order `apply_with` hands its hook. The
+    /// `Option` is a move slot: `apply_with` takes candidate trees out
+    /// for the duration of the recompute hook and always puts them
+    /// back — every tree is `Some` outside that window.
+    trees: Vec<(Asn, Option<RoutingTree>)>,
+    link_index: LinkIndex,
+    /// Currently-down links with the relationship to restore, sorted by
+    /// `(lo, hi)` ASN key; value is the relationship of `hi` from
+    /// `lo`'s point of view. `down_keys` mirrors the keys so checkpoint
+    /// snapshots can borrow the list without collecting.
+    down: Vec<((Asn, Asn), Relationship)>,
+    down_keys: Vec<(Asn, Asn)>,
     /// Count of tree recomputations (for benchmarks/diagnostics).
     pub recomputes: u64,
     /// Worklist scratch reused across every event and candidate tree,
     /// so serial [`FastConverge::apply`] allocates nothing per event.
     scratch: ReconvergeScratch,
+    /// Candidate slot list reused across events.
+    cand_scratch: Vec<usize>,
+    /// Taken-trees buffer reused across events.
+    taken_scratch: Vec<(Asn, RoutingTree)>,
 }
 
 fn key(a: Asn, b: Asn) -> (Asn, Asn) {
@@ -44,6 +133,14 @@ fn key(a: Asn, b: Asn) -> (Asn, Asn) {
     }
 }
 
+fn invert(rel: Relationship) -> Relationship {
+    match rel {
+        Relationship::Customer => Relationship::Provider,
+        Relationship::Provider => Relationship::Customer,
+        Relationship::Peer => Relationship::Peer,
+    }
+}
+
 impl FastConverge {
     /// Build over `graph`, tracking routing trees toward each of
     /// `origins` (duplicates are fine).
@@ -51,18 +148,36 @@ impl FastConverge {
     /// # Panics
     /// Panics if an origin is not present in the graph.
     pub fn new(graph: AsGraph, origins: impl IntoIterator<Item = Asn>) -> Self {
-        let mut trees = BTreeMap::new();
-        for o in origins {
-            trees.entry(o).or_insert_with(|| {
-                RoutingTree::compute(&graph, o).expect("tracked origin not in graph")
-            });
+        let mut os: Vec<Asn> = origins.into_iter().collect();
+        os.sort_unstable();
+        os.dedup();
+        let trees: Vec<(Asn, Option<RoutingTree>)> = os
+            .into_iter()
+            .map(|o| {
+                let mut t =
+                    RoutingTree::compute(&graph, o).expect("tracked origin not in graph");
+                t.set_tracing(true);
+                (o, Some(t))
+            })
+            .collect();
+        let mut link_index = LinkIndex::new(trees.len());
+        for (slot, (_, t)) in trees.iter().enumerate() {
+            for (v, next) in t.as_ref().expect("tree present").next_hops() {
+                if v != next {
+                    link_index.set(v, next, slot);
+                }
+            }
         }
         FastConverge {
             graph,
             trees,
-            down: BTreeMap::new(),
+            link_index,
+            down: Vec::new(),
+            down_keys: Vec::new(),
             recomputes: 0,
             scratch: ReconvergeScratch::new(),
+            cand_scratch: Vec::new(),
+            taken_scratch: Vec::new(),
         }
     }
 
@@ -73,22 +188,43 @@ impl FastConverge {
 
     /// The current routing tree toward `origin`.
     pub fn tree(&self, origin: Asn) -> Option<&RoutingTree> {
-        self.trees.get(&origin)
+        let i = self
+            .trees
+            .binary_search_by(|(o, _)| o.cmp(&origin))
+            .ok()?;
+        Some(self.trees[i].1.as_ref().expect("tree present"))
     }
 
     /// Tracked origins, ascending.
     pub fn origins(&self) -> impl Iterator<Item = Asn> + '_ {
-        self.trees.keys().copied()
+        self.trees.iter().map(|(o, _)| *o)
     }
 
-    /// The links currently down, as `(lo, hi)` ASN pairs — together
-    /// with the immutable base graph, the complete routing state:
-    /// applying [`LinkChange::down`] for each pair to a fresh
+    /// The links currently down, as sorted `(lo, hi)` ASN pairs —
+    /// together with the immutable base graph, the complete routing
+    /// state: applying [`LinkChange::down`] for each pair to a fresh
     /// [`FastConverge`] reproduces identical post-convergence paths
     /// (trees are exact, cross-validated against full recomputation).
-    /// This is what a run checkpoint records instead of the trees.
-    pub fn down_links(&self) -> Vec<(Asn, Asn)> {
-        self.down.keys().copied().collect()
+    /// This is what a run checkpoint records instead of the trees;
+    /// borrowed so the per-checkpoint snapshot does not allocate here.
+    pub fn down_links(&self) -> &[(Asn, Asn)] {
+        &self.down_keys
+    }
+
+    /// Cross-check the incrementally maintained link→trees index
+    /// against one rebuilt from the trees' current next hops. Test
+    /// support (the index is exactly the `uses_link` relation).
+    #[doc(hidden)]
+    pub fn index_is_consistent(&self) -> bool {
+        let mut fresh = LinkIndex::new(self.trees.len());
+        for (slot, (_, t)) in self.trees.iter().enumerate() {
+            for (v, next) in t.as_ref().expect("tree present").next_hops() {
+                if v != next {
+                    fresh.set(v, next, slot);
+                }
+            }
+        }
+        fresh.same_bits(&self.link_index)
     }
 
     /// Apply a link change; returns the tracked origins whose trees
@@ -138,10 +274,13 @@ impl FastConverge {
         let _span = obs::prof::span("routing", "apply");
         let LinkChange { a, b, up } = change;
         let k = key(a, b);
-        let candidates: Vec<Asn> = if up {
-            let Some(rel) = self.down.remove(&k) else {
+        self.cand_scratch.clear();
+        if up {
+            let Ok(pos) = self.down_keys.binary_search(&k) else {
                 return Vec::new(); // link was not down; nothing to do
             };
+            let (_, rel) = self.down.remove(pos);
+            self.down_keys.remove(pos);
             // Restore: rel is relationship of k.1 (hi) from k.0 (lo).
             match rel {
                 Relationship::Peer => self.graph.add_peering(k.0, k.1).unwrap(),
@@ -153,34 +292,61 @@ impl FastConverge {
                     self.graph.add_customer_provider(k.0, k.1).unwrap()
                 }
             }
-            self.trees
-                .iter()
-                .filter(|(_, tree)| Self::link_up_matters(&self.graph, tree, a, b))
-                .map(|(o, _)| *o)
-                .collect()
+            // Resolve endpoint indices and the two relationship views
+            // once per event, not once per tracked tree.
+            let (Some(ilo), Some(ihi)) =
+                (self.graph.index_of(k.0), self.graph.index_of(k.1))
+            else {
+                unreachable!("link endpoints are in the graph");
+            };
+            let rel_hi_from_lo = rel;
+            let rel_lo_from_hi = invert(rel);
+            for (slot, (_, tree)) in self.trees.iter().enumerate() {
+                let tree = tree.as_ref().expect("tree present");
+                let matters = Self::endpoint_gains_idx(
+                    &self.graph, tree, ilo, ihi, k.1, rel_lo_from_hi, rel_hi_from_lo,
+                ) || Self::endpoint_gains_idx(
+                    &self.graph, tree, ihi, ilo, k.0, rel_hi_from_lo, rel_lo_from_hi,
+                );
+                if matters {
+                    self.cand_scratch.push(slot);
+                }
+            }
         } else {
             let Some(rel) = self.graph.relationship(k.0, k.1) else {
                 return Vec::new(); // already down
             };
-            self.down.insert(k, rel);
+            let pos = self
+                .down_keys
+                .binary_search(&k)
+                .expect_err("up link cannot be in the down set");
+            self.down.insert(pos, (k, rel));
+            self.down_keys.insert(pos, k);
             self.graph.remove_link(k.0, k.1).unwrap();
-            self.trees
-                .iter()
-                .filter(|(_, tree)| tree.uses_link(&self.graph, a, b))
-                .map(|(o, _)| *o)
-                .collect()
-        };
-        if candidates.is_empty() {
+            let (Some(ilo), Some(ihi)) =
+                (self.graph.index_of(k.0), self.graph.index_of(k.1))
+            else {
+                unreachable!("link endpoints are in the graph");
+            };
+            // A tree can change only if the failed link carried traffic
+            // in it — exactly the trees the inverted index holds for
+            // the link's two directions (ascending slot = ascending
+            // origin, preserving the candidate order).
+            self.link_index.union_into(ilo, ihi, &mut self.cand_scratch);
+        }
+        if self.cand_scratch.is_empty() {
             return Vec::new();
         }
-        self.recomputes += candidates.len() as u64;
-        obs::incr("routing", "tree_recomputes", candidates.len() as u64);
-        // Move the candidate trees out of the map so `recompute` can
+        self.recomputes += self.cand_scratch.len() as u64;
+        obs::incr("routing", "tree_recomputes", self.cand_scratch.len() as u64);
+        // Move the candidate trees out of their slots so `recompute` can
         // mutate them while reading the graph it was handed.
-        let mut taken: Vec<(Asn, RoutingTree)> = candidates
-            .iter()
-            .map(|o| (*o, self.trees.remove(o).expect("tracked origin")))
-            .collect();
+        let mut taken = std::mem::take(&mut self.taken_scratch);
+        debug_assert!(taken.is_empty());
+        for &slot in &self.cand_scratch {
+            let (o, t) = &mut self.trees[slot];
+            taken.push((*o, t.take().expect("tree present")));
+        }
         let flags = recompute(&self.graph, (a, b), &mut taken);
         assert_eq!(
             flags.len(),
@@ -188,56 +354,78 @@ impl FastConverge {
             "recompute must return one changed flag per candidate tree"
         );
         let mut changed = Vec::new();
-        for ((o, tree), did_change) in taken.into_iter().zip(flags) {
-            self.trees.insert(o, tree);
+        for ((&slot, (o, mut tree)), did_change) in
+            self.cand_scratch.iter().zip(taken.drain(..)).zip(flags)
+        {
+            // Replay the reconvergence's next-hop trace into the index
+            // before the tree goes back into its slot. Traces compose
+            // in recording order, so the index lands on the post-event
+            // tree no matter how the hook scheduled the recomputes.
+            for &(v, old, new) in tree.trace() {
+                let v = v as usize;
+                if old != TRACE_UNROUTED && old as usize != v {
+                    self.link_index.clear(v, old as usize, slot);
+                }
+                if new != TRACE_UNROUTED && new as usize != v {
+                    self.link_index.set(v, new as usize, slot);
+                }
+            }
+            tree.clear_trace();
+            self.trees[slot].1 = Some(tree);
             if did_change {
                 changed.push(o);
             }
         }
+        self.taken_scratch = taken;
         changed
     }
 
-    /// Would the (re)appearance of link `a`–`b` change this tree? True
-    /// when either endpoint would select a route through the other under
-    /// the decision process (class, then length, then lowest-ASN
-    /// tie-break), considering export legality.
-    fn link_up_matters(graph: &AsGraph, tree: &RoutingTree, a: Asn, b: Asn) -> bool {
-        Self::endpoint_gains(graph, tree, a, b) || Self::endpoint_gains(graph, tree, b, a)
-    }
-
     /// Would `at` select a route via `via` for this tree's destination?
-    fn endpoint_gains(graph: &AsGraph, tree: &RoutingTree, at: Asn, via: Asn) -> bool {
-        let Some(via_class) = tree.class_of(graph, via) else {
+    ///
+    /// Index-addressed form of the decision-process check: node indices
+    /// and both relationship views are resolved once per *event* by the
+    /// caller, so the per-tree work is a few array reads. Must decide
+    /// exactly like the reference (`class`/`dist`/`next_hop` by ASN with
+    /// the lowest-next-hop-ASN tie-break) — the affected-origin lists
+    /// and the `recomputes` counter are pinned by the differential
+    /// harness.
+    fn endpoint_gains_idx(
+        graph: &AsGraph,
+        tree: &RoutingTree,
+        at: usize,
+        via: usize,
+        via_asn: Asn,
+        rel_of_at_from_via: Relationship,
+        rel_of_via_from_at: Relationship,
+    ) -> bool {
+        let Some((via_class, via_dist, via_next)) = tree.route_at_idx(via) else {
             return false; // via has no route to offer
         };
         // Export legality at `via`: own/customer routes go to anyone;
         // peer/provider routes only to via's customers.
-        let rel_of_at_from_via = graph.relationship(via, at).expect("link exists");
         let exportable = matches!(via_class, RouteClass::Origin | RouteClass::Customer)
             || rel_of_at_from_via == Relationship::Customer;
         if !exportable {
             return false;
         }
         // Never route back through yourself.
-        if tree.next_hop(graph, via) == Some(at) {
+        if via_next == at {
             return false;
         }
-        let cand_class = match graph.relationship(at, via).expect("link exists") {
+        let cand_class = match rel_of_via_from_at {
             Relationship::Customer => RouteClass::Customer,
             Relationship::Peer => RouteClass::Peer,
             Relationship::Provider => RouteClass::Provider,
         };
-        let cand_dist = tree.distance(graph, via).expect("routed via") + 1;
-        match (tree.class_of(graph, at), tree.distance(graph, at)) {
-            (None, _) | (_, None) => true,
-            (Some(cur_class), Some(cur_dist)) => {
+        let cand_dist = via_dist + 1;
+        match tree.route_at_idx(at) {
+            None => true,
+            Some((cur_class, cur_dist, cur_next)) => {
                 if cur_class == RouteClass::Origin {
                     return false;
                 }
-                let cur_next = tree
-                    .next_hop(graph, at)
-                    .expect("routed AS has a next hop");
-                (cand_class, cand_dist, via) < (cur_class, cur_dist, cur_next)
+                let cur_next_asn = graph.asn_of(cur_next);
+                (cand_class, cand_dist, via_asn) < (cur_class, cur_dist, cur_next_asn)
             }
         }
     }

@@ -38,7 +38,7 @@ pub struct PathId(u32);
 /// keyed setup costs more than the lookup itself; neither map is
 /// exposed to untrusted keys, so HashDoS resistance buys nothing here.
 #[derive(Default)]
-struct FxHasher(u64);
+pub(crate) struct FxHasher(u64);
 
 impl Hasher for FxHasher {
     fn finish(&self) -> u64 {
@@ -56,7 +56,7 @@ impl Hasher for FxHasher {
     }
 }
 
-type FxMap<V> = HashMap<u64, V, BuildHasherDefault<FxHasher>>;
+pub(crate) type FxMap<V> = HashMap<u64, V, BuildHasherDefault<FxHasher>>;
 
 /// FNV-1a over the path's ASN sequence. Collisions are tolerated (the
 /// arena compares slices within a bucket); this only spreads buckets.
@@ -179,6 +179,11 @@ impl ExportCache {
     /// seen), walk the peer's path once, intern it into `arena`, and
     /// store the `(id, class)` export. No-op when the epoch matches.
     ///
+    /// Returns `true` when the export *value* changed (including the
+    /// first computation for the pair) — the dirty signal the
+    /// changed-origin observe path keys on. An epoch advance that
+    /// leaves the peer's export identical returns `false`.
+    ///
     /// The cached path is the *recorded* path — the peer-prepended form
     /// a session logs, i.e. the full `peer → … → origin` walk.
     pub fn refresh(
@@ -187,8 +192,8 @@ impl ExportCache {
         tree: &RoutingTree,
         peer: Asn,
         arena: &mut PathArena,
-    ) {
-        self.refresh_at(graph, tree, peer, graph.index_of(peer), arena);
+    ) -> bool {
+        self.refresh_at(graph, tree, peer, graph.index_of(peer), arena)
     }
 
     /// [`ExportCache::refresh`] with the peer's dense node index already
@@ -204,7 +209,7 @@ impl ExportCache {
         peer: Asn,
         peer_idx: Option<usize>,
         arena: &mut PathArena,
-    ) {
+    ) -> bool {
         let Self { entries, scratch } = self;
         let entry = entries
             .entry(pair_key(tree.dest(), peer))
@@ -213,8 +218,9 @@ impl ExportCache {
                 export: None,
             });
         if entry.epoch == tree.epoch() {
-            return;
+            return false;
         }
+        let first = entry.epoch == u64::MAX;
         entry.epoch = tree.epoch();
         let prev = entry.export;
         entry.export = peer_idx
@@ -230,6 +236,7 @@ impl ExportCache {
                 };
                 (id, class)
             });
+        first || entry.export != prev
     }
 
     /// The memoized export for `(origin, peer)`.

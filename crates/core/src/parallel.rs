@@ -41,13 +41,19 @@ use std::time::Instant;
 
 /// Parallelize a tree-recompute region only when it has at least this
 /// many candidate trees; below it the dispatch costs more than it
-/// saves. Output is identical either way.
-const MIN_TREES_PER_REGION: usize = 2;
+/// saves. With the link→tree index pruning candidates to the trees
+/// that actually cross the edge, small regions are common and a
+/// scoped-thread spawn costs more than a handful of reconvergences.
+/// Output is identical either way.
+const MIN_TREES_PER_REGION: usize = 8;
 
-/// Parallelize a collector-diff region only when live-sessions ×
-/// prefixes reaches this; below it the region stays on the caller
-/// thread. Output is identical either way.
-const MIN_DIFF_WORK: usize = 64;
+/// Parallelize a collector-diff region only when its *actual* work —
+/// (session, prefix) pairs to be diffed, dirty pairs under dirty-set
+/// observation — reaches this; below it the region stays on the caller
+/// thread. Galloped merge-diff retires a pair in tens of nanoseconds,
+/// so a region has to carry a few thousand before threads pay for
+/// themselves. Output is identical either way.
+const MIN_DIFF_WORK: usize = 4096;
 
 /// Execution-width configuration for month replays.
 ///
@@ -300,30 +306,127 @@ pub fn observe_sharded<F>(
 {
     let recorded_before = log.len();
     collector.emit_due_resets(at, log);
-    let live = collector.live_session_indices();
-    let shards = pool.jobs().min(live.len());
-    let ops: Vec<SessionOps> = if shards < 2 || live.len() * prefixes.len() < MIN_DIFF_WORK {
-        live.iter()
-            .map(|&si| collector.diff_session(si, prefixes, exported))
-            .collect()
-    } else {
+    let mut ops = collector.take_ops_scratch();
+    {
         let snapshot: &Collector = collector;
-        let chunk = live.len().div_ceil(shards);
-        let mut diffs: Vec<Vec<SessionOps>> = Vec::new();
-        diffs.resize_with(shards, Vec::new);
-        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-        for (sessions, out) in live.chunks(chunk).zip(diffs.iter_mut()) {
-            tasks.push(Box::new(move || {
-                *out = sessions
-                    .iter()
-                    .map(|&si| snapshot.diff_session(si, prefixes, exported))
-                    .collect();
-            }));
+        let live = snapshot.live_session_indices();
+        let shards = pool.jobs().min(live.len());
+        // Every live session diffs every prefix on this (full-dump)
+        // path, so live × prefixes *is* the actual work.
+        if shards < 2 || live.len() * prefixes.len() < MIN_DIFF_WORK {
+            for &si in live {
+                snapshot.diff_session_into(si, prefixes, exported, &mut ops[si]);
+            }
+        } else {
+            let chunk = live.len().div_ceil(shards);
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            // Hand each shard the disjoint `ops` sub-slice covering its
+            // (ascending, contiguous) chunk of live session indices.
+            let mut rest: &mut [SessionOps] = &mut ops;
+            let mut offset = 0usize;
+            for sessions in live.chunks(chunk) {
+                let last = *sessions.last().expect("chunks are non-empty");
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut(last + 1 - offset);
+                let base = offset;
+                offset = last + 1;
+                rest = tail;
+                tasks.push(Box::new(move || {
+                    for &si in sessions {
+                        snapshot.diff_session_into(si, prefixes, exported, &mut head[si - base]);
+                    }
+                }));
+            }
+            pool.run_region(tasks);
         }
-        pool.run_region(tasks);
-        diffs.concat()
-    };
+    }
     collector.apply_ops(at, &ops, log);
+    collector.restore_ops_scratch(ops);
+    Collector::count_observation(log.len() - recorded_before);
+}
+
+/// The serial [`Collector::observe_dirty`] with per-session diffing
+/// sharded across `pool`: the dirty-set twin of [`observe_sharded`].
+/// The shard split is *work-weighted* — cut points fall where
+/// cumulative dirty work (prefix count over each session's dirty
+/// origins) crosses the next `total·k/shards` boundary, a pure function
+/// of the dirty sets — so one full-feed session re-dumping its table
+/// does not serialize behind fifteen idle peers. Diffs are applied
+/// serially in ascending session order, record-for-record as the
+/// serial engine appends them.
+pub fn observe_dirty_sharded<'a, F, P>(
+    collector: &mut Collector,
+    at: SimTime,
+    dirty: &[Vec<Asn>],
+    prefixes_of: &P,
+    exported: &F,
+    log: &mut UpdateLog,
+    pool: &WorkerPool,
+) where
+    F: Fn(Asn, Asn) -> Option<(PathId, RouteClass)> + Sync,
+    P: Fn(Asn) -> &'a [Ipv4Prefix] + Sync,
+{
+    let recorded_before = log.len();
+    collector.emit_due_resets(at, log);
+    let mut ops = collector.take_ops_scratch();
+    {
+        let snapshot: &Collector = collector;
+        // The sessions with anything to diff, each with its actual work.
+        let mut work_of: Vec<(usize, usize)> = Vec::new();
+        let mut total = 0usize;
+        for &si in snapshot.live_session_indices() {
+            if dirty[si].is_empty() {
+                continue;
+            }
+            let w: usize = dirty[si].iter().map(|&o| prefixes_of(o).len()).sum();
+            if w > 0 {
+                work_of.push((si, w));
+                total += w;
+            }
+        }
+        let shards = pool.jobs().min(work_of.len());
+        if shards < 2 || total < MIN_DIFF_WORK {
+            for &(si, _) in &work_of {
+                snapshot.diff_dirty_into(si, &dirty[si], prefixes_of, exported, &mut ops[si]);
+            }
+        } else {
+            let mut cuts: Vec<usize> = vec![0];
+            let mut acc = 0usize;
+            let mut k = 1usize;
+            for (i, &(_, w)) in work_of.iter().enumerate() {
+                acc += w;
+                if k < shards && acc * shards >= total * k {
+                    cuts.push(i + 1);
+                    k += 1;
+                }
+            }
+            cuts.push(work_of.len());
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            let mut rest: &mut [SessionOps] = &mut ops;
+            let mut offset = 0usize;
+            for pair in cuts.windows(2) {
+                let sessions = &work_of[pair[0]..pair[1]];
+                let Some(&(last, _)) = sessions.last() else { continue };
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut(last + 1 - offset);
+                let base = offset;
+                offset = last + 1;
+                rest = tail;
+                tasks.push(Box::new(move || {
+                    for &(si, _) in sessions {
+                        snapshot.diff_dirty_into(
+                            si,
+                            &dirty[si],
+                            prefixes_of,
+                            exported,
+                            &mut head[si - base],
+                        );
+                    }
+                }));
+            }
+            pool.run_region(tasks);
+        }
+    }
+    collector.apply_ops(at, &ops, log);
+    collector.restore_ops_scratch(ops);
     Collector::count_observation(log.len() - recorded_before);
 }
 

@@ -550,7 +550,7 @@ impl Scenario {
             config_hash: self.config_hash(),
             seed: self.config.seed,
             cursor,
-            down_links: fc.down_links(),
+            down_links: fc.down_links().to_vec(),
             collector: collector.export_state(),
             log: log.clone(),
             monitor: None,
@@ -678,6 +678,15 @@ impl Scenario {
                     fc.apply(LinkChange::down(a, b));
                 }
                 collector.import_state(&snap.collector)?;
+                // Pre-warm the whole export cache against the restored
+                // trees. `refresh_at` is counter-free, and exports are
+                // pure functions of the reconstructed trees — so after
+                // this, per-event refreshes report exactly the dirty
+                // (value-changed) entries an uninterrupted run would
+                // have seen, keeping resume-exactness counter-for-
+                // counter (first-computation sentinels would otherwise
+                // read as spuriously dirty).
+                refresh(&fc, &mut collector, &mut cache, &all_origins);
                 log = snap.log.clone();
                 snap.metrics.restore_into(&obs::metrics());
                 obs::incr("recover", "resumes", 1);
@@ -762,10 +771,14 @@ impl Scenario {
                     });
                 }
             }
-            // One prefix scratch for the whole replay: per-event lists
-            // reuse its capacity instead of allocating.
-            let mut prefixes: Vec<Ipv4Prefix> = Vec::new();
-            let mut origin_of: Vec<Asn> = Vec::new();
+            // Per-session dirty-origin lists, reused across events. An
+            // event's observation diffs exactly the (session, origin)
+            // pairs whose export value the refresh changed — the
+            // dirty-set dataflow of DESIGN.md §16 — instead of every
+            // prefix of every affected origin per session.
+            let mut dirty: Vec<Vec<Asn>> = vec![Vec::new(); self.session_peers.len()];
+            let prefixes_of =
+                |o: Asn| prefixes_by_origin.get(&o).map_or(&[][..], |v| v.as_slice());
             let mut seen = 0usize;
             for (i, ev) in events.by_ref().enumerate() {
                 let ev = ev?;
@@ -785,20 +798,52 @@ impl Scenario {
                     }
                 };
                 if !affected.is_empty() {
-                    prefixes.clear();
-                    origin_of.clear();
-                    for &o in &affected {
-                        if let Some(ps) = prefixes_by_origin.get(&o) {
-                            prefixes.extend_from_slice(ps);
-                            origin_of.extend(std::iter::repeat(o).take(ps.len()));
+                    // Only the changed trees advanced their epochs, so
+                    // refreshing exactly the affected origins keeps the
+                    // cache complete — and reports, per session, the
+                    // origins whose export *value* actually changed.
+                    // `affected` is ascending, so each dirty list is too.
+                    for d in dirty.iter_mut() {
+                        d.clear();
+                    }
+                    {
+                        let _span = obs::prof::span("collector", "refresh");
+                        for &o in &affected {
+                            let Some(tree) = fc.tree(o) else { continue };
+                            collector.refresh_exports_dirty(
+                                fc.graph(),
+                                tree,
+                                &mut cache,
+                                &mut dirty,
+                            );
                         }
                     }
-                    if !prefixes.is_empty() {
-                        // Only the changed trees advanced their epochs,
-                        // so refreshing exactly the affected origins
-                        // keeps the cache complete for this observe.
-                        refresh(&fc, &mut collector, &mut cache, &affected);
-                        observe(&mut collector, &mut log, ev.at, &prefixes, &origin_of, &cache);
+                    // A clean event (every export value unchanged) can
+                    // produce no log record; skipping its observation
+                    // entirely is invisible in the log. Resets such an
+                    // event would have flushed carry their scheduled
+                    // time and emit — against an unchanged table — at
+                    // the next observation.
+                    if dirty.iter().any(|d| !d.is_empty()) {
+                        let exported = |peer: Asn, origin: Asn| cache.get(origin, peer);
+                        match &pool {
+                            Some(pool) => parallel::observe_dirty_sharded(
+                                &mut collector,
+                                ev.at,
+                                &dirty,
+                                &prefixes_of,
+                                &exported,
+                                &mut log,
+                                pool,
+                            ),
+                            None => collector.observe_dirty(
+                                ev.at,
+                                &dirty,
+                                &prefixes_of,
+                                &exported,
+                                &mut log,
+                            ),
+                        }
                     }
                 }
                 let done = i as u64 + 1;

@@ -30,4 +30,4 @@ mod routing;
 
 pub use gen::{GeneratedTopology, TopologyConfig, TopologyGenerator};
 pub use graph::{AsGraph, AsGraphError, Relationship, Tier};
-pub use routing::{ReconvergeScratch, RouteClass, RoutingTree};
+pub use routing::{ReconvergeScratch, RouteClass, RoutingTree, TRACE_UNROUTED};

@@ -97,6 +97,10 @@ struct Entry {
     next: usize,
 }
 
+/// Sentinel node id in a [`RoutingTree`] trace entry: "no route", i.e.
+/// the node had (or ends up with) no next hop at all.
+pub const TRACE_UNROUTED: u32 = u32::MAX;
+
 /// The best policy-compliant route from every AS to one destination AS.
 #[derive(Clone, Debug)]
 pub struct RoutingTree {
@@ -108,6 +112,16 @@ pub struct RoutingTree {
     /// paths — what the collector's per-(origin, peer) export cache
     /// keys on.
     epoch: u64,
+    /// When set, every next-hop change made by a reconvergence is
+    /// appended to `trace` (see [`RoutingTree::set_tracing`]).
+    tracing: bool,
+    /// `(node, old_next, new_next)` per next-hop transition, in the
+    /// order the worklist applied them; [`TRACE_UNROUTED`] stands for
+    /// "no route". Entries compose: each record's `old_next` equals the
+    /// previous record's `new_next` for the same node, so replaying the
+    /// trace in order moves any external index from the pre-event to
+    /// the post-event tree.
+    trace: Vec<(u32, u32, u32)>,
 }
 
 impl RoutingTree {
@@ -242,6 +256,8 @@ impl RoutingTree {
             dest_idx: d,
             entries,
             epoch: 0,
+            tracing: false,
+            trace: Vec::new(),
         })
     }
 
@@ -253,6 +269,55 @@ impl RoutingTree {
     /// The tree's state version (see the field doc).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Enable or disable next-hop change tracing. Disabling also drops
+    /// any pending trace.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.trace.clear();
+            self.trace.shrink_to_fit();
+        }
+    }
+
+    /// Next-hop transitions recorded since the last
+    /// [`RoutingTree::clear_trace`] (empty unless tracing is enabled).
+    pub fn trace(&self) -> &[(u32, u32, u32)] {
+        &self.trace
+    }
+
+    /// Drop recorded transitions, keeping the buffer capacity so the
+    /// replay hot loop stays allocation-free after warmup.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    /// The route at dense node index `i` as `(class, dist, next_idx)`,
+    /// or `None` when unrouted. Index-addressed twin of
+    /// [`RoutingTree::class_of`]/[`RoutingTree::next_hop`] for hot
+    /// paths that already resolved the node index.
+    pub fn route_at_idx(&self, i: usize) -> Option<(RouteClass, u32, usize)> {
+        self.entries[i].map(|e| (e.class, e.dist, e.next))
+    }
+
+    /// Iterate `(node, next_hop)` index pairs for every routed node,
+    /// including the origin's self-loop. Used to seed external
+    /// link→tree indexes, which are then kept current from traces.
+    pub fn next_hops(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|e| (i, e.next)))
+    }
+
+    #[inline]
+    fn record_trace(&mut self, v: usize, old: Option<Entry>, new: Option<Entry>) {
+        let old_next = old.map_or(TRACE_UNROUTED, |e| e.next as u32);
+        let new_next = new.map_or(TRACE_UNROUTED, |e| e.next as u32);
+        if old_next != new_next {
+            self.trace.push((v as u32, old_next, new_next));
+        }
     }
 
     /// Incrementally reconverge this tree after the link `a`–`b`
@@ -310,6 +375,14 @@ impl RoutingTree {
                     .iter()
                     .zip(self.entries.iter())
                     .all(|(x, y)| x == y);
+                if self.tracing {
+                    // The worklist already traced its partial updates;
+                    // diff current (partially updated) vs fresh so the
+                    // composed trace still walks pre → post event.
+                    for v in 0..self.entries.len() {
+                        self.record_trace(v, self.entries[v], fresh.entries[v]);
+                    }
+                }
                 self.entries = fresh.entries;
                 let changed = changed_any || changed;
                 if changed {
@@ -320,6 +393,9 @@ impl RoutingTree {
             budget -= 1;
             let new = self.decide(graph, v);
             if new != self.entries[v] {
+                if self.tracing {
+                    self.record_trace(v, self.entries[v], new);
+                }
                 self.entries[v] = new;
                 changed_any = true;
                 for &(w, _) in graph.neighbors_idx(v) {

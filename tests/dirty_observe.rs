@@ -1,0 +1,178 @@
+//! Differential gate for dirty-set observation (DESIGN.md §16): replay
+//! the same churn schedule twice over identical collector state — once
+//! with the retired full-prefix strategy (refresh every affected
+//! origin, diff *every tracked prefix* of every live session, observe
+//! every effective event), once with the dirty-set pipeline the engine
+//! now runs (`refresh_exports_dirty` → `observe_dirty`, clean events
+//! skipped) — and require byte-identical `UpdateLog`s. A diff op is
+//! emitted iff a recorded entry changes iff that (session, origin)
+//! export value changed, so the dirty subset must reproduce the full
+//! scan record for record, reset deferral included.
+
+use quicksand_bgp::{mrt, Collector, ExportCache, FastConverge, UpdateLog};
+use quicksand_core::scenario::{Scenario, ScenarioConfig};
+use quicksand_net::{Asn, Ipv4Prefix, SimDuration, SimTime};
+use quicksand_obs::{self as obs, Registry};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Seeds for the seed-parameterized sweep below. `QUICKSAND_TEST_SEEDS`
+/// (a comma-separated list, decimal or `0x`-hex) overrides `default`,
+/// so a nightly CI job can widen the sweep without code edits.
+fn env_seeds(default: &[u64]) -> Vec<u64> {
+    match std::env::var("QUICKSAND_TEST_SEEDS") {
+        Ok(s) if !s.trim().is_empty() => s
+            .split(',')
+            .map(|tok| {
+                let tok = tok.trim();
+                let parsed = match tok.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => tok.parse(),
+                };
+                parsed.unwrap_or_else(|_| {
+                    panic!("QUICKSAND_TEST_SEEDS: bad seed {tok:?}")
+                })
+            })
+            .collect(),
+        _ => default.to_vec(),
+    }
+}
+
+fn log_bytes(log: &UpdateLog) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    mrt::write_log(log, &mut bytes).expect("writing to a Vec cannot fail");
+    bytes
+}
+
+fn tiny(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::small(seed);
+    cfg.churn.horizon = SimDuration::from_days(3);
+    cfg.collector.horizon = SimDuration::from_days(3);
+    cfg.n_sessions = 8;
+    cfg.n_control_origins = 30;
+    cfg
+}
+
+/// Replay `s`'s schedule with either observation strategy, returning
+/// the raw log. `full = true` reconstructs the pre-dirty-set engine:
+/// refresh every affected origin, then diff every live session against
+/// the *entire* tracked-prefix table at every effective event.
+fn replay(s: &Scenario, full: bool) -> UpdateLog {
+    let tracked = s.tracked_prefixes();
+    let prefixes_by_origin: BTreeMap<Asn, Vec<Ipv4Prefix>> = {
+        let mut m: BTreeMap<Asn, Vec<Ipv4Prefix>> = BTreeMap::new();
+        for (p, o) in &tracked {
+            m.entry(*o).or_default().push(*p);
+        }
+        m
+    };
+    let all_prefixes: Vec<Ipv4Prefix> = tracked.keys().copied().collect();
+    let all_origin_of: Vec<Asn> = tracked.values().copied().collect();
+    let all_origins: Vec<Asn> = prefixes_by_origin.keys().copied().collect();
+    let prefixes_of =
+        |o: Asn| prefixes_by_origin.get(&o).map_or(&[][..], |v| v.as_slice());
+
+    let mut fc = FastConverge::new(s.topo.graph.clone(), all_origins.iter().copied());
+    let mut collector =
+        Collector::new(&s.session_peers, &s.config.collector).expect("valid config");
+    let mut cache = ExportCache::new();
+    let mut log = UpdateLog::default();
+    let mut dirty: Vec<Vec<Asn>> = vec![Vec::new(); s.session_peers.len()];
+
+    let refresh_all = |fc: &FastConverge,
+                       collector: &mut Collector,
+                       cache: &mut ExportCache,
+                       origins: &[Asn]| {
+        for &o in origins {
+            let Some(tree) = fc.tree(o) else { continue };
+            collector.refresh_exports(fc.graph(), tree, cache);
+        }
+    };
+
+    // t = 0 full dump, identical in both strategies.
+    refresh_all(&fc, &mut collector, &mut cache, &all_origins);
+    collector.observe_interned(
+        SimTime::ZERO,
+        &all_prefixes,
+        &|peer, pi| cache.get(all_origin_of[pi], peer),
+        &mut log,
+    );
+
+    for ev in s.churn_schedule() {
+        let affected = fc.apply(ev.change);
+        if affected.is_empty() {
+            continue;
+        }
+        if full {
+            refresh_all(&fc, &mut collector, &mut cache, &affected);
+            collector.observe_interned(
+                ev.at,
+                &all_prefixes,
+                &|peer, pi| cache.get(all_origin_of[pi], peer),
+                &mut log,
+            );
+        } else {
+            for d in dirty.iter_mut() {
+                d.clear();
+            }
+            for &o in &affected {
+                let Some(tree) = fc.tree(o) else { continue };
+                collector.refresh_exports_dirty(fc.graph(), tree, &mut cache, &mut dirty);
+            }
+            if dirty.iter().any(|d| !d.is_empty()) {
+                collector.observe_dirty(
+                    ev.at,
+                    &dirty,
+                    &prefixes_of,
+                    &|peer, origin| cache.get(origin, peer),
+                    &mut log,
+                );
+            }
+        }
+    }
+
+    // Final observation flushes trailing session resets.
+    refresh_all(&fc, &mut collector, &mut cache, &all_origins);
+    collector.observe_interned(
+        SimTime::ZERO + s.config.churn.horizon,
+        &all_prefixes,
+        &|peer, pi| cache.get(all_origin_of[pi], peer),
+        &mut log,
+    );
+    log
+}
+
+/// Across the seed sweep, the dirty-set pipeline's log is byte-for-byte
+/// the full-scan log.
+#[test]
+fn dirty_observe_matches_full_observe_bytewise() {
+    for seed in env_seeds(&[0xD1FF, 7, 11]) {
+        let s = Scenario::build(tiny(seed));
+        let full = obs::with_metrics(Arc::new(Registry::new()), || replay(&s, true));
+        let dirty = obs::with_metrics(Arc::new(Registry::new()), || replay(&s, false));
+        assert_eq!(
+            log_bytes(&full),
+            log_bytes(&dirty),
+            "dirty-set observation diverged from the full scan (seed {seed:#x})"
+        );
+    }
+}
+
+/// The production replay loop (`run_month`, which now runs the
+/// dirty-set pipeline end to end) also matches the reconstructed full
+/// scan, raw and cleaned.
+#[test]
+fn run_month_matches_reconstructed_full_scan() {
+    for seed in env_seeds(&[0xD1FF]) {
+        let s = Scenario::build(tiny(seed));
+        let full = obs::with_metrics(Arc::new(Registry::new()), || replay(&s, true));
+        let month = obs::with_metrics(Arc::new(Registry::new()), || {
+            s.run_month().expect("valid scenario")
+        });
+        assert_eq!(
+            log_bytes(&full),
+            log_bytes(&month.raw),
+            "run_month raw log diverged from the full scan (seed {seed:#x})"
+        );
+    }
+}
